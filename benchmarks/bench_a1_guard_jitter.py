@@ -1,0 +1,14 @@
+"""Bench A1: clock-model quality and guard band versus losses."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a1_guard_jitter(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A1")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["losses with 2 exchanges, guard 0.0"][1] > 0
+    assert report.claims["losses with 8 exchanges, guard 0.1"][1] == 0

@@ -1,0 +1,14 @@
+"""Bench A2: despreader-bank sizing versus Type 2 collisions."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a2_despreader_sizing(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A2")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["Type 2 losses with 1 channel(s)"][1] > 0
+    assert report.claims["Type 2 losses with 8 channels"][1] == 0

@@ -1,0 +1,17 @@
+"""Bench A3: the design-rate benefit of the Section 7.3 courtesy."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a3_courtesy_rate(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A3")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert (
+        report.claims["design-rate gain from the courtesy (ratio on/off)"][1] > 1.0
+    )
+    loss_claims = [v for k, v in report.claims.items() if k.startswith("losses")]
+    assert all(measured == 0 for _paper, measured in loss_claims)

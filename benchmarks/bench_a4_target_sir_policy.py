@@ -1,0 +1,10 @@
+"""Bench A4: footnote 9's adaptive power rule versus the paper's."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a4_target_sir_policy(benchmark, show_report):
+    report = benchmark(lambda: get_experiment("A4")())
+    show_report(report)
+    assert report.claims["adaptive rule still clears every threshold"][1] >= 1.0
+    assert report.claims["radiated-power saving (constant / adaptive)"][1] > 1.0

@@ -1,0 +1,17 @@
+"""Bench A5: the aggregate-capacity cost of the fixed design rate."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a5_fixed_rate_penalty(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A5")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["aggregate capacity left on the table (uniform)"][1] > 1.0
+    assert (
+        report.claims["penalty grows with density variation (clustered / uniform)"][1]
+        > 1.0
+    )

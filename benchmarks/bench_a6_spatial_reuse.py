@@ -1,0 +1,17 @@
+"""Bench A6: spatial reuse — the scheme vs textbook TDMA vs ALOHA."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a6_spatial_reuse(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A6")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    shepard, tdma = report.claims[
+        "both structured schemes exceed single-channel use (concurrency > 1)"
+    ][1]
+    assert shepard > 1.0 and tdma > 1.0
+    assert report.claims["scheme outdelivers TDMA at equal physics (ratio)"][1] > 1.0

@@ -1,0 +1,13 @@
+"""Bench A7: light-load delay — simulation vs the Bernoulli model."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a7_delay_model(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A7")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["model calibration (worst |1 - sim/model|)"][1] < 0.35

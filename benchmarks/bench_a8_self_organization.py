@@ -1,0 +1,21 @@
+"""Bench A8: self-organisation — routes learned over the air."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_a8_self_organization(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("A8")(),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["missing routes after convergence"][1] == 0
+    assert (
+        report.claims[
+            "next-hop agreement with centralised minimum-energy routing"
+        ][1]
+        == 1.0
+    )
+    assert report.claims["route-cost agreement"][1] == 1.0
+    assert report.claims["losses during bootstrap and data phases"][1] == 0

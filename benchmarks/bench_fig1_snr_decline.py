@@ -1,0 +1,22 @@
+"""Bench F1: regenerate Figure 1 (SNR decline versus system scale)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig1_snr_decline(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("F1")(
+            mc_station_counts=(300, 1000, 3000, 10000),
+            mc_duty_cycles=(0.2, 0.5, 1.0),
+            trials=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["Monte-Carlo vs Eq.15 worst gap (dB)"][1] < 1.5
+    assert report.claims["eta=0.25 improves SNR by +6 dB over eta=1"][
+        1
+    ] == pytest.approx(6.02, abs=0.01)

@@ -1,0 +1,13 @@
+"""Bench F2: the collision taxonomy on constructed scenes (Figure 2)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig2_collision_taxonomy(benchmark, show_report):
+    report = benchmark(lambda: get_experiment("F2")())
+    show_report(report)
+    by_scene = {row[0]: row for row in report.rows}
+    assert "Type 1" in by_scene["1: bystander interferer"][3]
+    assert "Type 2" in by_scene["2: two senders, one receiver"][3]
+    assert "Type 3" in by_scene["3: receiver transmitting"][3]
+    assert by_scene["4: distant bystander (no collision)"][2] == "survived"

@@ -1,0 +1,16 @@
+"""Bench F3: the minimum-energy relay rule (Figure 3)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig3_min_energy_relay(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("F3")(trials=2000, station_count=60),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["centred relay energy ratio"][1] == pytest.approx(0.5)
+    assert report.claims["unused-relay violations"][1] == 0

@@ -1,0 +1,13 @@
+"""Bench F4: the 20-station pseudo-random schedule raster (Figure 4)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fig4_schedule_raster(benchmark, show_report):
+    report = benchmark(lambda: get_experiment("F4")())
+    show_report(report)
+    assert len(report.rows) == 20
+    paper, measured = report.claims["receive duty cycle p"]
+    assert measured == pytest.approx(paper, abs=0.05)

@@ -1,0 +1,16 @@
+"""Bench T10: minimum-energy versus minimum-hop routing (§6.2)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t10_routing_tradeoff(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T10")(station_count=60, duration_slots=400),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["interference energy ratio (min-hop / min-energy)"][1] > 1.0
+    assert report.claims["hop-count ratio (min-energy / min-hop)"][1] > 1.0
+    energies = {row[0]: row[3] for row in report.rows}
+    assert energies["min_energy"] < energies["min_hop"]

@@ -1,0 +1,22 @@
+"""Bench T11: clock-offset safety and drift holdover (Section 7.1)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t11_clock_offsets(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T11")(trials=200_000),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    ratio = report.claims[
+        "halving per extra offset bit (measured/analytic ratio ~ 1)"
+    ][1]
+    assert ratio == pytest.approx(1.0, abs=0.25)
+    assert (
+        report.claims["drift-model holdover before a quarter-slot error (hours)"][1]
+        >= 24.0
+    )

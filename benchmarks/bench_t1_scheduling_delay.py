@@ -1,0 +1,18 @@
+"""Bench T1: scheduling overlap/delay vs the Bernoulli model (§7.2)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t1_scheduling_delay(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T1")(pairs=12, arrivals_per_pair=300),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    paper, measured = report.claims["overlap fraction p(1-p)"]
+    assert measured == pytest.approx(paper, abs=0.02)
+    paper, measured = report.claims["expected wait slots 1/(p(1-p)) (slotted model)"]
+    assert measured == pytest.approx(paper, abs=1.0)

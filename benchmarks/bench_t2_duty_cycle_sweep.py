@@ -1,0 +1,19 @@
+"""Bench T2: receive-duty-cycle sweep — p ~= 0.3 near-optimal [thesis]."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t2_duty_cycle_sweep(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T2")(
+            receive_fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.7),
+            station_count=30,
+            duration_slots=400,
+            load_packets_per_slot=0.25,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    best = report.claims["near-optimal receive duty cycle"][1]
+    assert 0.2 <= best <= 0.4

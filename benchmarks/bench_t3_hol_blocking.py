@@ -1,0 +1,15 @@
+"""Bench T3: head-of-line-blocking ablation — duty toward 50% [thesis]."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t3_hol_blocking(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T3")(duration_slots=1500),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["duty cycle without HOL blocking"][1] > 0.4
+    assert report.claims["per-neighbour beats FIFO"][1] > 2.0
+    assert report.claims["losses (both runs)"][1] == 0

@@ -1,0 +1,41 @@
+"""Bench T4: collision-free operation at the paper's simulation scales.
+
+The paper's headline experiment: networks of 100 and 1000 stations run
+under load with zero packet loss of any collision type.  The 1000-
+station row is the expensive one (~1 minute); the ALOHA control runs
+only at 100 stations to keep the bench affordable.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t4_collision_free_100(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T4")(
+            station_counts=(100,),
+            duration_slots=300,
+            load_packets_per_slot=0.03,
+            control_run=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["zero losses at 100 stations"][1] == 0
+    control_row = next(r for r in report.rows if "control" in r[1])
+    assert control_row[4] > 0
+
+
+def test_bench_t4_collision_free_1000(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T4")(
+            station_counts=(1000,),
+            duration_slots=60,
+            load_packets_per_slot=0.02,
+            control_run=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["zero losses at 1000 stations"][1] == 0

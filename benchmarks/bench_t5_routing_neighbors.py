@@ -1,0 +1,15 @@
+"""Bench T5: routing neighbours never exceed eight [thesis]."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t5_routing_neighbors(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T5")(
+            station_counts=(100, 1000), placements_per_scale=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["maximum routing neighbours"][1] <= 8

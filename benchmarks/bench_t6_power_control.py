@@ -1,0 +1,23 @@
+"""Bench T6: power-control ablation (Section 6.1)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t6_power_control(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T6")(
+            station_count=150, density_factors=(1.0, 4.0, 16.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["delivered-power spread under control (dB)"][
+        1
+    ] == pytest.approx(0.0, abs=1e-6)
+    assert (
+        report.claims["radiated power density variation across 16x density range"][1]
+        < 1.6
+    )

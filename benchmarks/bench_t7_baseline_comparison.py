@@ -1,0 +1,23 @@
+"""Bench T7: the scheme versus ALOHA/slotted-ALOHA/CSMA/MACA."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t7_baseline_comparison(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T7")(
+            loads_packets_per_slot=(0.02, 0.05, 0.1),
+            station_count=40,
+            duration_slots=400,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["scheme losses across all loads"][1] == 0
+    assert report.claims["baseline losses across all loads"][1] > 0
+    # MACA pays per-packet control traffic; the scheme pays none.
+    maca_rows = [r for r in report.rows if r[0] == "maca"]
+    assert all(row[4] > 0 for row in maca_rows)
+    shepard_rows = [r for r in report.rows if r[0] == "shepard"]
+    assert all(row[3] == 0 for row in shepard_rows)

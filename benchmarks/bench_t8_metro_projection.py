@@ -1,0 +1,16 @@
+"""Bench T8: the metro-scale projection (abstract claim)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t8_metro_projection(benchmark, show_report):
+    report = benchmark(lambda: get_experiment("T8")())
+    show_report(report)
+    measured = report.claims["raw per-station rate at 10^6 stations, 1 GHz"][1]
+    assert 100 <= float(measured.split()[0]) <= 999
+    assert report.claims["capacity at SNR 0.01 (b/s per kHz)"][1] == pytest.approx(
+        14.36, abs=0.01
+    )
+    assert report.claims["interference dominates thermal noise (dB)"][1] > 30.0

@@ -1,0 +1,14 @@
+"""Bench T9: connectivity versus hop reach (Section 6)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t9_connectivity(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T9")(station_count=500, placements=3),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    assert report.claims["giant component at reach 2 (should suffice)"][1] > 0.95
+    assert report.claims["giant component at reach 1 (insufficient)"][1] < 0.9

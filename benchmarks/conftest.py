@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one of the paper's figures/tables (the IDs in
+DESIGN.md) and prints the reproduced rows; run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The printed tables are the deliverable; the timing numbers record how
+expensive each regeneration is.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show_report(capsys):
+    """Print an ExperimentReport outside of pytest's capture."""
+
+    def _show(report):
+        with capsys.disabled():
+            print()
+            print(report.format())
+
+    return _show

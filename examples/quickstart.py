@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: build a 100-station packet radio network and verify the
+paper's headline claim — collision-free transfer with a single
+transmission per hop.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro.net import NetworkConfig, PoissonTraffic, build_network
+from repro.propagation import uniform_disk
+from repro.sim import RandomStreams
+
+
+def main() -> None:
+    # 1. Place 100 stations uniformly in a 2 km-diameter neighbourhood
+    #    (the paper's simulation scale).
+    placement = uniform_disk(100, radius=1000.0, seed=42)
+
+    # 2. Build the network.  This applies the whole Section 6 design
+    #    strategy automatically: minimum-energy routes over the
+    #    observed propagation matrix, constant-delivered-power control,
+    #    a system data rate calibrated so the SIR criterion holds under
+    #    any concurrency the schedules permit, and the Section 7
+    #    pseudo-random schedules with per-neighbour clock models.
+    config = NetworkConfig(seed=42)
+    network = build_network(placement, config, trace=True)
+
+    budget = network.budget
+    print("Calibrated design point")
+    print(f"  data rate           : {budget.data_rate_bps:,.0f} bit/s")
+    print(f"  processing gain     : {budget.processing_gain_db:.1f} dB "
+          "(the paper argues for 20-25 dB)")
+    print(f"  slot time           : {budget.slot_time * 1e3:.2f} ms "
+          "(packets fill a quarter slot)")
+    print(f"  SIR threshold       : {budget.sir_threshold:.4f}")
+    neighbor_counts = network.routing_neighbor_counts()
+    print(f"  routing neighbours  : max {max(neighbor_counts)} "
+          "(the paper saw at most 8)")
+
+    # 3. Load every station with Poisson traffic to uniformly random
+    #    destinations; packets are forwarded hop by hop.
+    rng = RandomStreams(7).stream("traffic")
+    for origin in range(network.station_count):
+        network.add_traffic(
+            PoissonTraffic(
+                origin=origin,
+                rate=0.05 / budget.slot_time,  # packets per slot
+                destinations=list(range(network.station_count)),
+                size_bits=config.packet_size_bits,
+                rng=rng,
+            )
+        )
+
+    # 4. Run for 500 slots of simulated time.
+    result = network.run(500 * budget.slot_time)
+
+    print("\nRun outcome")
+    print(f"  packets originated  : {result.originated}")
+    print(f"  hop transmissions   : {result.transmissions}")
+    print(f"  hop deliveries      : {result.hop_deliveries}")
+    print(f"  end-to-end delivered: {result.delivered_end_to_end}")
+    print(f"  mean route length   : {result.mean_hops:.2f} hops")
+    print(f"  mean delay          : {result.mean_delay / budget.slot_time:.1f} slots")
+    print(f"  losses (any type)   : {result.losses_total}")
+
+    assert result.collision_free, "the scheme must be collision-free"
+    print("\nEvery transmitted hop was received: no Type 1, 2, or 3 "
+          "collisions, with zero per-packet control traffic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+pip/setuptools combination lacks PEP 660 editable-install support (the
+offline toolchain this repository targets).  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: a reproduction of Shepard's SIGCOMM 1996 channel access scheme
+for large dense packet radio networks.
+
+The package is organised as the paper is:
+
+* :mod:`repro.radio` — signals, spread spectrum, radios (Section 3.1);
+* :mod:`repro.propagation` — placements, path loss, the H matrix
+  (Sections 3.2-3.5, 4);
+* :mod:`repro.clock` — free-running clocks and neighbour clock models
+  (Section 7);
+* :mod:`repro.sim` — the discrete-event substrate;
+* :mod:`repro.core` — the reception model, noise-growth analysis,
+  collision taxonomy, pseudo-random schedules, and the collision-free
+  access scheme (Sections 3-7);
+* :mod:`repro.routing` — minimum-energy routing and baselines
+  (Section 6.2);
+* :mod:`repro.mac` — the scheme and the classical MACs it displaces;
+* :mod:`repro.net` — stations, the physical medium, network assembly;
+* :mod:`repro.analysis` — the paper's closed-form arguments;
+* :mod:`repro.experiments` — one module per figure/table reproduced.
+
+Quickstart::
+
+    from repro.propagation import uniform_disk
+    from repro.net import build_network, NetworkConfig, PoissonTraffic
+    import numpy as np
+
+    placement = uniform_disk(100, radius=1000.0, seed=1)
+    network = build_network(placement, NetworkConfig(seed=1))
+    rng = np.random.default_rng(2)
+    for i in range(placement.count):
+        network.add_traffic(PoissonTraffic(
+            origin=i, rate=0.05 / network.budget.slot_time,
+            destinations=list(range(placement.count)),
+            size_bits=1000.0, rng=rng))
+    result = network.run(500 * network.budget.slot_time)
+    assert result.collision_free
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Schedule, ScheduleView, find_transmit_window
+from repro.net import NetworkConfig, build_network
+
+__all__ = [
+    "NetworkConfig",
+    "Schedule",
+    "ScheduleView",
+    "__version__",
+    "build_network",
+    "find_transmit_window",
+]

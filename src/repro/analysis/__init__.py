@@ -1,0 +1,67 @@
+"""Analysis: the paper's closed-form arguments, made executable."""
+
+from repro.analysis.capacity import (
+    bits_per_sec_per_khz,
+    linearization_error,
+    low_snr_linearization,
+    rate_gain_from_duty_change,
+    spectral_efficiency,
+)
+from repro.analysis.delay_model import (
+    end_to_end_delay_slots,
+    max_light_load,
+    per_hop_delay_slots,
+)
+from repro.analysis.connectivity import (
+    ConnectivityPoint,
+    connectivity_sweep,
+    largest_component_fraction,
+)
+from repro.analysis.metro import MetroProjection
+from repro.analysis.scheduling_stats import (
+    OverlapMeasurement,
+    expected_wait_slots,
+    geometric_wait_pmf,
+    measure_overlap,
+    measure_waits,
+    optimal_receive_fraction,
+    pairwise_overlap_fraction,
+    throughput_proxy,
+    usable_fraction,
+)
+from repro.analysis.snr_decline import (
+    FIGURE1_DUTY_CYCLES,
+    FIGURE1_LOG10_RANGE,
+    Figure1Row,
+    figure1_series,
+    monte_carlo_series,
+)
+
+__all__ = [
+    "ConnectivityPoint",
+    "FIGURE1_DUTY_CYCLES",
+    "FIGURE1_LOG10_RANGE",
+    "Figure1Row",
+    "MetroProjection",
+    "OverlapMeasurement",
+    "bits_per_sec_per_khz",
+    "connectivity_sweep",
+    "end_to_end_delay_slots",
+    "expected_wait_slots",
+    "figure1_series",
+    "geometric_wait_pmf",
+    "largest_component_fraction",
+    "linearization_error",
+    "low_snr_linearization",
+    "measure_overlap",
+    "max_light_load",
+    "measure_waits",
+    "monte_carlo_series",
+    "optimal_receive_fraction",
+    "pairwise_overlap_fraction",
+    "per_hop_delay_slots",
+    "rate_gain_from_duty_change",
+    "spectral_efficiency",
+    "throughput_proxy",
+    "usable_fraction",
+]

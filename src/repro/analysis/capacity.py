@@ -1,0 +1,80 @@
+"""Capacity arithmetic used throughout the paper's argument.
+
+Collects the paper's spot calculations in one place so tests can pin
+them:
+
+* at SNR = 0.01 (one part in one hundred), capacity is
+  ``C/W = log2(1.01) ~= 0.0144`` — the paper's "theoretical capacity of
+  approximately 14 bits per second per kilohertz of channel bandwidth";
+* at eta = 0.25 the SNR improves by a factor of four (+6 dB), and the
+  paper quotes "around 56 bits per second per kilohertz" — exactly
+  ``log2(1.04) ~= 0.0566`` b/s/Hz;
+* the low-SNR linearisation ``log2(1+x) ~= x / ln 2 ~= 1.44 x``
+  (footnote 4), which underlies the duty-cycle invariance argument.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "spectral_efficiency",
+    "bits_per_sec_per_khz",
+    "low_snr_linearization",
+    "linearization_error",
+    "rate_gain_from_duty_change",
+]
+
+
+def spectral_efficiency(snr: float) -> float:
+    """Shannon spectral efficiency ``log2(1 + snr)`` in bits/s/Hz."""
+    if snr < 0.0:
+        raise ValueError("SNR must be non-negative")
+    return math.log2(1.0 + snr)
+
+
+def bits_per_sec_per_khz(snr: float) -> float:
+    """Spectral efficiency expressed per kilohertz (the paper's unit)."""
+    return 1000.0 * spectral_efficiency(snr)
+
+
+def low_snr_linearization(snr: float) -> float:
+    """Footnote 4's approximation: ``log2(1+x) ~= x / ln 2``."""
+    if snr < 0.0:
+        raise ValueError("SNR must be non-negative")
+    return snr / math.log(2.0)
+
+
+def linearization_error(snr: float) -> float:
+    """Relative error of the low-SNR linearisation at a given SNR."""
+    exact = spectral_efficiency(snr)
+    if exact == 0.0:
+        return 0.0
+    return abs(low_snr_linearization(snr) - exact) / exact
+
+
+def rate_gain_from_duty_change(
+    station_count: float, duty_from: float, duty_to: float
+) -> float:
+    """Net throughput ratio when all stations change duty cycle.
+
+    Section 4's first-order invariance: halving the duty cycle doubles
+    the SNR (hence roughly doubles the rate while transmitting) but
+    halves the airtime, so net throughput is nearly unchanged.  The
+    exact ratio uses the true logarithm rather than the linearisation:
+
+    ``ratio = (duty_to * log2(1 + snr(duty_to)))
+            / (duty_from * log2(1 + snr(duty_from)))``
+
+    where ``snr(eta) = 1 / (eta ln M)``.  In the noisy (low-SNR) regime
+    the ratio approaches 1.
+    """
+    from repro.core.noise import snr_nearest_neighbor
+
+    numerator = duty_to * spectral_efficiency(
+        snr_nearest_neighbor(station_count, duty_to)
+    )
+    denominator = duty_from * spectral_efficiency(
+        snr_nearest_neighbor(station_count, duty_from)
+    )
+    return numerator / denominator

@@ -1,0 +1,107 @@
+"""Connectivity versus reach (Section 6; experiment T9).
+
+Section 6 reasons about whether cooperative forwarding yields a fully
+connected network: at reach ``1/sqrt(rho)`` a station expects only pi
+(~3.14) neighbours — "not a far enough reach to ensure connectivity" —
+while doubling the reach to ``2/sqrt(rho)`` (at a 6 dB / 4x throughput
+cost) yields ``4 pi`` (~12.6) expected neighbours, which "should
+suffice in most situations".  These helpers measure the empirical side
+of that claim: neighbour-count distributions and the fraction of
+stations in the largest connected component as reach grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.design import expected_neighbors
+from repro.propagation.geometry import Placement
+
+__all__ = ["ConnectivityPoint", "connectivity_sweep", "largest_component_fraction"]
+
+
+def _adjacency(placement: Placement, reach: float) -> np.ndarray:
+    distances = placement.distances()
+    adjacency = distances <= reach
+    np.fill_diagonal(adjacency, False)
+    return adjacency
+
+
+def largest_component_fraction(placement: Placement, reach: float) -> float:
+    """Fraction of stations in the largest connected component at a
+    given hop reach (union-find over the reach graph)."""
+    if reach <= 0.0:
+        raise ValueError("reach must be positive")
+    count = placement.count
+    parent = list(range(count))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    adjacency = _adjacency(placement, reach)
+    rows, cols = np.nonzero(np.triu(adjacency, k=1))
+    for a, b in zip(rows.tolist(), cols.tolist()):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    sizes: dict = {}
+    for station in range(count):
+        root = find(station)
+        sizes[root] = sizes.get(root, 0) + 1
+    return max(sizes.values()) / count
+
+
+@dataclass(frozen=True)
+class ConnectivityPoint:
+    """Connectivity metrics at one reach factor.
+
+    Attributes:
+        reach_factor: hop reach in units of ``1/sqrt(rho)``.
+        expected_neighbors: the analytic ``pi * reach_factor^2``.
+        mean_neighbors: measured mean neighbour count.
+        max_neighbors: measured maximum neighbour count.
+        isolated_fraction: stations with no neighbour at all.
+        giant_component_fraction: largest-component share of stations.
+    """
+
+    reach_factor: float
+    expected_neighbors: float
+    mean_neighbors: float
+    max_neighbors: int
+    isolated_fraction: float
+    giant_component_fraction: float
+
+
+def connectivity_sweep(
+    placement: Placement, reach_factors: Sequence[float]
+) -> List[ConnectivityPoint]:
+    """Measure connectivity at each reach factor for one placement."""
+    if not reach_factors:
+        raise ValueError("need at least one reach factor")
+    unit = placement.characteristic_length
+    points = []
+    for factor in reach_factors:
+        if factor <= 0.0:
+            raise ValueError("reach factors must be positive")
+        reach = factor * unit
+        adjacency = _adjacency(placement, reach)
+        degrees = adjacency.sum(axis=1)
+        points.append(
+            ConnectivityPoint(
+                reach_factor=factor,
+                expected_neighbors=expected_neighbors(factor),
+                mean_neighbors=float(degrees.mean()),
+                max_neighbors=int(degrees.max()),
+                isolated_fraction=float((degrees == 0).mean()),
+                giant_component_fraction=largest_component_fraction(
+                    placement, reach
+                ),
+            )
+        )
+    return points

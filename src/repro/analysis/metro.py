@@ -1,0 +1,148 @@
+"""Metro-scale performance projection (abstract; experiment T8).
+
+The abstract's claim: "with a modest fraction of the radio spectrum,
+pessimistic assumptions about propagation resulting in maximum-possible
+self-interference, and an optimistic view of future signal processing
+capabilities ... a self-organizing packet radio network may scale to
+millions of stations within a metro area with raw per-station rates in
+the hundreds of megabits per second."
+
+:class:`MetroProjection` walks that arithmetic end to end: Section 4's
+SNR at scale, the Section 6 margins, Shannon back to a rate per hertz,
+times the allotted bandwidth, times the per-station transmit share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.capacity import spectral_efficiency
+from repro.core.noise import snr_nearest_neighbor
+from repro.radio.signal import linear_to_db
+from repro.radio.thermal import thermal_noise_power
+
+__all__ = ["MetroProjection"]
+
+
+@dataclass(frozen=True)
+class MetroProjection:
+    """Projected performance of a metro-scale deployment.
+
+    The defaults instantiate the abstract's optimistic case: beta = 1
+    ("an optimistic view of future signal processing capabilities" —
+    detection at the Shannon bound) and no reach margin (rate quoted at
+    the characteristic hop), with 1 GHz of spectrum ("a modest fraction"
+    of the tens of GHz usable at microwave).  The conservative variant
+    (beta = 3, one reach doubling) is what the benches also report.
+
+    Attributes:
+        station_count: stations in the metro interference circle.
+        bandwidth_hz: spectrum allotted to the system.
+        duty_cycle: average transmit duty cycle eta.
+        beta: detection margin above the Shannon bound (linear).
+        reach_doublings: hop-reach margin beyond the characteristic
+            distance (Section 6 budgets one doubling).
+    """
+
+    station_count: float = 1e6
+    bandwidth_hz: float = 1e9
+    duty_cycle: float = 0.35
+    beta: float = 1.0
+    reach_doublings: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.station_count <= math.e:
+            raise ValueError("projection needs M > e")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in (0, 1]")
+        if self.beta < 1.0:
+            raise ValueError("beta must be >= 1")
+        if self.reach_doublings < 0.0:
+            raise ValueError("reach doublings must be non-negative")
+
+    @property
+    def snr(self) -> float:
+        """Section 4 SNR at the characteristic hop distance."""
+        return snr_nearest_neighbor(self.station_count, self.duty_cycle)
+
+    @property
+    def worst_case_snr(self) -> float:
+        """SNR at the farthest design neighbour, after margins.
+
+        Divides by beta (detection margin) and by 4 per reach doubling
+        (6 dB each), leaving the SNR the rate must be designed for.
+        """
+        return self.snr / (self.beta * 4.0**self.reach_doublings)
+
+    @property
+    def raw_rate_bps(self) -> float:
+        """Raw link rate while transmitting (the 'hundreds of Mb/s')."""
+        return self.bandwidth_hz * spectral_efficiency(self.worst_case_snr)
+
+    @property
+    def sustained_rate_bps(self) -> float:
+        """Long-run per-station send rate: raw rate times duty cycle."""
+        return self.raw_rate_bps * self.duty_cycle
+
+    @property
+    def aggregate_rate_bps(self) -> float:
+        """Simultaneous network-wide send rate across all stations.
+
+        This is the spatial-reuse payoff: every station's sustained
+        rate counts because the interference of everyone transmitting
+        is already in the SNR.
+        """
+        return self.sustained_rate_bps * self.station_count
+
+    @property
+    def processing_gain_db(self) -> float:
+        """Spreading ratio implied by the design rate."""
+        efficiency = spectral_efficiency(self.worst_case_snr)
+        if efficiency <= 0.0:
+            return math.inf
+        return 10.0 * math.log10(1.0 / efficiency)
+
+    def thermal_noise_check(
+        self, area_km2: float = 1000.0, transmit_power_w: float = 1.0
+    ) -> float:
+        """Ratio of aggregate interference to thermal noise at a receiver.
+
+        Section 4 ignores thermal noise on the grounds that the
+        interference din dominates; this returns by how many dB it does
+        for a concrete physical instantiation (free-space constant from
+        a 1 GHz carrier, unity-gain antennas).
+        """
+        from repro.radio.antenna import friis_constant
+
+        if area_km2 <= 0.0 or transmit_power_w <= 0.0:
+            raise ValueError("area and power must be positive")
+        density = self.station_count / (area_km2 * 1e6)
+        alpha = friis_constant(1e9)
+        # Eq. 11-13 with physical units: N = pi eta rho alpha P ln M.
+        interference = (
+            math.pi
+            * self.duty_cycle
+            * density
+            * alpha
+            * transmit_power_w
+            * math.log(self.station_count)
+        )
+        thermal = thermal_noise_power(self.bandwidth_hz)
+        return linear_to_db(interference / thermal)
+
+    def summary(self) -> dict:
+        """All projection lines as a dict (for the T8 bench rows)."""
+        return {
+            "station_count": self.station_count,
+            "bandwidth_mhz": self.bandwidth_hz / 1e6,
+            "duty_cycle": self.duty_cycle,
+            "snr_db": linear_to_db(self.snr),
+            "design_snr_db": linear_to_db(self.worst_case_snr),
+            "processing_gain_db": self.processing_gain_db,
+            "raw_rate_mbps": self.raw_rate_bps / 1e6,
+            "sustained_rate_mbps": self.sustained_rate_bps / 1e6,
+            "aggregate_rate_gbps": self.aggregate_rate_bps / 1e9,
+        }

@@ -1,0 +1,159 @@
+"""Command-line interface: run the paper's experiments by id.
+
+Usage::
+
+    python -m repro list
+    python -m repro run T4
+    python -m repro run T4 --set station_counts='(100,)' --set duration_slots=200
+    python -m repro design --stations 1e9 --duty 0.5
+    python -m repro metro --stations 1e6 --bandwidth 1e9
+
+``--set`` values are parsed as Python literals (falling back to plain
+strings), so tuples, floats, and booleans all work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.metro import MetroProjection
+from repro.core.design import DesignPoint
+from repro.experiments import all_experiments, get_experiment
+
+__all__ = ["main", "build_parser", "parse_overrides"]
+
+
+def parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse ``key=value`` strings; values are Python literals when
+    possible, raw strings otherwise."""
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"override {pair!r} is not of the form key=value")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw
+    return overrides
+
+
+def _experiment_summary(run_callable) -> str:
+    module = sys.modules.get(run_callable.__module__)
+    doc = (module.__doc__ or "").strip() if module else ""
+    return doc.splitlines()[0] if doc else "(no description)"
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    experiments = all_experiments()
+
+    def sort_key(eid: str):
+        return (eid[0], int(eid[1:]))
+
+    for experiment_id in sorted(experiments, key=sort_key):
+        summary = _experiment_summary(experiments[experiment_id])
+        print(f"{experiment_id:>4s}  {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        run = get_experiment(args.experiment_id)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        overrides = parse_overrides(args.set or [])
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = run(**overrides)
+    print(report.format())
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    point = DesignPoint(
+        station_count=args.stations,
+        duty_cycle=args.duty,
+        detection_margin_db=args.margin,
+        reach_doublings=args.reach_doublings,
+    )
+    for key, value in point.summary().items():
+        print(f"{key:>24s}: {value:.4g}" if isinstance(value, float) else
+              f"{key:>24s}: {value}")
+    return 0
+
+
+def _cmd_metro(args: argparse.Namespace) -> int:
+    projection = MetroProjection(
+        station_count=args.stations,
+        bandwidth_hz=args.bandwidth,
+        duty_cycle=args.duty,
+        beta=args.beta,
+        reach_doublings=args.reach_doublings,
+    )
+    for key, value in projection.summary().items():
+        print(f"{key:>24s}: {value:.4g}" if isinstance(value, float) else
+              f"{key:>24s}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Shepard (SIGCOMM 1996): run any of the "
+            "paper's figures/tables and the design calculators."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser("list", help="list available experiments")
+    list_cmd.set_defaults(handler=_cmd_list)
+
+    run_cmd = commands.add_parser("run", help="run one experiment by id")
+    run_cmd.add_argument("experiment_id", help="experiment id, e.g. T4 or F1")
+    run_cmd.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable)",
+    )
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    design_cmd = commands.add_parser(
+        "design", help="print the Section 6 link budget for a scale"
+    )
+    design_cmd.add_argument("--stations", type=float, default=1e9)
+    design_cmd.add_argument("--duty", type=float, default=1.0)
+    design_cmd.add_argument("--margin", type=float, default=5.0)
+    design_cmd.add_argument("--reach-doublings", type=float, default=1.0)
+    design_cmd.set_defaults(handler=_cmd_design)
+
+    metro_cmd = commands.add_parser(
+        "metro", help="print the metro-scale rate projection"
+    )
+    metro_cmd.add_argument("--stations", type=float, default=1e6)
+    metro_cmd.add_argument("--bandwidth", type=float, default=1e9)
+    metro_cmd.add_argument("--duty", type=float, default=0.35)
+    metro_cmd.add_argument("--beta", type=float, default=1.0)
+    metro_cmd.add_argument("--reach-doublings", type=float, default=0.0)
+    metro_cmd.set_defaults(handler=_cmd_metro)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Clock substrate: free-running clocks, rendezvous sync, drift models."""
+
+from repro.clock.clock import Clock, random_clock
+from repro.clock.drift import DriftModel, fit_drift, holdover_horizon
+from repro.clock.sync import (
+    ClockSample,
+    NeighborClockModel,
+    exact_model,
+    exchange_readings,
+)
+
+__all__ = [
+    "Clock",
+    "ClockSample",
+    "DriftModel",
+    "NeighborClockModel",
+    "exact_model",
+    "exchange_readings",
+    "fit_drift",
+    "holdover_horizon",
+    "random_clock",
+]

@@ -1,0 +1,97 @@
+"""Free-running station clocks.
+
+Section 7: "Global clock synchronization is not required. Only the
+ability to relate one station's clock with another's is required."  And
+(footnote 12): a *clock* here "just means something that advances at
+some known rate" — no relation to wall time is implied.
+
+A :class:`Clock` is an affine map from true simulated time to the
+station's local reading: ``reading = offset + (1 + rate_error) * t``.
+Rate errors model oscillator tolerance (tens of parts per million for
+quartz).  Measurement jitter is applied where readings are *exchanged*
+(see :mod:`repro.clock.sync`), keeping the underlying clock invertible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Clock", "random_clock"]
+
+
+@dataclass(frozen=True)
+class Clock:
+    """An affine local clock.
+
+    Attributes:
+        offset: reading at true time zero.  Section 7.1 requires clocks
+            to be "set independently to a random value" with enough
+            high-order bits that neighbours' offsets almost surely
+            differ by more than a slot.
+        rate_error: fractional frequency error; the clock advances at
+            ``(1 + rate_error)`` local seconds per true second.
+    """
+
+    offset: float = 0.0
+    rate_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_error <= -1.0:
+            raise ValueError("a clock must advance forward")
+
+    @property
+    def rate(self) -> float:
+        """Local seconds per true second."""
+        return 1.0 + self.rate_error
+
+    def reading(self, true_time: float) -> float:
+        """The clock's reading at the given true time."""
+        return self.offset + self.rate * true_time
+
+    def true_time(self, reading: float) -> float:
+        """The true time at which the clock shows ``reading``."""
+        return (reading - self.offset) / self.rate
+
+    def elapsed_local(self, true_duration: float) -> float:
+        """Local time elapsed over a true duration."""
+        return self.rate * true_duration
+
+    def offset_from(self, other: "Clock", true_time: float) -> float:
+        """Instantaneous reading difference (self minus other)."""
+        return self.reading(true_time) - other.reading(true_time)
+
+
+def random_clock(
+    rng: np.random.Generator,
+    offset_span: float = 1e6,
+    rate_error_ppm: float = 50.0,
+    significant_bits: Optional[int] = None,
+) -> Clock:
+    """Draw an independently set clock (Section 7.1).
+
+    Args:
+        rng: source of randomness.
+        offset_span: offsets are uniform over ``[0, offset_span)``.
+            Ignored when ``significant_bits`` is given.
+        rate_error_ppm: rate errors are uniform over ``+/-`` this many
+            parts per million (quartz-grade by default).
+        significant_bits: when given, the offset is an integer with this
+            many random bits — the paper's "each additional high-order
+            bit added and initialized randomly" construction, used by
+            the clock-collision experiment (T11).
+    """
+    if significant_bits is not None:
+        if significant_bits < 1:
+            raise ValueError("need at least one random offset bit")
+        offset = float(rng.integers(0, 2**significant_bits))
+    else:
+        if offset_span <= 0.0:
+            raise ValueError("offset span must be positive")
+        offset = float(rng.uniform(0.0, offset_span))
+    if rate_error_ppm < 0.0:
+        raise ValueError("rate error spread must be non-negative")
+    rate_error = float(rng.uniform(-rate_error_ppm, rate_error_ppm)) * 1e-6
+    return Clock(offset=offset, rate_error=rate_error)

@@ -1,0 +1,109 @@
+"""Oscillator drift modelling from historical readings.
+
+The paper (footnote 13) cites Mills' work showing "how the drift of a
+clock driven by a quartz oscillator can be modeled from historical data
+and ... used to accurately predict future drift".  This module fits a
+polynomial drift model to a history of (reference time, clock offset)
+observations and quantifies how far ahead predictions stay within a
+given error bound — which in turn sets how often stations must
+rendezvous (experiment T11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DriftModel", "fit_drift", "holdover_horizon"]
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """A polynomial model of clock offset versus reference time.
+
+    Attributes:
+        coefficients: polynomial coefficients, highest degree first
+            (NumPy ``polyval`` convention).
+        residual_rms: root-mean-square residual of the fit.
+    """
+
+    coefficients: np.ndarray
+    residual_rms: float
+
+    def predict(self, reference_time: float | np.ndarray) -> float | np.ndarray:
+        """Predicted clock offset at the given reference time(s)."""
+        result = np.polyval(self.coefficients, reference_time)
+        if np.isscalar(reference_time):
+            return float(result)
+        return result
+
+    @property
+    def degree(self) -> int:
+        """Degree of the fitted polynomial."""
+        return len(self.coefficients) - 1
+
+
+def fit_drift(
+    reference_times: Sequence[float],
+    offsets: Sequence[float],
+    degree: int = 2,
+) -> DriftModel:
+    """Fit a drift polynomial to offset history.
+
+    Degree 1 captures a constant frequency error; degree 2 (the default,
+    matching quartz ageing practice) also captures linear frequency
+    drift.
+
+    Args:
+        reference_times: observation instants.
+        offsets: measured clock offset at each instant.
+        degree: polynomial degree (must leave at least one degree of
+            freedom: ``len(reference_times) > degree``).
+    """
+    times = np.asarray(reference_times, dtype=float)
+    values = np.asarray(offsets, dtype=float)
+    if times.ndim != 1 or times.shape != values.shape:
+        raise ValueError("times and offsets must be equal-length 1-D sequences")
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    if len(times) <= degree:
+        raise ValueError("need more observations than polynomial degree")
+    coefficients = np.polyfit(times, values, degree)
+    residuals = values - np.polyval(coefficients, times)
+    residual_rms = float(np.sqrt(np.mean(residuals**2)))
+    return DriftModel(coefficients=coefficients, residual_rms=residual_rms)
+
+
+def holdover_horizon(
+    model: DriftModel,
+    truth: DriftModel,
+    start_time: float,
+    error_bound: float,
+    max_horizon: float,
+    step: float,
+) -> float:
+    """How long predictions stay within ``error_bound`` of the truth.
+
+    Scans forward from ``start_time`` in increments of ``step`` and
+    returns the last horizon at which ``|model - truth| <= error_bound``
+    (0.0 if the bound is violated immediately, ``max_horizon`` if it
+    never is).  This is the rendezvous-interval question: a station may
+    go this long between clock exchanges before its neighbours'
+    schedule predictions risk missing a slot.
+    """
+    if error_bound <= 0.0:
+        raise ValueError("error bound must be positive")
+    if max_horizon <= 0.0 or step <= 0.0:
+        raise ValueError("horizon and step must be positive")
+    horizon = 0.0
+    t = start_time
+    while horizon < max_horizon:
+        t_next = t + step
+        error = abs(model.predict(t_next) - truth.predict(t_next))
+        if error > error_bound:
+            return horizon
+        horizon += step
+        t = t_next
+    return max_horizon

@@ -1,0 +1,269 @@
+"""The collision-free channel access scheme (Section 7).
+
+The scheme in one sentence: every station publishes a pseudo-random
+transmit/receive schedule reckoned by its own free-running clock, and a
+sender "will compare its own schedule with the receiving station's
+schedule and send the packet during a time when one of its own transmit
+windows overlaps with a receive window of the receiving station enough
+to handle the packet length".
+
+This module implements the sender-side computation:
+
+* :class:`ScheduleView` — a station's schedule windows mapped into
+  global simulation time, either exactly (its own clock) or through a
+  :class:`~repro.clock.sync.NeighborClockModel` (how a sender sees a
+  neighbour's schedule);
+* :func:`find_transmit_window` — the overlap search, including the
+  Section 7.3 extension: intervals that fall inside the receive windows
+  of *other* near neighbours that the transmission would significantly
+  interfere with can be excluded ("each must refrain from transmitting
+  in a manner that interferes excessively with the receptions at its
+  neighbor").
+
+Because the receive windows a station publishes are a *commitment to
+listen*, a sender that transmits only inside such an overlap can never
+cause a Type 3 collision at the addressee; Type 2 is absorbed by the
+receiver's despreader bank; and the Section 7.3 exclusion plus the
+spread-spectrum interference budget remove Type 1 losses.  No
+transmission beyond the data packet itself is needed at any hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.clock.clock import Clock
+from repro.clock.sync import NeighborClockModel
+from repro.core.intervals import Interval, first_fitting, intersect, subtract
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "ScheduleView",
+    "NoTransmitWindowError",
+    "find_transmit_window",
+    "DEFAULT_SEARCH_SLOTS",
+]
+
+DEFAULT_SEARCH_SLOTS = 10_000
+"""Default search horizon, in slots, before giving up on a neighbour."""
+
+
+class NoTransmitWindowError(RuntimeError):
+    """No suitable overlap exists within the search horizon.
+
+    With independent pseudo-random schedules this is vanishingly rare
+    (the expected wait is ~1/(p(1-p)) slots); it signals either a
+    degenerate schedule parameter or clocks so close that the schedules
+    are correlated (Section 7.1's "unfortunate phase offsets").
+    """
+
+
+@dataclass(frozen=True)
+class ScheduleView:
+    """A station's schedule windows expressed in global time.
+
+    Attributes:
+        schedule: the (shared) schedule function.
+        to_global: maps the station's local clock reading to global time.
+        to_local: maps global time to the station's local clock reading.
+
+    For the sender's own schedule the mappings come straight from its
+    clock; for a neighbour they are composed with the sender's fitted
+    clock model, so any model error shows up as window misalignment —
+    which the ``guard`` margin in :func:`find_transmit_window` absorbs.
+    """
+
+    schedule: Schedule
+    to_global: Callable[[float], float]
+    to_local: Callable[[float], float]
+
+    @classmethod
+    def own(cls, schedule: Schedule, clock: Clock) -> "ScheduleView":
+        """The view a station has of its own schedule (exact)."""
+        return cls(schedule, clock.true_time, clock.reading)
+
+    @classmethod
+    def of_neighbor(
+        cls,
+        schedule: Schedule,
+        own_clock: Clock,
+        model: NeighborClockModel,
+    ) -> "ScheduleView":
+        """A sender's view of a neighbour's schedule via its clock model.
+
+        Global time converts to the neighbour's estimated local time by
+        going through the sender's own clock and the fitted affine
+        relation between the two clocks.
+        """
+
+        def to_local(global_time: float) -> float:
+            return model.predict_neighbor_reading(own_clock.reading(global_time))
+
+        def to_global(neighbor_local: float) -> float:
+            return own_clock.true_time(model.own_reading_for(neighbor_local))
+
+        return cls(schedule, to_global, to_local)
+
+    def _windows_global(
+        self, from_global: float, receive: bool
+    ) -> Iterator[Interval]:
+        start_local = self.to_local(from_global)
+        for lo, hi in self.schedule.windows(start_local, receive=receive):
+            yield (self.to_global(lo), self.to_global(hi))
+
+    def transmit_windows(self, from_global: float) -> Iterator[Interval]:
+        """Merged transmit windows in global time, from ``from_global``."""
+        return self._windows_global(from_global, receive=False)
+
+    def receive_windows(self, from_global: float) -> Iterator[Interval]:
+        """Merged receive windows in global time, from ``from_global``."""
+        return self._windows_global(from_global, receive=True)
+
+    def is_receiving_at(self, global_time: float) -> bool:
+        """Whether this station is committed to listen at ``global_time``."""
+        return self.schedule.is_receiving_at(self.to_local(global_time))
+
+
+def _shrunk(windows: Iterator[Interval], guard: float) -> Iterator[Interval]:
+    """Shrink each window by ``guard`` at both ends, dropping empties."""
+    for lo, hi in windows:
+        if hi - lo > 2.0 * guard:
+            yield (lo + guard, hi - guard)
+
+
+def _shifted(windows: Iterator[Interval], offset: float) -> Iterator[Interval]:
+    """Translate every window by ``offset`` (order is preserved)."""
+    if offset == 0.0:
+        yield from windows
+        return
+    for lo, hi in windows:
+        yield (lo + offset, hi + offset)
+
+
+def _grown(windows: Iterator[Interval], guard: float) -> Iterator[Interval]:
+    """Grow each window by ``guard`` at both ends, merging any overlaps."""
+    pending: Optional[Interval] = None
+    for lo, hi in windows:
+        lo, hi = lo - guard, hi + guard
+        if pending is None:
+            pending = (lo, hi)
+        elif lo <= pending[1]:
+            pending = (pending[0], max(pending[1], hi))
+        else:
+            yield pending
+            pending = (lo, hi)
+    if pending is not None:
+        yield pending
+
+
+def find_transmit_window(
+    sender: ScheduleView,
+    receiver: ScheduleView,
+    duration: float,
+    earliest: float,
+    guard: float = 0.0,
+    avoid: Sequence[ScheduleView] = (),
+    search_slots: int = DEFAULT_SEARCH_SLOTS,
+    propagation_delay: float = 0.0,
+) -> Interval:
+    """Earliest interval in which the sender may convey one packet.
+
+    The returned global-time interval of length ``duration`` starts at
+    or after ``earliest``, lies inside one of the sender's transmit
+    windows and inside one of the receiver's receive windows — both
+    shrunk by ``guard`` on each side (for the receiver, the guard
+    absorbs clock-model error; for the sender, it keeps the burst
+    strictly clear of its own slot boundaries, where floating-point
+    round-trips through the clock mapping could otherwise land a start
+    an epsilon inside a receive slot) — and outside the receive windows
+    of every view in ``avoid`` (grown by ``guard``), the Section 7.3
+    courtesy to near neighbours the transmission would interfere with
+    excessively.
+
+    ``propagation_delay`` implements Section 3.3's remark that "actual
+    delays could be observed and easily compensated for in the
+    scheduling technique": the sender leads its burst so that the
+    packet *arrives* inside the receiver's window — the constraint on
+    the receiver applies to ``[start + delay, start + delay +
+    duration]`` while the sender's own window constrains ``[start,
+    start + duration]``.  Avoid views are treated like receivers (their
+    victims also hear the burst delayed); the per-victim delay spread
+    is sub-guard at any plausible geometry, so one delay serves all.
+
+    Raises:
+        NoTransmitWindowError: no overlap within ``search_slots`` slots.
+    """
+    if duration <= 0.0:
+        raise ValueError("duration must be positive")
+    if guard < 0.0:
+        raise ValueError("guard must be non-negative")
+    if search_slots < 1:
+        raise ValueError("search horizon must be at least one slot")
+    if propagation_delay < 0.0:
+        raise ValueError("propagation delay must be non-negative")
+
+    # Bound the INPUT streams at the horizon: downstream operators pull
+    # from their sources until they can yield, so feeding them
+    # unbounded streams would loop forever whenever the combination is
+    # empty (e.g. two stations with identical clocks, whose transmit
+    # and receive windows are exact complements — the Section 7.1
+    # failure mode the random offsets exist to prevent).
+    horizon = earliest + search_slots * sender.schedule.slot_time
+    # Receiver-side windows are shifted back by the propagation delay:
+    # a burst transmitted during the shifted window arrives during the
+    # published one.
+    receiver_windows = _shifted(
+        receiver.receive_windows(earliest), -propagation_delay
+    )
+    candidates: Iterator[Interval] = intersect(
+        _until(_shrunk(sender.transmit_windows(earliest), guard), horizon),
+        _until(_shrunk(receiver_windows, guard), horizon),
+    )
+    for neighbor in avoid:
+        candidates = subtract(
+            candidates,
+            _grown(
+                _shifted(neighbor.receive_windows(earliest), -propagation_delay),
+                guard,
+            ),
+        )
+
+    window = first_fitting(candidates, duration, not_before=earliest)
+    if window is None:
+        raise NoTransmitWindowError(
+            f"no {duration}-long overlap within {search_slots} slots of {earliest}"
+        )
+    return window
+
+
+def _until(stream: Iterator[Interval], horizon: float) -> Iterator[Interval]:
+    """Pass intervals through until one starts at or beyond ``horizon``."""
+    for lo, hi in stream:
+        if lo >= horizon:
+            return
+        yield (lo, hi)
+
+
+def overlap_fraction(p: float) -> float:
+    """Expected fraction of time a sender can reach one given neighbour.
+
+    Section 7.2: with receive duty cycle ``p``, a slot pair offers a
+    usable (transmit here, receive there) combination with probability
+    ``p(1-p)`` — about 0.21 at the near-optimal p = 0.3.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("receive duty cycle must be in (0, 1)")
+    return p * (1.0 - p)
+
+
+def expected_wait_slots(p: float) -> float:
+    """Expected slots until a packet can be sent (Section 7.2).
+
+    The Bernoulli model: success probability ``p(1-p)`` per slot, so
+    the expectation is ``1/(p(1-p))`` — 4.76 slots at p = 0.3.
+    """
+    return 1.0 / overlap_fraction(p)
+
+
+__all__ += ["overlap_fraction", "expected_wait_slots"]

@@ -1,0 +1,98 @@
+"""The collision taxonomy (Section 5, Figure 2).
+
+Every lost packet traces to interfering transmissions, and each
+interfering transmission falls into exactly one class relative to the
+receiver of the lost packet:
+
+* **Type 1** — the interferer neither targets nor is the receiver: "the
+  transmission of another packet from a station not involved in the
+  exchange".
+* **Type 2** — the interferer targets the same receiver: "multiple
+  stations attempting to send packets simultaneously to a single
+  station".
+* **Type 3** — the interferer *is* the receiver: "a packet arriving at
+  a station while another packet is being transmitted by the receiving
+  station".
+
+"Multiple collision types may occur simultaneously in more complicated
+situations" — hence classification returns the set of types present.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = ["CollisionType", "InterferenceSource", "classify_loss"]
+
+
+class CollisionType(enum.Enum):
+    """The three classes of interfering transmission (Figure 2)."""
+
+    TYPE_1 = 1
+    """Interferer not involved with the receiver at all."""
+
+    TYPE_2 = 2
+    """Interferer addressed to the same receiver."""
+
+    TYPE_3 = 3
+    """The receiver's own transmitter."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Type {self.value}"
+
+
+@dataclass(frozen=True)
+class InterferenceSource:
+    """One transmission that contributed interference to a loss.
+
+    Attributes:
+        transmitter: station index of the interfering transmitter.
+        destination: station index the interfering packet addresses.
+    """
+
+    transmitter: int
+    destination: int
+
+
+def classify_source(source: InterferenceSource, receiver: int) -> CollisionType:
+    """Class of a single interfering transmission relative to a receiver.
+
+    The paper's enumeration "covers all possible cases": the interferer
+    either is the receiver (Type 3), targets it (Type 2), or neither
+    (Type 1).
+    """
+    if source.transmitter == receiver:
+        return CollisionType.TYPE_3
+    if source.destination == receiver:
+        return CollisionType.TYPE_2
+    return CollisionType.TYPE_1
+
+
+def classify_loss(
+    receiver: int, sources: Iterable[InterferenceSource]
+) -> FrozenSet[CollisionType]:
+    """Set of collision types present among a loss's interference sources."""
+    types = frozenset(classify_source(source, receiver) for source in sources)
+    if not types:
+        raise ValueError(
+            "a collision needs at least one interference source; a loss with "
+            "none is a link-budget failure, not a collision"
+        )
+    return types
+
+
+def count_by_type(
+    losses: Iterable[Tuple[int, Iterable[InterferenceSource]]]
+) -> dict:
+    """Tally losses by collision type over (receiver, sources) pairs.
+
+    A loss exhibiting several types increments each of them, matching
+    the paper's "multiple collision types may occur simultaneously".
+    """
+    counts = {collision_type: 0 for collision_type in CollisionType}
+    for receiver, sources in losses:
+        for collision_type in classify_loss(receiver, sources):
+            counts[collision_type] += 1
+    return counts

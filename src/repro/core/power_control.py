@@ -1,0 +1,158 @@
+"""Transmit power control (Section 6.1).
+
+The paper's rule: "transmit with sufficient power to deliver a constant
+pre-determined amount of power to the intended receiver."  The absolute
+level of the constant is uncritical — scaling it slides every power in
+the system up or down together — but fixing the *delivered* power (a)
+reduces SIR variance, and (b) self-compensates for density variations:
+quadruple the density, halve the hop distance, quarter the power, and
+the radiated power density stays constant, preserving the Section 4
+noise analysis.
+
+Footnote 9's refinement (aim for the necessary SIR given recently
+observed noise) is provided as :class:`TargetSirPolicy` for the
+ablation experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerPolicy",
+    "FullPowerPolicy",
+    "ConstantDeliveredPolicy",
+    "TargetSirPolicy",
+    "PolicyKind",
+    "make_policy",
+]
+
+
+class PowerPolicy(ABC):
+    """Strategy mapping link conditions to a transmit power."""
+
+    @abstractmethod
+    def transmit_power(
+        self,
+        path_gain: float,
+        max_power_w: float,
+        observed_noise_w: float | None = None,
+    ) -> float:
+        """Power to radiate toward a receiver reachable via ``path_gain``.
+
+        Args:
+            path_gain: power gain of the link to the intended receiver.
+            max_power_w: hardware limit; the returned power never
+                exceeds it.
+            observed_noise_w: the receiver's recently observed noise
+                level, when the policy uses it (footnote 9).
+        """
+
+
+@dataclass(frozen=True)
+class FullPowerPolicy(PowerPolicy):
+    """No power control: always transmit at full power.
+
+    The ablation baseline — "in cases where stations are closer than
+    maximum range, transmitting at full power is excessive".
+    """
+
+    def transmit_power(
+        self,
+        path_gain: float,
+        max_power_w: float,
+        observed_noise_w: float | None = None,
+    ) -> float:
+        if max_power_w <= 0.0:
+            raise ValueError("maximum power must be positive")
+        return max_power_w
+
+
+@dataclass(frozen=True)
+class ConstantDeliveredPolicy(PowerPolicy):
+    """The paper's rule: deliver ``target_received_w`` to the receiver.
+
+    Attributes:
+        target_received_w: the constant pre-determined delivered power.
+    """
+
+    target_received_w: float
+
+    def __post_init__(self) -> None:
+        if self.target_received_w <= 0.0:
+            raise ValueError("target delivered power must be positive")
+
+    def transmit_power(
+        self,
+        path_gain: float,
+        max_power_w: float,
+        observed_noise_w: float | None = None,
+    ) -> float:
+        if path_gain <= 0.0:
+            raise ValueError("path gain must be positive for a usable link")
+        if max_power_w <= 0.0:
+            raise ValueError("maximum power must be positive")
+        return min(self.target_received_w / path_gain, max_power_w)
+
+
+@dataclass(frozen=True)
+class TargetSirPolicy(PowerPolicy):
+    """Footnote 9: deliver just enough for the target SIR.
+
+    "A better idea might be to transmit with power sufficient to just
+    achieve the necessary signal-to-noise ratio ... the recent past
+    might be a good-enough predictor of the future noise levels."
+
+    Attributes:
+        target_sir: SIR to aim for at the receiver (threshold x margin).
+        fallback_noise_w: noise estimate used when no observation is
+            available yet.
+    """
+
+    target_sir: float
+    fallback_noise_w: float
+
+    def __post_init__(self) -> None:
+        if self.target_sir <= 0.0:
+            raise ValueError("target SIR must be positive")
+        if self.fallback_noise_w <= 0.0:
+            raise ValueError("fallback noise must be positive")
+
+    def transmit_power(
+        self,
+        path_gain: float,
+        max_power_w: float,
+        observed_noise_w: float | None = None,
+    ) -> float:
+        if path_gain <= 0.0:
+            raise ValueError("path gain must be positive for a usable link")
+        if max_power_w <= 0.0:
+            raise ValueError("maximum power must be positive")
+        noise = observed_noise_w if observed_noise_w else self.fallback_noise_w
+        return min(self.target_sir * noise / path_gain, max_power_w)
+
+
+class PolicyKind(enum.Enum):
+    """Names for the power policies, for configs and experiment sweeps."""
+
+    FULL = "full"
+    CONSTANT_DELIVERED = "constant_delivered"
+    TARGET_SIR = "target_sir"
+
+
+def make_policy(
+    kind: PolicyKind,
+    target_received_w: float = 1.0,
+    target_sir: float = 1.0,
+    fallback_noise_w: float = 1.0,
+) -> PowerPolicy:
+    """Instantiate a policy by kind with the relevant parameters."""
+    if kind is PolicyKind.FULL:
+        return FullPowerPolicy()
+    if kind is PolicyKind.CONSTANT_DELIVERED:
+        return ConstantDeliveredPolicy(target_received_w)
+    if kind is PolicyKind.TARGET_SIR:
+        return TargetSirPolicy(target_sir, fallback_noise_w)
+    raise ValueError(f"unknown policy kind {kind!r}")

@@ -1,0 +1,171 @@
+"""Pseudo-random transmit/receive schedules with unaligned slots (§7.1).
+
+Each station divides time — *reckoned by its own clock* — into equal
+slots and designates each slot for transmitting or receiving by hashing
+the slot index: "Whether a particular slot is for transmitting or
+receiving can be determined by using a hash function to hash the value
+of time at the beginning of the slot.  If the hash value is less than a
+threshold, then the slot is a receive slot."
+
+All stations share one schedule function (one hash key); they differ
+only in their clock settings, so any two stations' slot boundaries are
+unaligned by a random phase and their schedules are statistically
+independent once the clocks differ by at least one slot.
+
+The published schedule is a *commitment to listen* during receive
+slots; a station may transmit (or stay idle) during transmit slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.core.intervals import Interval
+
+__all__ = ["Schedule", "hash_slot", "DEFAULT_RECEIVE_FRACTION"]
+
+DEFAULT_RECEIVE_FRACTION = 0.3
+"""The near-optimal receive duty cycle found in the thesis (§7.2)."""
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """SplitMix64 finaliser: a fast, well-mixed 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def hash_slot(slot_index: int, key: int = 0) -> float:
+    """Uniform value in [0, 1) for a slot index under a hash key.
+
+    Deterministic, stateless, and defined for negative indices, so any
+    station can evaluate any other station's schedule from its published
+    clock alone.
+    """
+    mixed = _splitmix64((slot_index & _MASK64) ^ (key & _MASK64))
+    return mixed / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The shared schedule function, evaluated against local clock time.
+
+    Attributes:
+        slot_time: slot length ``T_slot`` in local clock units.
+        receive_fraction: probability ``p`` that a slot is a receive
+            slot (the receive duty cycle).
+        key: hash key; all stations in one network share it (the paper
+            uses a single system-wide schedule), but experiments may
+            vary it to compare schedule draws.
+    """
+
+    slot_time: float = 1.0
+    receive_fraction: float = DEFAULT_RECEIVE_FRACTION
+    key: int = 0
+
+    def __post_init__(self) -> None:
+        if self.slot_time <= 0.0:
+            raise ValueError("slot time must be positive")
+        if not 0.0 < self.receive_fraction < 1.0:
+            raise ValueError(
+                "receive fraction must be strictly between 0 and 1; the paper "
+                "needs both transmit and receive windows to exist"
+            )
+
+    # -- slot geometry (local clock domain) --------------------------
+
+    def slot_index(self, local_time: float) -> int:
+        """Index of the slot containing ``local_time``."""
+        return int(local_time // self.slot_time)
+
+    def slot_start(self, index: int) -> float:
+        """Local time at which slot ``index`` begins."""
+        return index * self.slot_time
+
+    def slot_bounds(self, index: int) -> Interval:
+        """Half-open local-time interval of slot ``index``."""
+        start = self.slot_start(index)
+        return (start, start + self.slot_time)
+
+    # -- slot designation ---------------------------------------------
+
+    def is_receive_slot(self, index: int) -> bool:
+        """Whether slot ``index`` is designated for receiving."""
+        return hash_slot(index, self.key) < self.receive_fraction
+
+    def is_transmit_slot(self, index: int) -> bool:
+        """Whether slot ``index`` is designated for transmitting."""
+        return not self.is_receive_slot(index)
+
+    def is_receiving_at(self, local_time: float) -> bool:
+        """Whether the station is committed to listen at ``local_time``."""
+        return self.is_receive_slot(self.slot_index(local_time))
+
+    # -- window iteration ----------------------------------------------
+
+    def windows(
+        self, start_local: float, receive: bool
+    ) -> Iterator[Interval]:
+        """Merged maximal runs of same-designation slots, in local time.
+
+        Yields half-open intervals from the first window containing or
+        following ``start_local``, unboundedly (the caller clips).
+        Consecutive same-type slots merge into one window, which is what
+        lets packets span slot boundaries when luck allows.
+        """
+        index = self.slot_index(start_local)
+        while True:
+            # Find the next slot of the wanted designation.
+            while self.is_receive_slot(index) != receive:
+                index += 1
+            run_start = index
+            while self.is_receive_slot(index + 1) == receive:
+                index += 1
+            window = (self.slot_start(run_start), self.slot_start(index + 1))
+            if window[1] > start_local:
+                yield (max(window[0], start_local), window[1])
+            index += 1
+
+    def receive_windows(self, start_local: float) -> Iterator[Interval]:
+        """Merged receive windows from ``start_local`` onward (unbounded)."""
+        return self.windows(start_local, receive=True)
+
+    def transmit_windows(self, start_local: float) -> Iterator[Interval]:
+        """Merged transmit windows from ``start_local`` onward (unbounded)."""
+        return self.windows(start_local, receive=False)
+
+    # -- statistics ------------------------------------------------------
+
+    def empirical_receive_fraction(self, first_slot: int, slot_count: int) -> float:
+        """Fraction of receive slots over a slot range (law-of-large-numbers
+        check that the hash achieves the designed duty cycle)."""
+        if slot_count < 1:
+            raise ValueError("need at least one slot")
+        receive = sum(
+            1 for i in range(first_slot, first_slot + slot_count)
+            if self.is_receive_slot(i)
+        )
+        return receive / slot_count
+
+    def raster(self, first_slot: int, slot_count: int) -> Tuple[bool, ...]:
+        """Designations for a slot range (True = receive); Figure 4's rows."""
+        if slot_count < 1:
+            raise ValueError("need at least one slot")
+        return tuple(
+            self.is_receive_slot(i) for i in range(first_slot, first_slot + slot_count)
+        )
+
+    def max_packet_time(self, packet_fraction: float = 0.25) -> float:
+        """Packet airtime under the thesis's quarter-slot packing rule.
+
+        §7.2: "limiting the packets to a small fixed-size one-fourth the
+        length of a slot time" keeps scheduling simple at the cost of a
+        further 25% of the usable overlap.
+        """
+        if not 0.0 < packet_fraction <= 1.0:
+            raise ValueError("packet fraction must be in (0, 1]")
+        return self.slot_time * packet_fraction

@@ -1,0 +1,111 @@
+"""Ablation A1: clock-model quality and guard band versus losses.
+
+The scheme's correctness rests on senders predicting receivers' receive
+windows through clock models fitted from rendezvous exchanges
+(Section 7).  Two knobs control the prediction error:
+
+* the number of (noisy) rendezvous samples — more samples pin the
+  *rate* difference, whose residual error grows linearly in time and
+  which no fixed margin can absorb;
+* the ``guard`` band — a fixed margin shaved off each believed window,
+  absorbing the bounded *offset* error.
+
+This ablation sweeps both under 0.05-slot rendezvous jitter.  The
+measured surface shows the paper's claim is an engineering statement,
+not magic: with casual synchronisation (2 exchanges, no guard) about a
+third of transmissions miss their window, while 8 exchanges plus a
+0.1-slot guard restore exactly zero loss — and, because mis-predicted
+transmissions waste airtime, the robust corner also delivers *more*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.runner import ExperimentReport, register
+from repro.experiments.simsetup import run_loaded_network, standard_network
+from repro.net.network import NetworkConfig
+
+__all__ = ["run"]
+
+
+@register("A1")
+def run(
+    rendezvous_counts: Sequence[int] = (2, 8),
+    guard_fractions: Sequence[float] = (0.0, 0.05, 0.1),
+    jitter_slot_fraction: float = 0.05,
+    station_count: int = 20,
+    load_packets_per_slot: float = 0.05,
+    duration_slots: float = 250.0,
+    seed: int = 67,
+) -> ExperimentReport:
+    """Sweep (rendezvous count x guard) under noisy clock exchanges."""
+    report = ExperimentReport(
+        experiment_id="A1",
+        title="Ablation: clock-model quality and guard band vs losses",
+        columns=(
+            "rendezvous",
+            "guard (slots)",
+            "losses",
+            "not_listening",
+            "hop deliveries",
+        ),
+    )
+    # Resolve the slot-relative jitter via one probe build so every run
+    # shares the same absolute jitter.
+    slot_time = standard_network(
+        station_count, seed, NetworkConfig(seed=seed), trace=False
+    ).budget.slot_time
+    jitter = jitter_slot_fraction * slot_time
+
+    losses = {}
+    deliveries = {}
+    for rendezvous in rendezvous_counts:
+        for guard in guard_fractions:
+            config = NetworkConfig(
+                seed=seed,
+                guard_fraction=guard,
+                rendezvous_jitter=jitter,
+                rendezvous_count=rendezvous,
+            )
+            _network, result = run_loaded_network(
+                station_count,
+                load_packets_per_slot,
+                duration_slots,
+                placement_seed=seed,
+                traffic_seed=seed + 1,
+                config=config,
+            )
+            losses[(rendezvous, guard)] = result.losses_total
+            deliveries[(rendezvous, guard)] = result.hop_deliveries
+            report.add_row(
+                rendezvous,
+                guard,
+                result.losses_total,
+                result.losses_by_reason.get("not_listening", 0),
+                result.hop_deliveries,
+            )
+
+    worst = (min(rendezvous_counts), min(guard_fractions))
+    best = (max(rendezvous_counts), max(guard_fractions))
+    report.claim(
+        f"losses with {worst[0]} exchanges, guard {worst[1]}",
+        "> 0 (mis-predicted windows)",
+        losses[worst],
+    )
+    report.claim(
+        f"losses with {best[0]} exchanges, guard {best[1]}",
+        0,
+        losses[best],
+    )
+    report.claim(
+        "robust corner also delivers more (ratio best/worst)",
+        "> 1 (missed windows waste airtime)",
+        deliveries[best] / max(deliveries[worst], 1),
+    )
+    report.notes.append(
+        f"Rendezvous jitter sigma = {jitter_slot_fraction} slots.  More "
+        "exchanges pin the relative clock *rate* (whose error grows over "
+        "the run); the guard absorbs the remaining bounded offset error."
+    )
+    return report

@@ -1,0 +1,97 @@
+"""Ablation A8: self-organisation — routes learned over the air.
+
+The abstract promises "a self-organizing packet radio network".  This
+experiment bootstraps one: stations start with empty forwarding tables
+and only local knowledge (hearable neighbours, observed link gains),
+run the distributed Bellman-Ford as real control packets carried by the
+collision-free access scheme, and converge — the learned tables must
+match the centralised minimum-energy computation next-hop for next-hop.
+Afterwards, data traffic flows over the learned routes, still loss-free.
+
+This stitches together every layer of the reproduction: schedules carry
+the adverts, power control sizes them, the taxonomy guarantees their
+delivery, and minimum-energy routing emerges from local exchanges.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.experiments.runner import ExperimentReport, register
+from repro.experiments.simsetup import add_uniform_poisson, standard_network
+from repro.net.network import NetworkConfig
+from repro.routing.overlay import DistanceVectorOverlay
+
+__all__ = ["run"]
+
+
+@register("A8")
+def run(
+    station_count: int = 25,
+    convergence_chunk_slots: float = 50.0,
+    max_chunks: int = 40,
+    traffic_slots: float = 300.0,
+    load_packets_per_slot: float = 0.05,
+    seed: int = 139,
+) -> ExperimentReport:
+    """Bootstrap routes over the air and verify convergence."""
+    report = ExperimentReport(
+        experiment_id="A8",
+        title="Self-organisation: minimum-energy routes learned over the air",
+        columns=("phase", "value", "-"),
+    )
+    # Adverts unicast to *every* hearable neighbour, so the link budget
+    # must cover all links, not only routing next hops.
+    config = NetworkConfig(seed=seed, calibrate_all_links=True)
+    network = standard_network(station_count, seed, config)
+    reference = {
+        index: copy.deepcopy(table) for index, table in network.tables.items()
+    }
+    overlay = DistanceVectorOverlay(network)
+    overlay.install()
+    network.start()
+
+    env = network.env
+    slot = network.budget.slot_time
+    chunks = 0
+    while chunks < max_chunks:
+        chunks += 1
+        before = overlay.last_change_at
+        env.run(until=env.now + convergence_chunk_slots * slot)
+        if overlay.last_change_at == before and chunks > 1:
+            break
+    converged_at = overlay.last_change_at / slot
+    report.add_row("adverts transmitted", overlay.adverts_sent, "")
+    report.add_row("last table change (slots)", converged_at, "")
+
+    stats = overlay.agreement_with(reference)
+    report.add_row("routes compared", stats["routes"], "")
+    report.claim("missing routes after convergence", 0, stats["missing"])
+    report.claim(
+        "next-hop agreement with centralised minimum-energy routing",
+        1.0,
+        stats["next_hop_agreement"],
+    )
+    report.claim("route-cost agreement", 1.0, stats["cost_agreement"])
+
+    # Phase 2: data over the learned routes.
+    losses_before = len(network.medium.losses)
+    add_uniform_poisson(network, load_packets_per_slot, seed + 1)
+    for source in network._sources:
+        origin = network.stations[source.origin]
+        env.process(source.run(env, origin.submit))
+    env.run(until=env.now + traffic_slots * slot)
+    result = network.collect(env.now)
+    report.add_row("data hop deliveries", result.hop_deliveries, "")
+    report.claim(
+        "losses during bootstrap and data phases",
+        0,
+        len(network.medium.losses),
+    )
+    report.notes.append(
+        "Stations begin with empty tables and only local observations; the "
+        "distance-vector adverts are ordinary control packets scheduled by "
+        "the collision-free scheme.  The reference tables come from the "
+        "centralised SciPy Dijkstra over the same observed gains."
+    )
+    return report

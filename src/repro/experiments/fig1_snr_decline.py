@@ -1,0 +1,62 @@
+"""Experiment F1: regenerate Figure 1 (SNR decline with scale).
+
+Reproduces the curve family SNR(dB) vs log10(M) for the paper's five
+duty cycles, validates the closed form against Monte-Carlo placements
+at simulable scales, and pins the paper's in-text spot values ("it does
+not reach -12 db until 10^8 stations" at eta = 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.snr_decline import (
+    FIGURE1_DUTY_CYCLES,
+    FIGURE1_LOG10_RANGE,
+    figure1_series,
+    monte_carlo_series,
+)
+from repro.core.noise import snr_nearest_neighbor_db
+from repro.experiments.runner import ExperimentReport, register
+
+__all__ = ["run"]
+
+
+@register("F1")
+def run(
+    mc_station_counts: Sequence[int] = (300, 1000, 3000, 10000),
+    mc_duty_cycles: Sequence[float] = (0.2, 0.5, 1.0),
+    trials: int = 12,
+    seed: int = 0,
+    log10_range: Optional[Sequence[float]] = None,
+) -> ExperimentReport:
+    """Regenerate Figure 1 and its Monte-Carlo validation."""
+    report = ExperimentReport(
+        experiment_id="F1",
+        title="Decline of SNR as the number of stations grows (Figure 1)",
+        columns=("log10(M)", "eta", "analytic dB", "measured dB"),
+    )
+    for row in figure1_series(log10_range or FIGURE1_LOG10_RANGE, FIGURE1_DUTY_CYCLES):
+        report.add_row(row.log10_stations, row.duty_cycle, row.snr_db, float("nan"))
+    for row in monte_carlo_series(mc_station_counts, mc_duty_cycles, trials, seed):
+        report.add_row(row.log10_stations, row.duty_cycle, row.snr_db, row.measured_db)
+
+    report.claim(
+        "SNR(eta=1) reaches -12 dB near 10^8 stations",
+        "-12 dB at 1e8",
+        f"{snr_nearest_neighbor_db(1e8, 1.0):.2f} dB at 1e8",
+    )
+    report.claim(
+        "eta=0.25 improves SNR by +6 dB over eta=1",
+        6.0,
+        snr_nearest_neighbor_db(1e8, 0.25) - snr_nearest_neighbor_db(1e8, 1.0),
+    )
+    mc_rows = [r for r in report.rows if r[3] == r[3]]  # NaN-free rows
+    if mc_rows:
+        worst_gap = max(abs(r[2] - r[3]) for r in mc_rows)
+        report.claim("Monte-Carlo vs Eq.15 worst gap (dB)", "small (model check)", worst_gap)
+    report.notes.append(
+        "Analytic rows span the full Figure 1 axis (10..1e12 stations); "
+        "Monte-Carlo rows validate Eq. 15 at simulable scales."
+    )
+    return report

@@ -1,0 +1,110 @@
+"""Experiment harness: uniform report structure and registry.
+
+Every experiment module exposes ``run(**params) -> ExperimentReport``.
+A report carries the experiment id (the DESIGN.md index), a table of
+rows (what the paper's figure/table showed), and free-form notes
+recording paper-claimed versus measured values — the same rows
+EXPERIMENTS.md summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["ExperimentReport", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one experiment.
+
+    Attributes:
+        experiment_id: index key from DESIGN.md (e.g. ``"F1"``).
+        title: human-readable experiment title.
+        columns: column names of the result table.
+        rows: result rows (tuples aligned with ``columns``).
+        claims: mapping of claim name to (paper value, measured value).
+        notes: anything a reader of EXPERIMENTS.md should know.
+    """
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Tuple] = field(default_factory=list)
+    claims: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def claim(self, name: str, paper: Any, measured: Any) -> None:
+        """Record a paper-vs-measured comparison line."""
+        self.claims[name] = (paper, measured)
+
+    def format(self) -> str:
+        """Render the report as aligned text (benches print this)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            table = [tuple(str(c) for c in self.columns)] + [
+                tuple(_fmt(v) for v in row) for row in self.rows
+            ]
+            widths = [
+                max(len(row[i]) for row in table) for i in range(len(self.columns))
+            ]
+            for index, row in enumerate(table):
+                lines.append(
+                    "  " + "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+                )
+                if index == 0:
+                    lines.append("  " + "  ".join("-" * w for w in widths))
+        for name, (paper, measured) in self.claims.items():
+            lines.append(f"  claim [{name}]: paper={_fmt(paper)} measured={_fmt(measured)}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {}
+
+
+def register(experiment_id: str) -> Callable:
+    """Decorator registering an experiment's ``run`` under its id."""
+
+    def decorator(func: Callable[..., ExperimentReport]) -> Callable:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
+    """Look up an experiment's run callable by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def all_experiments() -> Dict[str, Callable[..., ExperimentReport]]:
+    """All registered experiments, keyed by id."""
+    return dict(_REGISTRY)

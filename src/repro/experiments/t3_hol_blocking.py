@@ -1,0 +1,113 @@
+"""Experiment T3: head-of-line blocking ablation (Section 7.2).
+
+"Even with other traffic, a station need not block the head of the
+line.  Traffic to other stations may be transmitted while waiting for a
+suitable time to arrive.  With no head-of-line blocking, stations may
+achieve transmit duty cycles approaching 50%."
+
+A saturated hub station with several neighbours is simulated twice:
+with per-neighbour queues (eligible heads = all next hops) and with a
+single strict FIFO.  The per-neighbour discipline should push the hub's
+transmit duty cycle toward the schedule's transmit share, while the
+FIFO stalls whenever the head packet's addressee has no usable window.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.experiments.runner import ExperimentReport, register
+from repro.net.network import NetworkConfig, build_network
+from repro.net.traffic import CbrTraffic
+from repro.propagation.geometry import Placement
+
+__all__ = ["run", "star_placement"]
+
+
+def star_placement(neighbors: int = 6, radius: float = 100.0) -> Placement:
+    """A hub at the origin with ``neighbors`` stations on a circle."""
+    if neighbors < 2:
+        raise ValueError("a star needs at least two spokes")
+    angles = np.linspace(0.0, 2.0 * math.pi, neighbors, endpoint=False)
+    positions = np.vstack(
+        [[0.0, 0.0], np.column_stack([radius * np.cos(angles), radius * np.sin(angles)])]
+    )
+    return Placement(positions, region_radius=2.0 * radius)
+
+
+def _run_star(
+    fifo: bool,
+    neighbors: int,
+    duration_slots: float,
+    seed: int,
+    load_per_neighbor: float,
+) -> tuple:
+    config = NetworkConfig(
+        fifo_queues=fifo,
+        seed=seed,
+        # A star is small; keep the link reach generous so the hub
+        # talks to every spoke directly.
+        reach_factor=4.0,
+        # The Section 7.3 courtesy is off: in a tight star every spoke
+        # is a significant-interference victim of the hub, so the hub
+        # would avoid all their receive windows and the measurement
+        # would be about interference courtesy, not queueing.  The
+        # calibration compensates with the uncapped worst-case bound,
+        # so the runs stay loss-free.
+        respect_neighbors=False,
+    )
+    network = build_network(star_placement(neighbors), config)
+    slot = network.budget.slot_time
+    # Saturate the hub: steady traffic to every spoke.
+    for spoke in range(1, neighbors + 1):
+        network.add_traffic(
+            CbrTraffic(
+                origin=0,
+                destination=spoke,
+                interval=slot / load_per_neighbor,
+                size_bits=config.packet_size_bits,
+                start_at=0.01 * slot * spoke,
+            )
+        )
+    result = network.run(duration_slots * slot)
+    hub_duty = network.stations[0].duty_cycle(result.duration)
+    return network, result, hub_duty
+
+
+@register("T3")
+def run(
+    neighbors: int = 6,
+    duration_slots: float = 2000.0,
+    load_per_neighbor: float = 1.0,
+    seed: int = 37,
+) -> ExperimentReport:
+    """Compare hub transmit duty cycle with and without HOL blocking."""
+    report = ExperimentReport(
+        experiment_id="T3",
+        title="Head-of-line blocking ablation: duty cycle approaching 50% [thesis]",
+        columns=("queue discipline", "hub duty cycle", "hop deliveries", "losses"),
+    )
+    _, result_nq, duty_nq = _run_star(
+        False, neighbors, duration_slots, seed, load_per_neighbor
+    )
+    report.add_row("per-neighbour", duty_nq, result_nq.hop_deliveries, result_nq.losses_total)
+    _, result_fifo, duty_fifo = _run_star(
+        True, neighbors, duration_slots, seed, load_per_neighbor
+    )
+    report.add_row("FIFO (HOL)", duty_fifo, result_fifo.hop_deliveries, result_fifo.losses_total)
+
+    report.claim("duty cycle without HOL blocking", "approaching 0.5", duty_nq)
+    report.claim(
+        "per-neighbour beats FIFO",
+        "> 1",
+        duty_nq / duty_fifo if duty_fifo > 0 else math.inf,
+    )
+    report.claim("losses (both runs)", 0, result_nq.losses_total + result_fifo.losses_total)
+    report.notes.append(
+        "The hub is saturated toward every spoke.  Per-neighbour queues let "
+        "it exploit any spoke's receive window; the FIFO must wait for the "
+        "head packet's specific addressee.  The schedule's transmit share "
+        "(1-p = 0.7) bounds both; airtime is a quarter slot per packet."
+    )
+    return report

@@ -1,0 +1,101 @@
+"""Experiment T4: collision-free operation at 100 and 1000 stations.
+
+The paper's central claim: "a decentralized channel access scheme ...
+that is free of packet loss due to collisions", demonstrated in the
+thesis with simulations of networks of 100 and 1000 stations.  This
+experiment runs loaded multihop networks under the scheme and asserts
+*zero* hop losses of any kind; an ALOHA control run on the identical
+network shows the losses the scheme removes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.runner import ExperimentReport, register
+from repro.experiments.simsetup import run_loaded_network
+from repro.mac.aloha import AlohaMac
+from repro.net.network import NetworkConfig
+from repro.sim.streams import RandomStreams
+
+__all__ = ["run"]
+
+
+@register("T4")
+def run(
+    station_counts: Sequence[int] = (100, 1000),
+    load_packets_per_slot: float = 0.03,
+    duration_slots: float = 400.0,
+    seed: int = 29,
+    control_run: bool = True,
+    config: Optional[NetworkConfig] = None,
+) -> ExperimentReport:
+    """Run the scheme at the paper's scales and count losses."""
+    report = ExperimentReport(
+        experiment_id="T4",
+        title="Collision-free transfer at the paper's simulation scales",
+        columns=(
+            "stations",
+            "mac",
+            "transmissions",
+            "hop deliveries",
+            "losses",
+            "type1",
+            "type2",
+            "type3",
+        ),
+    )
+    base_config = config or NetworkConfig()
+    for count in station_counts:
+        network, result = run_loaded_network(
+            count,
+            load_packets_per_slot,
+            duration_slots,
+            placement_seed=seed + count,
+            traffic_seed=seed,
+            config=base_config,
+        )
+        types = {t.value: n for t, n in result.losses_by_type.items()}
+        report.add_row(
+            count,
+            "shepard",
+            result.transmissions,
+            result.hop_deliveries,
+            result.losses_total,
+            types.get(1, 0),
+            types.get(2, 0),
+            types.get(3, 0),
+        )
+        report.claim(
+            f"zero losses at {count} stations", 0, result.losses_total
+        )
+
+        if control_run:
+            streams = RandomStreams(seed + 1)
+            _, control = run_loaded_network(
+                count,
+                load_packets_per_slot,
+                duration_slots,
+                placement_seed=seed + count,
+                traffic_seed=seed,
+                config=base_config,
+                mac_factory=lambda i, b: AlohaMac(streams.stream(f"aloha{i}")),
+            )
+            control_types = {t.value: n for t, n in control.losses_by_type.items()}
+            report.add_row(
+                count,
+                "aloha (control)",
+                control.transmissions,
+                control.hop_deliveries,
+                control.losses_total,
+                control_types.get(1, 0),
+                control_types.get(2, 0),
+                control_types.get(3, 0),
+            )
+    report.notes.append(
+        "Same placements, routes, powers, and traffic for both MACs; only "
+        "channel access differs.  The scheme's zero-loss row is exact, not "
+        "statistical: the design-rate calibration guarantees the SIR "
+        "criterion under any permitted concurrency."
+    )
+    return report

@@ -1,0 +1,78 @@
+"""Experiment T5: routing-neighbour counts (Section 5, thesis).
+
+"A routing strategy that will be presented in the next section was used
+in a number of simulations of randomly placed stations and the number
+of routing neighbors never exceeded eight."  The count matters because
+it sizes the despreader bank (Type 2 elimination, Section 5).
+
+This experiment computes minimum-energy routing tables over many random
+placements at the paper's scales and reports the distribution of
+per-station routing-neighbour counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentReport, register
+from repro.propagation.geometry import uniform_disk
+from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.models import FreeSpace
+from repro.routing.min_energy import min_energy_tables
+
+__all__ = ["run", "neighbor_counts_for_placement"]
+
+
+def neighbor_counts_for_placement(
+    station_count: int, seed: int, reach_factor: float = 2.0
+) -> np.ndarray:
+    """Routing-neighbour counts for one random placement."""
+    placement = uniform_disk(station_count, radius=1000.0, seed=seed)
+    model = FreeSpace(near_field_clamp=1e-6)
+    matrix = PropagationMatrix.from_placement(placement, model)
+    reach = reach_factor * placement.characteristic_length
+    min_gain = float(model.power_gain(reach))
+    tables = min_energy_tables(matrix.observed(min_gain=min_gain), min_gain=0.0)
+    return np.array(
+        [len(table.neighbors_in_use()) for table in tables.values()]
+    )
+
+
+@register("T5")
+def run(
+    station_counts: Sequence[int] = (100, 1000),
+    placements_per_scale: int = 3,
+    seed: int = 41,
+    reach_factor: float = 2.0,
+) -> ExperimentReport:
+    """Measure routing-neighbour counts over random placements."""
+    report = ExperimentReport(
+        experiment_id="T5",
+        title="Routing neighbours never exceeded eight [thesis]",
+        columns=("stations", "placements", "mean", "p95", "max"),
+    )
+    overall_max = 0
+    for count in station_counts:
+        counts = np.concatenate(
+            [
+                neighbor_counts_for_placement(count, seed + k, reach_factor)
+                for k in range(placements_per_scale)
+            ]
+        )
+        overall_max = max(overall_max, int(counts.max()))
+        report.add_row(
+            count,
+            placements_per_scale,
+            float(counts.mean()),
+            float(np.percentile(counts, 95)),
+            int(counts.max()),
+        )
+    report.claim("maximum routing neighbours", "<= 8", overall_max)
+    report.notes.append(
+        "Counts are distinct next hops appearing in each station's "
+        "minimum-energy routing table, links usable out to "
+        f"{reach_factor}/sqrt(rho)."
+    )
+    return report

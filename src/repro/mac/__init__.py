@@ -1,0 +1,20 @@
+"""Channel access protocols: the paper's scheme and classic baselines."""
+
+from repro.mac.aloha import AlohaMac
+from repro.mac.base import MacProtocol
+from repro.mac.csma import CsmaMac
+from repro.mac.maca import MacaMac
+from repro.mac.shepard import ShepardMac
+from repro.mac.tdma import TdmaMac, TdmaPlan, build_tdma_plan, greedy_coloring
+
+__all__ = [
+    "AlohaMac",
+    "CsmaMac",
+    "MacProtocol",
+    "MacaMac",
+    "ShepardMac",
+    "TdmaMac",
+    "TdmaPlan",
+    "build_tdma_plan",
+    "greedy_coloring",
+]

@@ -1,0 +1,66 @@
+"""The MAC-protocol interface: pluggable station behaviour.
+
+Every channel access scheme in this repository — the paper's
+schedule-based scheme and the classical baselines it displaces — is a
+:class:`MacProtocol`: an object bound to one station that provides
+
+* the station's transmit behaviour, as a simulation process
+  (:meth:`run`), and
+* the station's listening state (:meth:`is_listening`), which the
+  medium consults when a transmission addressed to the station begins.
+
+Everything else (queues, routing, forwarding, the physical layer) is
+shared, so protocol comparisons differ *only* in channel access.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.sim.process import ProcessGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.station import Station
+
+__all__ = ["MacProtocol"]
+
+
+class MacProtocol(ABC):
+    """Base class for channel access behaviours."""
+
+    #: Human-readable protocol name, used in experiment report rows.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._station: "Station | None" = None
+
+    @property
+    def station(self) -> "Station":
+        """The station this protocol instance is bound to."""
+        if self._station is None:
+            raise RuntimeError("protocol is not bound to a station yet")
+        return self._station
+
+    def bind(self, station: "Station") -> None:
+        """Attach this protocol instance to its station (once)."""
+        if self._station is not None:
+            raise RuntimeError("protocol already bound")
+        self._station = station
+
+    @abstractmethod
+    def run(self) -> ProcessGenerator:
+        """The station's transmit loop (a simulation process)."""
+
+    @abstractmethod
+    def is_listening(self, now: float) -> bool:
+        """Whether the station will lock onto a transmission addressed
+        to it that begins at ``now``."""
+
+    def on_control(self, tx) -> None:
+        """Handle a received MAC-level control frame (default: ignore).
+
+        ``tx`` is the :class:`~repro.net.medium.Transmission` carrying
+        the frame; the frame itself is ``tx.packet``.
+        """
+

@@ -1,0 +1,36 @@
+"""Network substrate: packets, queues, traffic, the medium, stations."""
+
+from repro.net.medium import LossRecord, Medium, ReceptionAttempt, Transmission
+from repro.net.network import (
+    LinkBudget,
+    Network,
+    NetworkConfig,
+    NetworkResult,
+    build_network,
+)
+from repro.net.packet import HopRecord, Packet
+from repro.net.queueing import FifoQueue, NeighborQueues, TransmitQueue
+from repro.net.station import Station, StationStats
+from repro.net.traffic import CbrTraffic, HotspotTraffic, PoissonTraffic, TrafficSource
+
+__all__ = [
+    "CbrTraffic",
+    "FifoQueue",
+    "HopRecord",
+    "HotspotTraffic",
+    "LinkBudget",
+    "LossRecord",
+    "Medium",
+    "Network",
+    "NetworkConfig",
+    "NetworkResult",
+    "NeighborQueues",
+    "Packet",
+    "PoissonTraffic",
+    "ReceptionAttempt",
+    "Station",
+    "StationStats",
+    "TrafficSource",
+    "TransmitQueue",
+    "Transmission",
+]

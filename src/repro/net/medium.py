@@ -1,0 +1,477 @@
+"""The shared radio medium: the simulator's physical-layer oracle.
+
+This module operationalises the Section 3 model.  It keeps the set of
+in-flight transmissions and, at every change of that set, re-evaluates
+the signal-to-interference ratio of every in-progress reception against
+the continuous criterion (Eq. 4-6).  A reception succeeds iff:
+
+* the destination was committed to listening when the transmission
+  began (its published schedule, for the paper's scheme; "not currently
+  transmitting", for the baselines),
+* a despreading channel was free to track it (else a Type 2 loss),
+* the SIR stayed at or above the receiver's threshold for the entire
+  duration (else a loss classified by the taxonomy of Section 5), and
+* the destination was not transmitting at any point during the
+  reception (the Type 3 self-jamming case: "no feasible amount of
+  processing gain ... can achieve reception while the local transmitter
+  is operating").
+
+The medium is deliberately exact: no slotted approximations, no
+capture heuristics — the power arithmetic *is* the model, so a claim
+like "zero collisions" is checked against the physics the paper
+defines, not against a convenient abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field  # field used by ReceptionAttempt default
+from itertools import count
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.collisions import CollisionType, InterferenceSource, classify_loss
+from repro.core.reception import ReceptionTracker
+from repro.net.packet import Packet
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Transmission", "ReceptionAttempt", "LossRecord", "Medium"]
+
+#: Power gain from a station's transmitter into its own receiver.  Real
+#: duplexer isolation leaves this vastly above any path gain; 0 dB is
+#: already ~60 dB above a 1 km free-space path at UHF, which makes the
+#: Type 3 self-jam unconditional, as the paper asserts.
+SELF_COUPLING_GAIN = 1.0
+
+#: An interferer must contribute at least this fraction of the total
+#: interference power at the moment of failure to be named a cause.
+#: Section 7.3 uses a 1 dB rise (a ~26% contribution) as "significant";
+#: we record down to 1% to keep the classification conservative.
+SIGNIFICANT_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One in-flight packet transmission.
+
+    Attributes:
+        seq: unique sequence number (medium-assigned).
+        source: transmitting station index.
+        destination: addressed station index.
+        packet: the packet being conveyed.
+        power_w: radiated power (constant over the burst).
+        start: global start time.
+        duration: airtime.
+    """
+
+    seq: int
+    source: int
+    destination: int
+    packet: Packet
+    power_w: float
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        """Global end time."""
+        return self.start + self.duration
+
+
+@dataclass
+class ReceptionAttempt:
+    """A reception being tracked by a locked despreading channel.
+
+    Attributes:
+        transmission: the wanted transmission.
+        tracker: the continuous SIR criterion state.
+        channel: despreader channel index in use.
+    """
+
+    transmission: Transmission
+    tracker: ReceptionTracker
+    channel: int
+    failure_sources: Optional[Tuple[InterferenceSource, ...]] = None
+
+
+@dataclass(frozen=True)
+class LossRecord:
+    """A packet hop that was not successfully received.
+
+    Attributes:
+        time: when the loss was established (transmission end).
+        transmission: the lost transmission.
+        reason: one of ``"sir"`` (criterion violated mid-reception),
+            ``"self_transmitting"`` (receiver was transmitting at lock
+            time: Type 3), ``"no_channel"`` (despreader bank full:
+            Type 2), ``"not_listening"`` (receiver not committed to
+            listen — a scheduling error under the paper's scheme, and
+            impossible there when clock models are sound).
+        collision_types: taxonomy classes of the responsible
+            interference, when interference caused the loss.
+        min_sir: worst SIR observed (NaN when never locked).
+    """
+
+    time: float
+    transmission: Transmission
+    reason: str
+    collision_types: frozenset
+    min_sir: float
+
+
+class Medium:
+    """The shared radio channel for one simulated network.
+
+    Args:
+        env: simulation environment.
+        gains: ``(M, M)`` power-gain matrix (zero diagonal).
+        thermal_noise_w: per-receiver thermal noise floor.
+        sir_thresholds: per-station required SIR for reception.
+        listen_query: callable ``(station, now) -> bool``: is the station
+            committed to listening?  Wired to the MAC in use.
+        channel_query: callable ``(station) -> bank``: the station's
+            despreader bank.
+        trace: optional trace recorder.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        gains: np.ndarray,
+        thermal_noise_w: float,
+        sir_thresholds: np.ndarray,
+        listen_query: Callable[[int, float], bool],
+        channel_query: Callable[[int], object],
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        gains = np.asarray(gains, dtype=float)
+        if gains.ndim != 2 or gains.shape[0] != gains.shape[1]:
+            raise ValueError("gain matrix must be square")
+        thresholds = np.asarray(sir_thresholds, dtype=float)
+        if thresholds.shape != (gains.shape[0],):
+            raise ValueError("need one SIR threshold per station")
+        if thermal_noise_w < 0.0:
+            raise ValueError("thermal noise must be non-negative")
+        self.env = env
+        self.gains = gains
+        self.thermal_noise_w = thermal_noise_w
+        self.sir_thresholds = thresholds
+        self._listen_query = listen_query
+        self._channel_query = channel_query
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._seq = count()
+        self._active: Dict[int, Transmission] = {}
+        # Power currently radiated per station; lets interference_at be
+        # one vectorised dot product instead of a loop over the active
+        # set (the simulator's hot path).
+        self._powers = np.zeros(gains.shape[0])
+        self._attempts: Dict[int, ReceptionAttempt] = {}
+        self._lock_failures: Dict[int, str] = {}
+        self.losses: List[LossRecord] = []
+        self.deliveries: int = 0
+        self._delivery_callbacks: Dict[int, Callable[[Transmission], None]] = {}
+        self._overhear_callbacks: Dict[int, Callable[[Transmission], None]] = {}
+
+    @property
+    def station_count(self) -> int:
+        """Number of stations sharing the medium."""
+        return int(self.gains.shape[0])
+
+    @property
+    def active_transmissions(self) -> List[Transmission]:
+        """Snapshot of in-flight transmissions."""
+        return list(self._active.values())
+
+    def on_delivery(
+        self, station: int, callback: Callable[[Transmission], None]
+    ) -> None:
+        """Register the handler invoked when ``station`` receives a packet."""
+        self._delivery_callbacks[station] = callback
+
+    def on_overheard(
+        self, station: int, callback: Callable[[Transmission], None]
+    ) -> None:
+        """Register a promiscuous-reception handler for ``station``.
+
+        Carrier-sense MACs (MACA's RTS/CTS deferral) need stations to
+        overhear frames not addressed to them.  At each transmission
+        end, every registered station that was idle and could have
+        decoded the frame (final-instant SIR above its threshold) gets
+        the callback.  This is an approximation — it skips the
+        continuous criterion for overhearers — but it only *helps* the
+        baselines, keeping the comparison conservative.
+        """
+        self._overhear_callbacks[station] = callback
+
+    def is_station_transmitting(self, station: int) -> bool:
+        """Whether ``station`` currently has a transmission in flight."""
+        return any(tx.source == station for tx in self._active.values())
+
+    def total_received_power(self, station: int) -> float:
+        """Total signal power arriving at a station right now.
+
+        This is what a carrier-sense MAC measures before transmitting.
+        """
+        return self.interference_at(station, exclude_seq=None)
+
+    # -- power arithmetic ---------------------------------------------
+
+    def interference_at(self, receiver: int, exclude_seq: Optional[int]) -> float:
+        """Interference-plus-nothing power at a receiver, excluding one
+        wanted transmission; the receiver's own transmitter couples in
+        at :data:`SELF_COUPLING_GAIN` (the Type 3 mechanism)."""
+        # The gain matrix's zero diagonal drops the receiver's own
+        # radiation from the dot product; add it back at the coupling
+        # gain.
+        total = float(self.gains[receiver] @ self._powers)
+        total += self._powers[receiver] * SELF_COUPLING_GAIN
+        if exclude_seq is not None:
+            excluded = self._active.get(exclude_seq)
+            if excluded is not None:
+                if excluded.source == receiver:
+                    total -= excluded.power_w * SELF_COUPLING_GAIN
+                else:
+                    total -= excluded.power_w * self.gains[receiver, excluded.source]
+        return max(total, 0.0)
+
+    def _significant_sources(
+        self, receiver: int, exclude_seq: int
+    ) -> Tuple[InterferenceSource, ...]:
+        contributions = []
+        for seq, tx in self._active.items():
+            if seq == exclude_seq:
+                continue
+            gain = (
+                SELF_COUPLING_GAIN
+                if tx.source == receiver
+                else self.gains[receiver, tx.source]
+            )
+            contributions.append((tx.power_w * gain, tx))
+        total = sum(power for power, _ in contributions)
+        if total <= 0.0:
+            return ()
+        return tuple(
+            InterferenceSource(tx.source, tx.destination)
+            for power, tx in contributions
+            if power >= SIGNIFICANT_FRACTION * total
+        )
+
+    # -- transmission lifecycle ----------------------------------------
+
+    def transmit(
+        self,
+        source: int,
+        destination: int,
+        packet: Packet,
+        power_w: float,
+        duration: float,
+    ) -> Event:
+        """Radiate a packet; the returned event fires at burst end with
+        ``True`` (received) or ``False`` (lost) as its value.
+
+        The outcome value is the simulator's oracle; the paper's scheme
+        never consults it (no per-packet acknowledgement exists), while
+        the baseline MACs use it as an idealised ACK.
+        """
+        if not 0 <= source < self.station_count:
+            raise ValueError("source index out of range")
+        if not 0 <= destination < self.station_count:
+            raise ValueError("destination index out of range")
+        if source == destination:
+            raise ValueError("a station cannot transmit to itself")
+        if power_w <= 0.0:
+            raise ValueError("transmit power must be positive")
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        if self.is_station_transmitting(source):
+            raise RuntimeError(f"station {source} is already transmitting")
+
+        tx = Transmission(
+            seq=next(self._seq),
+            source=source,
+            destination=destination,
+            packet=packet,
+            power_w=power_w,
+            start=self.env.now,
+            duration=duration,
+        )
+        done = self.env.event()
+        self._begin(tx)
+        end_timer = self.env.timeout(duration)
+        end_timer.subscribe(lambda _event: done.succeed(self._end(tx)))
+        return done
+
+    def _begin(self, tx: Transmission) -> None:
+        self._active[tx.seq] = tx
+        self._powers[tx.source] += tx.power_w
+        self.trace.record(
+            self.env.now,
+            "tx_start",
+            source=tx.source,
+            destination=tx.destination,
+            power_w=tx.power_w,
+            packet=tx.packet.packet_id,
+        )
+        self._try_lock(tx)
+        self._update_attempts()
+
+    def _try_lock(self, tx: Transmission) -> None:
+        receiver = tx.destination
+        if self.is_station_transmitting(receiver):
+            self._lock_failures[tx.seq] = "self_transmitting"
+            return
+        if not self._listen_query(receiver, self.env.now):
+            self._lock_failures[tx.seq] = "not_listening"
+            return
+        bank = self._channel_query(receiver)
+        channel = bank.try_acquire(tx.seq)
+        if channel is None:
+            self._lock_failures[tx.seq] = "no_channel"
+            return
+        signal_power = tx.power_w * self.gains[receiver, tx.source]
+        tracker = ReceptionTracker(
+            threshold=float(self.sir_thresholds[receiver]),
+            signal_power_w=signal_power,
+            noise_power_w=self.thermal_noise_w,
+        )
+        self._attempts[tx.seq] = ReceptionAttempt(tx, tracker, channel)
+        self.trace.record(
+            self.env.now,
+            "rx_lock",
+            receiver=receiver,
+            source=tx.source,
+            channel=channel,
+        )
+
+    def _update_attempts(self) -> None:
+        if not self._attempts:
+            return
+        now = self.env.now
+        items = list(self._attempts.items())
+        receivers = np.fromiter(
+            (attempt.transmission.destination for _, attempt in items),
+            dtype=int,
+            count=len(items),
+        )
+        # One matrix-vector product covers every in-progress reception.
+        base = self.gains[receivers] @ self._powers
+        for (seq, attempt), row_total in zip(items, base):
+            tx = attempt.transmission
+            receiver = tx.destination
+            interference = float(row_total)
+            interference += self._powers[receiver] * SELF_COUPLING_GAIN
+            interference -= tx.power_w * self.gains[receiver, tx.source]
+            interference = max(interference, 0.0)
+            was_ok = attempt.tracker.ok
+            attempt.tracker.update(now, interference)
+            if was_ok and not attempt.tracker.ok:
+                attempt.failure_sources = self._significant_sources(receiver, seq)
+
+    def _notify_overhearers(self, tx: Transmission) -> None:
+        if not self._overhear_callbacks:
+            return
+        for station, callback in self._overhear_callbacks.items():
+            if station in (tx.source, tx.destination):
+                continue
+            if self.is_station_transmitting(station):
+                continue
+            signal = tx.power_w * self.gains[station, tx.source]
+            if signal <= 0.0:
+                continue
+            interference = self.interference_at(station, exclude_seq=tx.seq)
+            if signal >= self.sir_thresholds[station] * (
+                interference + self.thermal_noise_w
+            ):
+                callback(tx)
+
+    def _end(self, tx: Transmission) -> bool:
+        del self._active[tx.seq]
+        self._powers[tx.source] -= tx.power_w
+        if abs(self._powers[tx.source]) < 1e-18:
+            self._powers[tx.source] = 0.0
+        self.trace.record(
+            self.env.now, "tx_end", source=tx.source, destination=tx.destination
+        )
+        attempt = self._attempts.pop(tx.seq, None)
+        # Interference at the remaining receivers drops; fold that in
+        # after removing the ended transmission.
+        self._update_attempts()
+        self._notify_overhearers(tx)
+
+        if attempt is None:
+            self._record_unlocked_loss(tx)
+            return False
+
+        bank = self._channel_query(tx.destination)
+        bank.release(tx.seq)
+        if attempt.tracker.ok:
+            self.deliveries += 1
+            self.trace.record(
+                self.env.now,
+                "rx_ok",
+                receiver=tx.destination,
+                source=tx.source,
+                min_sir=attempt.tracker.min_sir,
+                packet=tx.packet.packet_id,
+            )
+            callback = self._delivery_callbacks.get(tx.destination)
+            if callback is not None:
+                callback(tx)
+            return True
+
+        sources = attempt.failure_sources or ()
+        types = classify_loss(tx.destination, sources) if sources else frozenset()
+        self._record_loss(tx, "sir", types, attempt.tracker.min_sir)
+        return False
+
+    def _record_unlocked_loss(self, tx: Transmission) -> None:
+        reason = self._lock_failures.pop(tx.seq, "not_listening")
+        if reason == "self_transmitting":
+            types: frozenset = frozenset({CollisionType.TYPE_3})
+        elif reason == "no_channel":
+            types = frozenset({CollisionType.TYPE_2})
+        else:
+            types = frozenset()
+        self._record_loss(tx, reason, types, float("nan"))
+
+    def _record_loss(
+        self,
+        tx: Transmission,
+        reason: str,
+        types: frozenset,
+        min_sir: float,
+    ) -> None:
+        record = LossRecord(
+            time=self.env.now,
+            transmission=tx,
+            reason=reason,
+            collision_types=types,
+            min_sir=min_sir,
+        )
+        self.losses.append(record)
+        self.trace.record(
+            self.env.now,
+            "rx_fail",
+            receiver=tx.destination,
+            source=tx.source,
+            reason=reason,
+            types=sorted(t.value for t in types),
+            packet=tx.packet.packet_id,
+        )
+
+    def loss_counts_by_type(self) -> Dict[CollisionType, int]:
+        """Tally of losses per collision type (Section 5 taxonomy)."""
+        counts = {collision_type: 0 for collision_type in CollisionType}
+        for record in self.losses:
+            for collision_type in record.collision_types:
+                counts[collision_type] += 1
+        return counts
+
+    def loss_counts_by_reason(self) -> Dict[str, int]:
+        """Tally of losses per mechanical reason string."""
+        counts: Dict[str, int] = {}
+        for record in self.losses:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts

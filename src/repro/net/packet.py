@@ -1,0 +1,111 @@
+"""Packets and their journey records.
+
+Packets here are bookkeeping objects: the physical layer cares only
+about airtime (size divided by the fixed design rate), and the network
+layer about source, destination, and the hop-by-hop record used by the
+routing and latency experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import List, Optional
+
+__all__ = ["Packet", "HopRecord"]
+
+_packet_ids = count()
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One completed hop of a packet's journey.
+
+    Attributes:
+        sender: station that transmitted this hop.
+        receiver: station that received it.
+        start: global time the hop transmission began.
+        end: global time it ended.
+        power_w: radiated power used.
+    """
+
+    sender: int
+    receiver: int
+    start: float
+    end: float
+    power_w: float
+
+    @property
+    def airtime(self) -> float:
+        """Duration of the hop transmission."""
+        return self.end - self.start
+
+    @property
+    def energy_j(self) -> float:
+        """Radiated energy of the hop — what minimum-energy routing sums."""
+        return self.power_w * self.airtime
+
+
+@dataclass
+class Packet:
+    """A network-layer packet.
+
+    Attributes:
+        source: originating station.
+        destination: final destination station.
+        size_bits: payload size; airtime is ``size_bits / data_rate``.
+        created_at: global time the packet entered the network.
+        packet_id: unique id (auto-assigned).
+        hops: completed hop records, appended as the packet advances.
+        kind: ``"data"`` for network-layer packets; control frames
+            (e.g. MACA's RTS/CTS) carry their frame type here and are
+            consumed by the MAC instead of being forwarded.
+        payload: free-form extra state for control frames (e.g. the
+            data duration an RTS/CTS announces).
+    """
+
+    source: int
+    destination: int
+    size_bits: float
+    created_at: float
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: List[HopRecord] = field(default_factory=list)
+    kind: str = "data"
+    payload: Optional[dict] = None
+
+    @property
+    def is_control(self) -> bool:
+        """Whether this is a MAC-level control frame."""
+        return self.kind != "data"
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0.0:
+            raise ValueError("packet size must be positive")
+        if self.source == self.destination:
+            raise ValueError("packet source and destination must differ")
+
+    def airtime(self, data_rate_bps: float) -> float:
+        """Time on air at the given design rate."""
+        if data_rate_bps <= 0.0:
+            raise ValueError("data rate must be positive")
+        return self.size_bits / data_rate_bps
+
+    @property
+    def hop_count(self) -> int:
+        """Hops completed so far."""
+        return len(self.hops)
+
+    @property
+    def delivered_at(self) -> Optional[float]:
+        """Arrival time at the current holder (end of last hop)."""
+        return self.hops[-1].end if self.hops else None
+
+    def delay(self) -> float:
+        """End-to-end delay; valid once at least one hop completed."""
+        if not self.hops:
+            raise ValueError("packet has not completed any hop")
+        return self.hops[-1].end - self.created_at
+
+    def total_radiated_energy_j(self) -> float:
+        """Total energy radiated moving this packet (Section 6.2's metric)."""
+        return sum(hop.energy_j for hop in self.hops)

@@ -1,0 +1,147 @@
+"""Transmit queues: per-neighbour (no head-of-line blocking) and FIFO.
+
+Section 7.2: "Even with other traffic, a station need not block the
+head of the line.  Traffic to other stations may be transmitted while
+waiting for a suitable time to arrive.  With no head-of-line blocking,
+stations may achieve transmit duty cycles approaching 50%."
+
+:class:`NeighborQueues` keeps one FIFO per next hop, so the scheduler
+can pick whichever queued hop has the earliest feasible window.
+:class:`FifoQueue` is the ablation baseline: strictly serve the oldest
+packet, whatever its next hop (experiment T3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Iterator, List, Tuple
+
+from repro.net.packet import Packet
+
+__all__ = ["NeighborQueues", "FifoQueue", "TransmitQueue"]
+
+
+class TransmitQueue:
+    """Interface shared by the two queue disciplines."""
+
+    def enqueue(self, next_hop: int, packet: Packet) -> None:
+        """Add a packet destined (this hop) to ``next_hop``."""
+        raise NotImplementedError
+
+    def heads(self) -> List[Tuple[int, Packet]]:
+        """The (next_hop, packet) pairs the scheduler may send next."""
+        raise NotImplementedError
+
+    def pop(self, next_hop: int) -> Packet:
+        """Remove and return the head packet for ``next_hop``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no packet is queued."""
+        return len(self) == 0
+
+
+class NeighborQueues(TransmitQueue):
+    """One FIFO per next hop; every queue head is eligible.
+
+    Iteration order of :meth:`heads` follows first-use order of the
+    next hops, which keeps simulations deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._queues: "OrderedDict[int, Deque[Packet]]" = OrderedDict()
+        self._size = 0
+        self._peak_size = 0
+        self._total_enqueued = 0
+
+    def enqueue(self, next_hop: int, packet: Packet) -> None:
+        self._queues.setdefault(next_hop, deque()).append(packet)
+        self._size += 1
+        self._total_enqueued += 1
+        self._peak_size = max(self._peak_size, self._size)
+
+    def heads(self) -> List[Tuple[int, Packet]]:
+        return [
+            (next_hop, queue[0])
+            for next_hop, queue in self._queues.items()
+            if queue
+        ]
+
+    def pop(self, next_hop: int) -> Packet:
+        queue = self._queues.get(next_hop)
+        if not queue:
+            raise LookupError(f"no packet queued for next hop {next_hop}")
+        self._size -= 1
+        return queue.popleft()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def depth(self, next_hop: int) -> int:
+        """Packets queued toward one next hop."""
+        queue = self._queues.get(next_hop)
+        return len(queue) if queue else 0
+
+    @property
+    def peak_size(self) -> int:
+        """Largest total backlog observed."""
+        return self._peak_size
+
+    @property
+    def total_enqueued(self) -> int:
+        """All packets ever enqueued."""
+        return self._total_enqueued
+
+    def next_hops(self) -> Iterator[int]:
+        """Next hops with at least one queued packet."""
+        return (hop for hop, queue in self._queues.items() if queue)
+
+
+class FifoQueue(TransmitQueue):
+    """A single strict FIFO: only the oldest packet is eligible.
+
+    The head-of-line-blocking baseline of experiment T3 — when the
+    oldest packet's next hop has no usable window, everything waits.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[Tuple[int, Packet]] = deque()
+        self._peak_size = 0
+        self._total_enqueued = 0
+
+    def enqueue(self, next_hop: int, packet: Packet) -> None:
+        self._queue.append((next_hop, packet))
+        self._total_enqueued += 1
+        self._peak_size = max(self._peak_size, len(self._queue))
+
+    def heads(self) -> List[Tuple[int, Packet]]:
+        return [self._queue[0]] if self._queue else []
+
+    def pop(self, next_hop: int) -> Packet:
+        if not self._queue:
+            raise LookupError("queue is empty")
+        head_hop, packet = self._queue[0]
+        if head_hop != next_hop:
+            raise LookupError(
+                f"FIFO head is for next hop {head_hop}, not {next_hop}; "
+                "head-of-line blocking forbids overtaking"
+            )
+        self._queue.popleft()
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def peak_size(self) -> int:
+        """Largest backlog observed."""
+        return self._peak_size
+
+    @property
+    def total_enqueued(self) -> int:
+        """All packets ever enqueued."""
+        return self._total_enqueued

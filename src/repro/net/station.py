@@ -1,0 +1,302 @@
+"""A packet radio station: radio, queues, clock, schedule, forwarding.
+
+The station is the integration point of every substrate: it owns a
+transmitter and despreader bank (:mod:`repro.radio`), a free-running
+clock and models of its neighbours' clocks (:mod:`repro.clock`), the
+shared pseudo-random schedule (:mod:`repro.core.schedule`), per-
+neighbour transmit queues (:mod:`repro.net.queueing`), a routing table
+(:mod:`repro.routing`), and a pluggable MAC behaviour
+(:mod:`repro.mac`).  Stations forward transit packets hop-by-hop,
+re-routing each "as if it had originated at the transit station"
+(Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.clock.clock import Clock
+from repro.clock.sync import NeighborClockModel
+from repro.core.access import ScheduleView
+from repro.core.schedule import Schedule
+from repro.mac.base import MacProtocol
+from repro.net.medium import Medium, Transmission
+from repro.net.packet import HopRecord, Packet
+from repro.net.queueing import TransmitQueue
+from repro.radio.spreadspectrum import DespreaderBank
+from repro.radio.transmitter import Transmitter
+from repro.routing.table import RouteError, RoutingTable
+from repro.sim.engine import Environment
+from repro.sim.events import Event
+from repro.sim.process import ProcessGenerator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["Station", "StationStats"]
+
+
+@dataclass
+class StationStats:
+    """Counters one station accumulates over a run."""
+
+    originated: int = 0
+    forwarded: int = 0
+    sent: int = 0
+    send_failures: int = 0
+    delivered_to_me: int = 0
+    delivery_delays: List[float] = field(default_factory=list)
+    unreachable_drops: int = 0
+    no_route_drops: int = 0
+
+
+class Station:
+    """One packet radio station.
+
+    Args:
+        env: simulation environment.
+        index: the station's network-wide index.
+        position: (x, y) coordinates.
+        clock: the station's free-running clock.
+        schedule: the shared schedule function.
+        medium: the shared radio medium.
+        queue: transmit queue discipline.
+        table: routing table (next hops and costs).
+        mac: channel access behaviour (bound here).
+        transmitter: radio transmitter.
+        bank: despreader channel bank.
+        data_rate_bps: the system's fixed design rate.
+        power_lookup: maps a next hop to the transmit power to use
+            (power policy applied to the link gain).
+        trace: shared trace recorder.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        position: Tuple[float, float],
+        clock: Clock,
+        schedule: Schedule,
+        medium: Medium,
+        queue: TransmitQueue,
+        table: RoutingTable,
+        mac: MacProtocol,
+        transmitter: Transmitter,
+        bank: DespreaderBank,
+        data_rate_bps: float,
+        power_lookup: Callable[[int], float],
+        trace: Optional[TraceRecorder] = None,
+        delay_lookup: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if data_rate_bps <= 0.0:
+            raise ValueError("data rate must be positive")
+        self.env = env
+        self.index = index
+        self.position = (float(position[0]), float(position[1]))
+        self.clock = clock
+        self.schedule = schedule
+        self.medium = medium
+        self.queue = queue
+        self.table = table
+        self.mac = mac
+        self.transmitter = transmitter
+        self.bank = bank
+        self.data_rate_bps = data_rate_bps
+        self._power_lookup = power_lookup
+        self._delay_lookup = delay_lookup
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.stats = StationStats()
+        self.own_view = ScheduleView.own(schedule, clock)
+        self._neighbor_views: Dict[int, ScheduleView] = {}
+        self._avoid_views: Dict[int, Tuple[ScheduleView, ...]] = {}
+        self._arrival_event: Optional[Event] = None
+        self._control_handlers: Dict[str, Callable[[Transmission], None]] = {}
+        medium.on_delivery(index, self._on_delivery)
+        mac.bind(self)
+
+    # -- neighbour knowledge -------------------------------------------
+
+    def learn_neighbor_clock(
+        self, neighbor: int, schedule: Schedule, model: NeighborClockModel
+    ) -> None:
+        """Install the fitted clock model for a neighbour's schedule."""
+        self._neighbor_views[neighbor] = ScheduleView.of_neighbor(
+            schedule, self.clock, model
+        )
+
+    def set_avoid_views(
+        self, next_hop: int, views: Sequence[ScheduleView]
+    ) -> None:
+        """Install the Section 7.3 courtesy set for transmissions toward
+        ``next_hop``: receive windows to stay out of."""
+        self._avoid_views[next_hop] = tuple(views)
+
+    def neighbor_view(self, neighbor: int) -> ScheduleView:
+        """The sender's-eye view of a neighbour's schedule."""
+        try:
+            return self._neighbor_views[neighbor]
+        except KeyError:
+            raise LookupError(
+                f"station {self.index} has no clock model for {neighbor}; "
+                "stations only talk to neighbours they have rendezvoused with"
+            ) from None
+
+    def avoid_views(self, next_hop: int) -> Tuple[ScheduleView, ...]:
+        """Receive windows to respect when transmitting to ``next_hop``."""
+        return self._avoid_views.get(next_hop, ())
+
+    def power_for(self, next_hop: int) -> float:
+        """Transmit power toward a neighbour (policy applied to the link)."""
+        return self._power_lookup(next_hop)
+
+    def delay_for(self, next_hop: int) -> float:
+        """Observed propagation delay toward a neighbour (Section 3.3).
+
+        Zero unless the network models delays; when it does, the MAC
+        leads each burst by this amount so the packet arrives inside
+        the receiver's published window.
+        """
+        if self._delay_lookup is None:
+            return 0.0
+        return self._delay_lookup(next_hop)
+
+    # -- packet intake ----------------------------------------------------
+
+    def submit(self, packet: Packet) -> None:
+        """Accept a packet for (further) transport.
+
+        Called by traffic sources for fresh packets and by the delivery
+        path for transit packets.  Routes by final destination; packets
+        with no known route are dropped and counted.
+        """
+        if packet.destination == self.index:
+            raise ValueError("a packet for this station should not be submitted")
+        try:
+            next_hop = self.table.next_hop(packet.destination)
+        except RouteError:
+            self.stats.no_route_drops += 1
+            self.trace.record(
+                self.env.now,
+                "drop_no_route",
+                station=self.index,
+                destination=packet.destination,
+            )
+            return
+        if not packet.hops:
+            self.stats.originated += 1
+        else:
+            self.stats.forwarded += 1
+        self.queue.enqueue(next_hop, packet)
+        self._wake()
+
+    def _wake(self) -> None:
+        if self._arrival_event is not None and not self._arrival_event.triggered:
+            self._arrival_event.succeed()
+        self._arrival_event = None
+
+    def next_arrival(self) -> Event:
+        """An event that fires when the next packet is enqueued here."""
+        if self._arrival_event is None or self._arrival_event.triggered:
+            self._arrival_event = self.env.event()
+        return self._arrival_event
+
+    # -- transmission -----------------------------------------------------
+
+    def transmit_packet(self, packet: Packet, next_hop: int) -> ProcessGenerator:
+        """Radiate one packet to ``next_hop``; yields until burst end.
+
+        Returns (via StopIteration value) the medium's oracle outcome.
+        Updates the transmitter's duty-cycle/energy accounting either
+        way.
+        """
+        power = self.power_for(next_hop)
+        power = self.transmitter.clamp_power(power)
+        duration = packet.airtime(self.data_rate_bps)
+        self.transmitter.begin(self.env.now, power)
+        done = self.medium.transmit(self.index, next_hop, packet, power, duration)
+        success = yield done
+        self.transmitter.end(self.env.now)
+        self.stats.sent += 1
+        if not success:
+            self.stats.send_failures += 1
+        return bool(success)
+
+    # -- reception ----------------------------------------------------------
+
+    def register_control_handler(
+        self, kind: str, handler: Callable[[Transmission], None]
+    ) -> None:
+        """Route received control frames of ``kind`` to ``handler``.
+
+        Network-layer protocols (e.g. over-the-air route computation)
+        use this; frames with no registered handler fall through to the
+        MAC's :meth:`~repro.mac.base.MacProtocol.on_control` (which is
+        where MAC-level frames like MACA's RTS/CTS live).
+        """
+        if not kind:
+            raise ValueError("control kind must be non-empty")
+        self._control_handlers[kind] = handler
+
+    def send_control(self, next_hop: int, packet: Packet) -> None:
+        """Queue a control frame for one specific neighbour."""
+        if not packet.is_control:
+            raise ValueError("send_control is for control frames")
+        self.queue.enqueue(next_hop, packet)
+        self._wake()
+
+    def _on_delivery(self, tx: Transmission) -> None:
+        packet = tx.packet
+        if packet.is_control:
+            handler = self._control_handlers.get(packet.kind)
+            if handler is not None:
+                handler(tx)
+            else:
+                self.mac.on_control(tx)
+            return
+        packet.hops.append(
+            HopRecord(
+                sender=tx.source,
+                receiver=self.index,
+                start=tx.start,
+                end=tx.end,
+                power_w=tx.power_w,
+            )
+        )
+        if packet.destination == self.index:
+            self.stats.delivered_to_me += 1
+            self.stats.delivery_delays.append(packet.delay())
+            self.trace.record(
+                self.env.now,
+                "delivered",
+                station=self.index,
+                packet=packet.packet_id,
+                delay=packet.delay(),
+                hops=packet.hop_count,
+                energy_j=packet.total_radiated_energy_j(),
+            )
+        else:
+            self.submit(packet)
+
+    # -- failure accounting ---------------------------------------------------
+
+    def record_unreachable(self, next_hop: int) -> None:
+        """Count a neighbour with no schedule overlap in the horizon."""
+        self.stats.unreachable_drops += 1
+        self.trace.record(
+            self.env.now, "unreachable", station=self.index, next_hop=next_hop
+        )
+
+    def drop_all_queued(self) -> None:
+        """Discard every queued packet (all next hops unreachable)."""
+        for next_hop, _packet in list(self.queue.heads()):
+            while True:
+                try:
+                    self.queue.pop(next_hop)
+                except LookupError:
+                    break
+
+    # -- reporting --------------------------------------------------------------
+
+    def duty_cycle(self, elapsed: float) -> float:
+        """Fraction of the run this station spent transmitting."""
+        return self.transmitter.duty_cycle(elapsed)

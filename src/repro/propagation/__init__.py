@@ -1,0 +1,49 @@
+"""Propagation substrate: placements, path-loss models, the H matrix."""
+
+from repro.propagation.geometry import (
+    Placement,
+    characteristic_length,
+    clustered,
+    jittered_grid,
+    pairwise_distances,
+    uniform_disk,
+    uniform_square,
+)
+from repro.propagation.horizon import (
+    EARTH_RADIUS_M,
+    EFFECTIVE_EARTH_FACTOR,
+    interference_circle_radius,
+    mutual_radio_horizon_m,
+    radio_horizon_m,
+)
+from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.models import (
+    AttenuatedFreeSpace,
+    FreeSpace,
+    ObstructedUrban,
+    PathLossExponent,
+    PropagationModel,
+    model_from_name,
+)
+
+__all__ = [
+    "AttenuatedFreeSpace",
+    "EARTH_RADIUS_M",
+    "EFFECTIVE_EARTH_FACTOR",
+    "FreeSpace",
+    "ObstructedUrban",
+    "PathLossExponent",
+    "Placement",
+    "PropagationMatrix",
+    "PropagationModel",
+    "characteristic_length",
+    "clustered",
+    "interference_circle_radius",
+    "jittered_grid",
+    "model_from_name",
+    "mutual_radio_horizon_m",
+    "pairwise_distances",
+    "radio_horizon_m",
+    "uniform_disk",
+    "uniform_square",
+]

@@ -1,0 +1,223 @@
+"""Station placement generators and planar geometry helpers.
+
+Section 4 analyses "M interfering stations distributed randomly within a
+circle of radius R"; Section 6 reasons about stations "distributed
+randomly and independently in the plane at density rho".  This module
+provides those placements (and a few structured alternatives useful for
+experiments) as ``(M, 2)`` NumPy arrays, plus the derived quantities the
+paper's formulas use: density, the characteristic nearest-neighbour
+length ``R0 = 1/sqrt(rho)``, and pairwise distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "Placement",
+    "uniform_disk",
+    "uniform_square",
+    "jittered_grid",
+    "clustered",
+    "characteristic_length",
+    "pairwise_distances",
+]
+
+
+def characteristic_length(density: float) -> float:
+    """The paper's characteristic length ``R0 = 1/sqrt(rho)``.
+
+    At uniform density ``rho``, a circle of this radius around a station
+    holds pi (~3.14) other stations in expectation; the nearest
+    neighbour sits at roughly this distance (Section 4, Eq. 8-10).
+    """
+    if density <= 0.0:
+        raise ValueError("density must be positive")
+    return 1.0 / math.sqrt(density)
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Symmetric matrix of Euclidean distances between stations.
+
+    The diagonal is zero.  Input must be an ``(M, 2)`` array.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must be an (M, 2) array")
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A set of station positions together with the region they occupy.
+
+    Attributes:
+        positions: ``(M, 2)`` array of station coordinates (metres).
+        region_radius: radius of the circle the analysis treats as the
+            interference region (the paper's ``R``); for non-disk
+            placements it is the circumradius of the region.
+    """
+
+    positions: np.ndarray
+    region_radius: float
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be an (M, 2) array")
+        if self.region_radius <= 0.0:
+            raise ValueError("region radius must be positive")
+        object.__setattr__(self, "positions", positions)
+
+    @property
+    def count(self) -> int:
+        """Number of stations M."""
+        return int(self.positions.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Average station density over the interference disk."""
+        return self.count / (math.pi * self.region_radius**2)
+
+    @property
+    def characteristic_length(self) -> float:
+        """``R0 = 1/sqrt(rho)`` for this placement."""
+        return characteristic_length(self.density)
+
+    def distances(self) -> np.ndarray:
+        """Pairwise distance matrix for the stations."""
+        return pairwise_distances(self.positions)
+
+    def nearest_neighbor_distances(self) -> np.ndarray:
+        """Distance from each station to its nearest other station."""
+        if self.count < 2:
+            raise ValueError("need at least two stations")
+        dist = self.distances()
+        np.fill_diagonal(dist, np.inf)
+        return dist.min(axis=1)
+
+    def neighbors_within(self, station: int, radius: float) -> np.ndarray:
+        """Indices of other stations within ``radius`` of ``station``."""
+        if not 0 <= station < self.count:
+            raise IndexError("station index out of range")
+        if radius <= 0.0:
+            raise ValueError("radius must be positive")
+        deltas = self.positions - self.positions[station]
+        dist = np.sqrt((deltas**2).sum(axis=1))
+        mask = (dist <= radius) & (np.arange(self.count) != station)
+        return np.nonzero(mask)[0]
+
+
+def _rng(seed: Optional[int | np.random.Generator]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_disk(
+    count: int,
+    radius: float = 1.0,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Placement:
+    """Stations placed uniformly at random inside a disk (the paper's model)."""
+    if count < 1:
+        raise ValueError("need at least one station")
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    rng = _rng(seed)
+    # Inverse-CDF sampling: area-uniform radius is sqrt(U) * R.
+    r = radius * np.sqrt(rng.random(count))
+    theta = rng.random(count) * 2.0 * math.pi
+    positions = np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+    return Placement(positions, radius)
+
+
+def uniform_square(
+    count: int,
+    side: float = 1.0,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Placement:
+    """Stations placed uniformly in a square centred on the origin."""
+    if count < 1:
+        raise ValueError("need at least one station")
+    if side <= 0.0:
+        raise ValueError("side must be positive")
+    rng = _rng(seed)
+    positions = (rng.random((count, 2)) - 0.5) * side
+    return Placement(positions, side * math.sqrt(2.0) / 2.0)
+
+
+def jittered_grid(
+    per_side: int,
+    spacing: float = 1.0,
+    jitter: float = 0.0,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Placement:
+    """A ``per_side x per_side`` grid with optional uniform jitter.
+
+    Models the "running cables between buildings" deployment of the
+    introduction: roughly regular urban station placement.
+
+    Args:
+        per_side: stations along each axis.
+        spacing: grid pitch.
+        jitter: maximum displacement applied to each coordinate, as an
+            absolute distance (0 gives a perfect grid).
+    """
+    if per_side < 1:
+        raise ValueError("grid must have at least one station per side")
+    if spacing <= 0.0:
+        raise ValueError("spacing must be positive")
+    if jitter < 0.0:
+        raise ValueError("jitter must be non-negative")
+    rng = _rng(seed)
+    axis = (np.arange(per_side) - (per_side - 1) / 2.0) * spacing
+    xs, ys = np.meshgrid(axis, axis)
+    positions = np.column_stack([xs.ravel(), ys.ravel()])
+    if jitter > 0.0:
+        positions = positions + rng.uniform(-jitter, jitter, positions.shape)
+    half_span = (per_side - 1) / 2.0 * spacing + jitter
+    radius = max(half_span * math.sqrt(2.0), spacing / 2.0)
+    return Placement(positions, radius)
+
+
+def clustered(
+    cluster_count: int,
+    per_cluster: int,
+    radius: float = 1.0,
+    cluster_spread: float = 0.05,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Placement:
+    """A Thomas-process-like clustered placement.
+
+    Section 6 warns that "variations in density will at some stations
+    require reaching farther"; clustered placements exercise exactly
+    that non-uniformity for the connectivity and power-control
+    experiments.
+
+    Args:
+        cluster_count: number of cluster centres (uniform in the disk).
+        per_cluster: stations per cluster.
+        radius: disk radius for the cluster centres.
+        cluster_spread: standard deviation of the Gaussian scatter of
+            stations about their cluster centre, as a fraction of
+            ``radius``.
+    """
+    if cluster_count < 1 or per_cluster < 1:
+        raise ValueError("need at least one cluster and one station per cluster")
+    if radius <= 0.0:
+        raise ValueError("radius must be positive")
+    if cluster_spread <= 0.0:
+        raise ValueError("cluster spread must be positive")
+    rng = _rng(seed)
+    centres = uniform_disk(cluster_count, radius, rng).positions
+    sigma = cluster_spread * radius
+    offsets = rng.normal(0.0, sigma, (cluster_count, per_cluster, 2))
+    positions = (centres[:, None, :] + offsets).reshape(-1, 2)
+    max_extent = float(np.sqrt((positions**2).sum(axis=1)).max())
+    return Placement(positions, max(radius, max_extent))

@@ -1,0 +1,71 @@
+"""The radio horizon and the interference circle.
+
+Section 4 escapes the divergent-interference paradox by noting that
+"only stations that are not hidden over the horizon can contribute to
+the interference at a receiver", modelling the radio horizon "as if it
+behaved like a visual horizon of an earth with the radius increased to
+4/3 of the actual earth's radius".  These helpers compute that horizon
+and the resulting interference-circle radius R used in the noise-growth
+analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "EFFECTIVE_EARTH_FACTOR",
+    "radio_horizon_m",
+    "mutual_radio_horizon_m",
+    "interference_circle_radius",
+]
+
+EARTH_RADIUS_M = 6_371_000.0
+"""Mean Earth radius in metres."""
+
+EFFECTIVE_EARTH_FACTOR = 4.0 / 3.0
+"""Standard-refraction effective-Earth-radius factor (Section 4)."""
+
+
+def radio_horizon_m(
+    antenna_height_m: float, effective_earth_factor: float = EFFECTIVE_EARTH_FACTOR
+) -> float:
+    """Distance to the radio horizon for one antenna.
+
+    Uses the flat-earth approximation ``d = sqrt(2 k R h)`` with the
+    effective-earth factor ``k`` (4/3 under standard refraction).
+    """
+    if antenna_height_m < 0.0:
+        raise ValueError("antenna height must be non-negative")
+    if effective_earth_factor <= 0.0:
+        raise ValueError("effective earth factor must be positive")
+    return math.sqrt(2.0 * effective_earth_factor * EARTH_RADIUS_M * antenna_height_m)
+
+
+def mutual_radio_horizon_m(
+    height_a_m: float,
+    height_b_m: float,
+    effective_earth_factor: float = EFFECTIVE_EARTH_FACTOR,
+) -> float:
+    """Maximum distance at which two antennas are mutually above horizon."""
+    return radio_horizon_m(height_a_m, effective_earth_factor) + radio_horizon_m(
+        height_b_m, effective_earth_factor
+    )
+
+
+def interference_circle_radius(
+    antenna_height_m: float = 10.0,
+    effective_earth_factor: float = EFFECTIVE_EARTH_FACTOR,
+) -> float:
+    """Radius R of the circle of stations able to interfere (Section 4).
+
+    Assumes all antennas share the given height, as the paper's
+    perfectly-spherical-earth thought experiment does; a metropolitan
+    area "on flat terrain (or nestled in a bowl-shaped valley)" may fit
+    entirely inside this circle.  At the default 10 m rooftop height the
+    mutual horizon is ~26 km, comfortably metro-sized.
+    """
+    return mutual_radio_horizon_m(
+        antenna_height_m, antenna_height_m, effective_earth_factor
+    )

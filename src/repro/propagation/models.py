@@ -1,0 +1,233 @@
+"""Propagation models: mappings from distance to power gain.
+
+Section 3.3 simplifies the general linear time-invariant propagation
+model down to scalar path gains, and Section 3.5 calibrates them:
+``h_ij`` proportional to ``1/r_ij`` in amplitude, i.e. ``1/r^2`` in
+power — exact in free space, and an *overestimate* of distant
+interference when there are obstructions, which keeps the analysis
+pessimistic.
+
+All models return dimensionless *power* gains (received power equals
+transmitted power times gain).  Amplitude gains — the paper's ``h_ij``
+— are the square roots.  A small near-field clamp distance keeps gains
+finite for co-located stations; the clamp default (1 m) is far below
+the inter-station distances of any experiment in this repository.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "PropagationModel",
+    "FreeSpace",
+    "PathLossExponent",
+    "AttenuatedFreeSpace",
+    "ObstructedUrban",
+]
+
+
+class PropagationModel(ABC):
+    """Base class: distance -> power gain, scalar or vectorised."""
+
+    #: Distances below this are clamped to it, keeping gains finite.
+    near_field_clamp: float = 1.0
+
+    @abstractmethod
+    def _gain_clamped(self, distance: np.ndarray) -> np.ndarray:
+        """Power gain for distances already clamped away from zero."""
+
+    def power_gain(self, distance: float | np.ndarray) -> float | np.ndarray:
+        """Power gain at the given distance(s)."""
+        arr = np.asarray(distance, dtype=float)
+        if np.any(arr < 0.0):
+            raise ValueError("distance must be non-negative")
+        clamped = np.maximum(arr, self.near_field_clamp)
+        gain = self._gain_clamped(clamped)
+        if np.isscalar(distance) or arr.ndim == 0:
+            return float(gain)
+        return gain
+
+    def amplitude_gain(self, distance: float | np.ndarray) -> float | np.ndarray:
+        """The paper's ``h_ij``: amplitude gain, sqrt of the power gain."""
+        return np.sqrt(self.power_gain(distance))
+
+    def gain_matrix(self, distances: np.ndarray) -> np.ndarray:
+        """Power-gain matrix for a pairwise distance matrix.
+
+        The diagonal (self-propagation) is set to zero: a station's own
+        transmitter is handled as the special Type 3 case, not through
+        the gain matrix.
+        """
+        distances = np.asarray(distances, dtype=float)
+        if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+            raise ValueError("distances must be a square matrix")
+        gains = np.asarray(self.power_gain(distances), dtype=float)
+        np.fill_diagonal(gains, 0.0)
+        return gains
+
+
+@dataclass
+class FreeSpace(PropagationModel):
+    """Free-space loss: power gain ``constant / r^2`` (the paper's model).
+
+    Note the paper works with *amplitude* falling as ``1/r``; since its
+    receivers care about power, the operative law is ``1/r^2`` in power
+    over the plane (see Section 4's interference integral, which uses
+    ``1/r^2`` per unit area).
+
+    Attributes:
+        constant: the paper's ``alpha``; use
+            :func:`repro.radio.antenna.friis_constant` for physical
+            units, or leave at 1.0 for the paper's normalised analysis.
+    """
+
+    constant: float = 1.0
+    near_field_clamp: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.constant <= 0.0:
+            raise ValueError("propagation constant must be positive")
+        if self.near_field_clamp <= 0.0:
+            raise ValueError("near-field clamp must be positive")
+
+    def _gain_clamped(self, distance: np.ndarray) -> np.ndarray:
+        return self.constant / distance**2
+
+
+@dataclass
+class PathLossExponent(PropagationModel):
+    """Generalised power-law loss: gain ``constant / r^n``.
+
+    Exponents above 2 model cluttered environments; the paper's
+    free-space assumption (n = 2) is the pessimistic extreme for
+    aggregate interference because real clutter attenuates distant
+    interferers faster.
+
+    Attributes:
+        exponent: the path-loss exponent n (typically 2-4).
+        constant: gain at the clamp distance scale.
+    """
+
+    exponent: float = 2.0
+    constant: float = 1.0
+    near_field_clamp: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.exponent < 1.0:
+            raise ValueError("path-loss exponent below 1 is unphysical")
+        if self.constant <= 0.0:
+            raise ValueError("propagation constant must be positive")
+        if self.near_field_clamp <= 0.0:
+            raise ValueError("near-field clamp must be positive")
+
+    def _gain_clamped(self, distance: np.ndarray) -> np.ndarray:
+        return self.constant / distance**self.exponent
+
+
+@dataclass
+class AttenuatedFreeSpace(PropagationModel):
+    """Free-space loss with exponential atmospheric attenuation.
+
+    Section 4 observes that "the slightest bit of atmospheric
+    attenuation, which would introduce an ``e^-epsilon*r`` factor to the
+    integrand, would make the integral converge".  This model realises
+    that factor so the noise-growth experiments can demonstrate the
+    convergence.
+
+    Attributes:
+        epsilon: attenuation rate per unit distance (power domain).
+        constant: free-space constant.
+    """
+
+    epsilon: float = 0.01
+    constant: float = 1.0
+    near_field_clamp: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon < 0.0:
+            raise ValueError("attenuation rate must be non-negative")
+        if self.constant <= 0.0:
+            raise ValueError("propagation constant must be positive")
+        if self.near_field_clamp <= 0.0:
+            raise ValueError("near-field clamp must be positive")
+
+    def _gain_clamped(self, distance: np.ndarray) -> np.ndarray:
+        return self.constant * np.exp(-self.epsilon * distance) / distance**2
+
+
+class ObstructedUrban(PropagationModel):
+    """Free space with per-link log-normal obstruction (shadowing).
+
+    Section 3.5: "Actual propagation in most cases will either be nearly
+    equal to the free space propagation (when the antennas are within
+    radio line of sight) or will be attenuated (when there are
+    obstructions)."  Each ordered pair of endpoints gets a reproducible
+    attenuation factor <= 1 drawn from a clipped log-normal, seeded by
+    the pair, so that the matrix stays reciprocal (h_ij == h_ji) and
+    repeated queries agree.
+
+    Args:
+        shadowing_db: standard deviation of the obstruction loss in dB.
+        constant: free-space constant.
+        seed: base seed for the per-link draws.
+    """
+
+    def __init__(
+        self,
+        shadowing_db: float = 6.0,
+        constant: float = 1.0,
+        seed: int = 0,
+        near_field_clamp: float = 1.0,
+    ) -> None:
+        if shadowing_db < 0.0:
+            raise ValueError("shadowing spread must be non-negative")
+        if constant <= 0.0:
+            raise ValueError("propagation constant must be positive")
+        if near_field_clamp <= 0.0:
+            raise ValueError("near-field clamp must be positive")
+        self.shadowing_db = shadowing_db
+        self.constant = constant
+        self.seed = seed
+        self.near_field_clamp = near_field_clamp
+        self._free_space = FreeSpace(constant, near_field_clamp=near_field_clamp)
+
+    def _gain_clamped(self, distance: np.ndarray) -> np.ndarray:
+        # Distance-only queries cannot be link-reciprocal; they return
+        # the free-space gain (obstruction is applied per link in
+        # gain_matrix, where link identity is known).
+        return self.constant / distance**2
+
+    def _attenuations(self, count: int) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        loss_db = np.abs(rng.normal(0.0, self.shadowing_db, (count, count)))
+        loss_db = np.triu(loss_db, k=1)
+        loss_db = loss_db + loss_db.T  # reciprocity: h_ij == h_ji
+        return 10.0 ** (-loss_db / 10.0)
+
+    def gain_matrix(self, distances: np.ndarray) -> np.ndarray:
+        gains = self._free_space.gain_matrix(distances)
+        return gains * self._attenuations(gains.shape[0])
+
+
+def model_from_name(name: str, **kwargs: float) -> PropagationModel:
+    """Build a propagation model from a short name (for CLIs/configs)."""
+    registry = {
+        "free_space": FreeSpace,
+        "path_loss": PathLossExponent,
+        "attenuated": AttenuatedFreeSpace,
+        "obstructed": ObstructedUrban,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(f"unknown propagation model {name!r}; known: {known}")
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+__all__.append("model_from_name")

@@ -1,0 +1,87 @@
+"""Antennas and the free-space link constant.
+
+Section 3.5 of the paper calibrates propagation by setting each
+amplitude gain ``h_ij`` proportional to ``1/r_ij`` — the familiar
+``1/r^2`` free-space loss in power — with a proportionality constant
+that "depends on the antennas and wavelength used".  This module
+computes that constant from the Friis transmission equation so that the
+abstract propagation models in :mod:`repro.propagation` can be anchored
+to physical units when desired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.radio.signal import db_to_linear
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "wavelength",
+    "friis_power_gain",
+    "friis_constant",
+    "Antenna",
+]
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s."""
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength in metres for a carrier frequency in hertz."""
+    if frequency_hz <= 0.0:
+        raise ValueError("frequency must be positive")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """An antenna characterised by its gain toward the link direction.
+
+    The paper assumes omnidirectional stations; a gain of 0 dBi models
+    an isotropic radiator.
+
+    Attributes:
+        gain_dbi: antenna gain in dB relative to isotropic.
+    """
+
+    gain_dbi: float = 0.0
+
+    @property
+    def gain_linear(self) -> float:
+        """Antenna gain as a linear power ratio."""
+        return db_to_linear(self.gain_dbi)
+
+
+def friis_power_gain(
+    distance_m: float,
+    frequency_hz: float,
+    tx_antenna: Antenna | None = None,
+    rx_antenna: Antenna | None = None,
+) -> float:
+    """Free-space power gain between two antennas (Friis equation).
+
+    ``G = Gt * Gr * (lambda / (4 pi d))^2``
+    """
+    if distance_m <= 0.0:
+        raise ValueError("distance must be positive")
+    tx = tx_antenna or Antenna()
+    rx = rx_antenna or Antenna()
+    lam = wavelength(frequency_hz)
+    return tx.gain_linear * rx.gain_linear * (lam / (4.0 * math.pi * distance_m)) ** 2
+
+
+def friis_constant(
+    frequency_hz: float,
+    tx_antenna: Antenna | None = None,
+    rx_antenna: Antenna | None = None,
+) -> float:
+    """The constant ``alpha`` such that power gain is ``alpha / r^2``.
+
+    This is the paper's Section 4 proportionality constant (there called
+    ``alpha``): "where alpha depends on the antennas and wavelength
+    used".  Propagation models that take a ``constant`` argument can be
+    fed this value to work in physical watts and metres.
+    """
+    return friis_power_gain(1.0, frequency_hz, tx_antenna, rx_antenna)

@@ -1,0 +1,89 @@
+"""Receiver configuration: despreader bank, margin, and noise budget.
+
+A receiver in this system is characterised by (Sections 3.4, 5, 6):
+
+* the data rate / bandwidth pair it is designed for (equivalently, its
+  processing gain),
+* the margin ``beta`` above the Shannon-minimum signal-to-noise ratio it
+  needs for reliable detection ("around 3, which is equivalent to the
+  5 dB mentioned above"),
+* a bank of despreading channels for parallel reception, and
+* the interference *budget*: the aggregate noise level the design
+  expects it to tolerate, against which senders size their delivered
+  power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.reception import required_sir
+from repro.radio.spreadspectrum import DespreaderBank, ProcessingGain
+
+__all__ = ["Receiver"]
+
+
+@dataclass
+class Receiver:
+    """A multi-channel spread-spectrum receiver.
+
+    Attributes:
+        bandwidth_hz: spread signal bandwidth ``W``.
+        data_rate_bps: design data rate ``C`` (fixed by the system design;
+            Section 3.4: "all the stations will communicate at some rate
+            that is fixed by the design").
+        beta: detection margin above the Shannon bound (linear; ~3).
+        noise_budget_w: interference-plus-noise power the link budget is
+            sized against.  Reception is attempted whenever the *actual*
+            signal-to-interference ratio clears the threshold; the budget
+            is what senders use to size delivered power.
+        bank: despreading channel pool.
+    """
+
+    bandwidth_hz: float
+    data_rate_bps: float
+    noise_budget_w: float
+    beta: float = 3.0
+    bank: DespreaderBank = field(default_factory=DespreaderBank)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("bandwidth must be positive")
+        if self.data_rate_bps <= 0.0:
+            raise ValueError("data rate must be positive")
+        if self.data_rate_bps > self.bandwidth_hz:
+            raise ValueError(
+                "data rate above bandwidth implies negative processing gain"
+            )
+        if self.noise_budget_w <= 0.0:
+            raise ValueError("noise budget must be positive")
+        if self.beta < 1.0:
+            raise ValueError("beta is a margin and must be >= 1")
+
+    @property
+    def processing_gain(self) -> ProcessingGain:
+        """The receiver's processing gain W/C."""
+        return ProcessingGain.from_rates(self.bandwidth_hz, self.data_rate_bps)
+
+    @property
+    def sir_threshold(self) -> float:
+        """Minimum signal-to-interference ratio for successful reception."""
+        return required_sir(self.data_rate_bps, self.bandwidth_hz, self.beta)
+
+    @property
+    def target_received_power_w(self) -> float:
+        """Delivered power that senders should aim at this receiver.
+
+        This is the constant pre-determined level of Section 6.1's power
+        control rule, sized so that a delivery at exactly this power
+        clears the SIR threshold when interference equals the budget.
+        """
+        return self.sir_threshold * self.noise_budget_w
+
+    def can_receive(self, signal_power_w: float, interference_power_w: float) -> bool:
+        """Whether a signal at the given power survives the interference."""
+        if interference_power_w < 0.0:
+            raise ValueError("interference power must be non-negative")
+        if interference_power_w == 0.0:
+            return signal_power_w > 0.0
+        return signal_power_w / interference_power_w >= self.sir_threshold

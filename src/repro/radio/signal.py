@@ -1,0 +1,132 @@
+"""Signal power arithmetic and decibel helpers.
+
+The paper (Section 3.1) models a signal by two scalar parameters that
+matter for system performance: its average *power* and its *bandwidth*.
+Everything else about modulation and detection is folded into the
+Shannon-bound reception criterion (see :mod:`repro.core.reception`).
+
+Powers in this package are linear watts unless a name says otherwise
+(``_db``, ``_dbm``).  Interfering signals are assumed uncorrelated and
+zero-mean, so their powers add (Section 3.4) — :func:`combine_powers`
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "add_powers_db",
+    "combine_powers",
+    "power_rise_db",
+    "Signal",
+]
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a decibel ratio to a linear power ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises :class:`ValueError` for non-positive ratios, which have no
+    decibel representation.
+    """
+    if value <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {value!r} in dB")
+    return 10.0 * math.log10(value)
+
+
+def dbm_to_watts(value_dbm: float) -> float:
+    """Convert a power in dBm (dB relative to 1 mW) to watts."""
+    return db_to_linear(value_dbm) * 1e-3
+
+
+def watts_to_dbm(value_w: float) -> float:
+    """Convert a power in watts to dBm."""
+    if value_w <= 0.0:
+        raise ValueError(f"cannot express non-positive power {value_w!r} in dBm")
+    return linear_to_db(value_w / 1e-3)
+
+
+def combine_powers(powers_w: Iterable[float]) -> float:
+    """Total power of a sum of mutually uncorrelated zero-mean signals.
+
+    Per Section 3.4 of the paper, "the power in this signal is the same
+    as the sum of the powers of each of the interfering signals".
+    """
+    total = 0.0
+    for power in powers_w:
+        if power < 0.0:
+            raise ValueError(f"signal power must be non-negative, got {power!r}")
+        total += power
+    return total
+
+
+def add_powers_db(*powers_db: float) -> float:
+    """Add signal powers expressed in dB (power-domain addition).
+
+    This is the operation behind the paper's Section 7.3 example: adding
+    a 10 dB signal to a 20 dB signal yields a 20.4 dB signal, a "barely
+    significant" change.
+    """
+    if not powers_db:
+        raise ValueError("at least one power is required")
+    return linear_to_db(combine_powers(db_to_linear(p) for p in powers_db))
+
+
+def power_rise_db(base_w: float, addition_w: float) -> float:
+    """Rise in total power level, in dB, when ``addition_w`` joins ``base_w``.
+
+    Section 7.3 uses a one-decibel rise as the threshold of significance
+    for an added interferer: a rise of 1 dB requires the addition to be
+    at least about one fourth of the existing power.
+    """
+    if base_w <= 0.0:
+        raise ValueError("base power must be positive")
+    if addition_w < 0.0:
+        raise ValueError("added power must be non-negative")
+    return linear_to_db((base_w + addition_w) / base_w)
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A transmitted or received signal, reduced to the parameters that
+    determine system performance (Section 3.1): power and bandwidth.
+
+    Attributes:
+        power_w: average signal power in watts.
+        bandwidth_hz: occupied (spread) bandwidth in hertz.
+    """
+
+    power_w: float
+    bandwidth_hz: float
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0.0:
+            raise ValueError("signal power must be non-negative")
+        if self.bandwidth_hz <= 0.0:
+            raise ValueError("signal bandwidth must be positive")
+
+    @property
+    def power_dbm(self) -> float:
+        """Signal power in dBm."""
+        return watts_to_dbm(self.power_w)
+
+    def attenuated(self, power_gain: float) -> "Signal":
+        """The same signal after propagation with the given power gain."""
+        if power_gain < 0.0:
+            raise ValueError("power gain must be non-negative")
+        return Signal(self.power_w * power_gain, self.bandwidth_hz)
+
+    def scaled_db(self, gain_db: float) -> "Signal":
+        """The same signal scaled by a gain expressed in dB."""
+        return self.attenuated(db_to_linear(gain_db))

@@ -1,0 +1,45 @@
+"""Thermal noise floor.
+
+Section 3.4 notes that "in a large system the interference from other
+stations will dominate any thermal noise, so the thermal noise may now
+be ignored".  We model it anyway: small networks (and the unit tests)
+need a nonzero noise floor so that signal-to-noise ratios are finite
+when no interferer is active, and the metro-scale projection
+(:mod:`repro.analysis.metro`) checks the paper's claim that thermal
+noise really is negligible at scale.
+"""
+
+from __future__ import annotations
+
+from repro.radio.signal import db_to_linear
+
+__all__ = [
+    "BOLTZMANN",
+    "STANDARD_TEMPERATURE_K",
+    "thermal_noise_power",
+]
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant, J/K."""
+
+STANDARD_TEMPERATURE_K = 290.0
+"""Standard reference temperature for receiver noise calculations."""
+
+
+def thermal_noise_power(
+    bandwidth_hz: float,
+    temperature_k: float = STANDARD_TEMPERATURE_K,
+    noise_figure_db: float = 0.0,
+) -> float:
+    """Thermal noise power ``k T B`` referred to the receiver input, in watts.
+
+    Args:
+        bandwidth_hz: receiver noise bandwidth.
+        temperature_k: system noise temperature.
+        noise_figure_db: additional receiver noise figure in dB.
+    """
+    if bandwidth_hz <= 0.0:
+        raise ValueError("bandwidth must be positive")
+    if temperature_k <= 0.0:
+        raise ValueError("temperature must be positive")
+    return BOLTZMANN * temperature_k * bandwidth_hz * db_to_linear(noise_figure_db)

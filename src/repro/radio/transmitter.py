@@ -1,0 +1,107 @@
+"""Transmitter model with power limiting and duty-cycle accounting.
+
+The paper's analysis keys on each station's transmit duty cycle ``eta``
+(Section 4) and claims transmit duty cycles "approaching 50%" are
+achievable without head-of-line blocking (Section 7.2).  The
+:class:`Transmitter` tracks exactly that statistic, along with radiated
+energy, which minimum-energy routing (Section 6.2) sets out to minimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Transmitter", "TransmitterBusyError"]
+
+
+class TransmitterBusyError(RuntimeError):
+    """Raised when a transmission starts while another is in progress.
+
+    A station has a single radio: Section 5's Type 3 collision exists
+    precisely because a station cannot transmit and receive at once, and
+    it certainly cannot run two transmissions in parallel.
+    """
+
+
+@dataclass
+class Transmitter:
+    """A single half-duplex radio transmitter.
+
+    Attributes:
+        max_power_w: hardware limit on radiated power.
+    """
+
+    max_power_w: float = 1.0
+    _transmitting_since: float | None = field(default=None, repr=False)
+    _current_power_w: float = field(default=0.0, repr=False)
+    _time_transmitting: float = field(default=0.0, repr=False)
+    _energy_j: float = field(default=0.0, repr=False)
+    _transmissions: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_power_w <= 0.0:
+            raise ValueError("maximum transmit power must be positive")
+
+    @property
+    def is_transmitting(self) -> bool:
+        """Whether a transmission is currently in progress."""
+        return self._transmitting_since is not None
+
+    @property
+    def current_power_w(self) -> float:
+        """Radiated power of the in-progress transmission (0 when idle)."""
+        return self._current_power_w if self.is_transmitting else 0.0
+
+    @property
+    def transmissions(self) -> int:
+        """Count of completed transmissions."""
+        return self._transmissions
+
+    @property
+    def time_transmitting(self) -> float:
+        """Total time spent transmitting (completed transmissions only)."""
+        return self._time_transmitting
+
+    @property
+    def energy_radiated_j(self) -> float:
+        """Total radiated energy in joules (completed transmissions only)."""
+        return self._energy_j
+
+    def clamp_power(self, power_w: float) -> float:
+        """Clip a requested power to the hardware limit."""
+        if power_w <= 0.0:
+            raise ValueError("transmit power must be positive")
+        return min(power_w, self.max_power_w)
+
+    def begin(self, now: float, power_w: float) -> None:
+        """Key the transmitter at ``power_w`` watts, starting at ``now``."""
+        if self.is_transmitting:
+            raise TransmitterBusyError("transmitter is already keyed")
+        if power_w <= 0.0:
+            raise ValueError("transmit power must be positive")
+        if power_w > self.max_power_w * (1.0 + 1e-12):
+            raise ValueError(
+                f"requested {power_w} W exceeds the {self.max_power_w} W limit"
+            )
+        self._transmitting_since = now
+        self._current_power_w = power_w
+
+    def end(self, now: float) -> float:
+        """Unkey the transmitter at ``now``; returns the burst duration."""
+        if self._transmitting_since is None:
+            raise TransmitterBusyError("transmitter is not keyed")
+        duration = now - self._transmitting_since
+        if duration < 0.0:
+            raise ValueError("transmission cannot end before it begins")
+        self._time_transmitting += duration
+        self._energy_j += duration * self._current_power_w
+        self._transmissions += 1
+        self._transmitting_since = None
+        self._current_power_w = 0.0
+        return duration
+
+    def duty_cycle(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time spent transmitting (eta)."""
+        if elapsed <= 0.0:
+            raise ValueError("elapsed time must be positive")
+        return self._time_transmitting / elapsed

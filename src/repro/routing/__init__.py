@@ -1,0 +1,31 @@
+"""Routing: minimum-energy (the paper's criterion) and baselines."""
+
+from repro.routing.bellman_ford import DistributedBellmanFord, synchronous_rounds
+from repro.routing.min_energy import (
+    build_tables,
+    dijkstra,
+    energy_costs,
+    min_energy_tables,
+    relay_helps,
+    route_energy,
+)
+from repro.routing.min_hop import hop_costs, min_hop_tables
+from repro.routing.overlay import DistanceVectorOverlay
+from repro.routing.table import RouteError, RoutingTable, trace_route
+
+__all__ = [
+    "DistanceVectorOverlay",
+    "DistributedBellmanFord",
+    "RouteError",
+    "RoutingTable",
+    "build_tables",
+    "dijkstra",
+    "energy_costs",
+    "hop_costs",
+    "min_energy_tables",
+    "min_hop_tables",
+    "relay_helps",
+    "route_energy",
+    "synchronous_rounds",
+    "trace_route",
+]

@@ -1,0 +1,161 @@
+"""Distributed distance-vector route computation.
+
+Section 6.2 (footnote 11) points at "the Distributed Asynchronous
+Bellman-Ford Algorithm" as the way stations would actually compute
+minimum-energy routes: each station repeatedly tells its neighbours its
+current cost-to-destination vector, and each updates
+``cost(d) = min over neighbours n of (link_cost(n) + n's cost(d))``.
+
+Two implementations are provided:
+
+* :func:`synchronous_rounds` — the textbook round-based iteration,
+  convenient for tests (converges in at most diameter rounds);
+* :class:`DistributedBellmanFord` — an event-driven version where each
+  station holds only local state and processes neighbour advertisements
+  one at a time in an arbitrary (seeded) order, demonstrating that the
+  computation needs no global coordination, matching the paper's
+  decentralisation requirement.
+
+Both agree with the centralised Dijkstra result (a test asserts it).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.routing.table import RoutingTable
+
+__all__ = ["synchronous_rounds", "DistributedBellmanFord"]
+
+
+def _neighbors(costs: np.ndarray, station: int) -> List[int]:
+    return [
+        int(v) for v in np.nonzero(np.isfinite(costs[station]))[0] if v != station
+    ]
+
+
+def synchronous_rounds(
+    costs: np.ndarray, max_rounds: Optional[int] = None
+) -> Tuple[Dict[int, RoutingTable], int]:
+    """Round-synchronous distance-vector iteration to a fixed point.
+
+    Returns ``(tables, rounds_used)``.  Raises ``RuntimeError`` if no
+    fixed point is reached within ``max_rounds`` (default: station
+    count, the Bellman-Ford bound).
+    """
+    costs = np.asarray(costs, dtype=float)
+    count = costs.shape[0]
+    if costs.ndim != 2 or costs.shape[1] != count:
+        raise ValueError("cost matrix must be square")
+    limit = max_rounds if max_rounds is not None else count
+    # distance[i, d]: station i's current estimate to destination d.
+    distance = np.full((count, count), math.inf)
+    next_hop = np.full((count, count), -1, dtype=int)
+    np.fill_diagonal(distance, 0.0)
+
+    for round_index in range(1, limit + 1):
+        changed = False
+        # Every station consults every neighbour's previous-round vector.
+        previous = distance.copy()
+        for station in range(count):
+            for neighbor in _neighbors(costs, station):
+                candidate = costs[station, neighbor] + previous[neighbor]
+                better = candidate < distance[station] - 1e-15
+                if np.any(better):
+                    distance[station][better] = candidate[better]
+                    next_hop[station][better] = neighbor
+                    changed = True
+        if not changed:
+            return _to_tables(distance, next_hop), round_index
+    raise RuntimeError(f"no fixed point within {limit} rounds")
+
+
+def _to_tables(
+    distance: np.ndarray, next_hop: np.ndarray
+) -> Dict[int, RoutingTable]:
+    count = distance.shape[0]
+    tables: Dict[int, RoutingTable] = {}
+    for station in range(count):
+        table = RoutingTable(station)
+        for destination in range(count):
+            if destination == station:
+                continue
+            if math.isfinite(distance[station, destination]):
+                table.set_route(
+                    destination,
+                    int(next_hop[station, destination]),
+                    float(distance[station, destination]),
+                )
+        tables[station] = table
+    return tables
+
+
+class DistributedBellmanFord:
+    """Asynchronous, message-driven distance-vector computation.
+
+    Each station holds a distance vector and advertises it to its
+    neighbours whenever it improves; advertisements are queued and
+    processed one at a time.  With a seeded shuffle of the queue, the
+    convergence result is order-independent (the fixed point is unique
+    for positive link costs), demonstrating the algorithm's tolerance of
+    asynchrony.
+
+    Args:
+        costs: link-cost matrix (+inf for unusable links).
+        rng: optional generator used to randomise message ordering.
+    """
+
+    def __init__(
+        self, costs: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        costs = np.asarray(costs, dtype=float)
+        count = costs.shape[0]
+        if costs.ndim != 2 or costs.shape[1] != count:
+            raise ValueError("cost matrix must be square")
+        finite = costs[np.isfinite(costs)]
+        if np.any(finite <= 0.0):
+            raise ValueError("link costs must be positive")
+        self.costs = costs
+        self.count = count
+        self.rng = rng
+        self.distance = np.full((count, count), math.inf)
+        self.next_hop = np.full((count, count), -1, dtype=int)
+        np.fill_diagonal(self.distance, 0.0)
+        self.messages_processed = 0
+        # Seed the queue: every station advertises its trivial vector.
+        self._queue: deque = deque(
+            (station, neighbor)
+            for station in range(count)
+            for neighbor in _neighbors(costs, station)
+        )
+
+    def _process(self, advertiser: int, listener: int) -> None:
+        """``listener`` absorbs ``advertiser``'s current vector."""
+        link = self.costs[listener, advertiser]
+        candidate = link + self.distance[advertiser]
+        better = candidate < self.distance[listener] - 1e-15
+        better[listener] = False
+        if not np.any(better):
+            return
+        self.distance[listener][better] = candidate[better]
+        self.next_hop[listener][better] = advertiser
+        for neighbor in _neighbors(self.costs, listener):
+            self._queue.append((listener, neighbor))
+
+    def run(self, max_messages: Optional[int] = None) -> Dict[int, RoutingTable]:
+        """Process advertisements until quiescence; returns the tables."""
+        limit = max_messages if max_messages is not None else 100 * self.count**2
+        while self._queue:
+            if self.messages_processed >= limit:
+                raise RuntimeError(f"no quiescence within {limit} messages")
+            if self.rng is not None and len(self._queue) > 1:
+                # Rotate by a random amount: cheap order randomisation.
+                self._queue.rotate(int(self.rng.integers(len(self._queue))))
+            advertiser, listener = self._queue.popleft()
+            self.messages_processed += 1
+            self._process(advertiser, listener)
+        return _to_tables(self.distance, self.next_hop)

@@ -1,0 +1,184 @@
+"""Minimum-energy routing (Section 6.2).
+
+"A routing criterion that is directly determinable from the propagation
+matrix and that seems to meet our needs is minimum-energy routing. ...
+The common algorithms for computing min-cost paths in networks can be
+used to find the least-cost paths in the propagation matrix H, where
+the costs are the reciprocal of the path gains.  (The reciprocal of the
+path gain is proportional to the power that would be used with power
+control.)"
+
+Under power control, a hop over a link with power gain ``g`` radiates
+``P_target / g`` for the (fixed) packet airtime, so the energy a packet
+injects into the ether — the interference it costs every distant
+receiver — is proportional to ``sum(1/g)`` along its route.
+
+The geometric consequence (Figure 3): with ``1/r^2`` loss, a relay B is
+taken between A and C exactly when ``|AB|^2 + |BC|^2 < |AC|^2``, i.e.
+when B lies strictly inside the circle whose diameter is the segment
+AC.  :func:`relay_helps` states that criterion directly for the tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.propagation.matrix import PropagationMatrix
+from repro.routing.table import RoutingTable
+
+__all__ = [
+    "energy_costs",
+    "dijkstra",
+    "build_tables",
+    "min_energy_tables",
+    "relay_helps",
+    "route_energy",
+]
+
+
+def energy_costs(
+    matrix: PropagationMatrix, min_gain: float = 0.0
+) -> np.ndarray:
+    """Link-cost matrix: reciprocal path gain; +inf for unusable links.
+
+    Args:
+        matrix: the (possibly observed/censored) propagation matrix.
+        min_gain: links with gain below this are unusable (the sender
+            would exceed its power limit trying to reach them).
+    """
+    if min_gain < 0.0:
+        raise ValueError("minimum gain must be non-negative")
+    gains = matrix.gains
+    costs = np.full_like(gains, math.inf)
+    usable = gains > max(min_gain, 0.0)
+    np.fill_diagonal(usable, False)
+    costs[usable] = 1.0 / gains[usable]
+    return costs
+
+
+def dijkstra(costs: np.ndarray, source: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-source shortest paths on a dense cost matrix.
+
+    Returns ``(distance, predecessor)`` arrays; unreachable stations get
+    infinite distance and predecessor -1.  Deterministic tie-breaking by
+    station index keeps routing tables stable across runs.
+    """
+    costs = np.asarray(costs, dtype=float)
+    count = costs.shape[0]
+    if costs.ndim != 2 or costs.shape[1] != count:
+        raise ValueError("cost matrix must be square")
+    if not 0 <= source < count:
+        raise ValueError("source index out of range")
+    distance = np.full(count, math.inf)
+    predecessor = np.full(count, -1, dtype=int)
+    distance[source] = 0.0
+    visited = np.zeros(count, dtype=bool)
+    frontier: list = [(0.0, source)]
+    while frontier:
+        dist_u, u = heapq.heappop(frontier)
+        if visited[u]:
+            continue
+        visited[u] = True
+        row = costs[u]
+        for v in range(count):
+            if visited[v]:
+                continue
+            weight = row[v]
+            if not math.isfinite(weight):
+                continue
+            candidate = dist_u + weight
+            if candidate < distance[v] - 1e-15:
+                distance[v] = candidate
+                predecessor[v] = u
+                heapq.heappush(frontier, (candidate, v))
+    return distance, predecessor
+
+
+def build_tables(costs: np.ndarray) -> Dict[int, RoutingTable]:
+    """All-pairs routing tables from a link-cost matrix.
+
+    Uses SciPy's compiled shortest-path kernel (the centralised
+    equivalent of the distributed computation in
+    :mod:`repro.routing.bellman_ford`; a test pins it against the
+    pure-Python :func:`dijkstra`).  Next hops are extracted in
+    O(stations) per source by resolving destinations in order of
+    increasing distance, so each destination's next hop is its
+    predecessor's, already known.
+    """
+    from scipy.sparse.csgraph import dijkstra as csgraph_dijkstra
+
+    costs = np.asarray(costs, dtype=float)
+    count = costs.shape[0]
+    graph = np.where(np.isfinite(costs), costs, 0.0)
+    distances, predecessors = csgraph_dijkstra(
+        graph, directed=True, return_predecessors=True
+    )
+    tables: Dict[int, RoutingTable] = {}
+    for source in range(count):
+        table = RoutingTable(source)
+        distance = distances[source]
+        predecessor = predecessors[source]
+        order = np.argsort(distance)
+        next_hop = np.full(count, -1, dtype=int)
+        for destination in order:
+            destination = int(destination)
+            if destination == source or not math.isfinite(distance[destination]):
+                continue
+            parent = int(predecessor[destination])
+            if parent == source:
+                next_hop[destination] = destination
+            else:
+                next_hop[destination] = next_hop[parent]
+            table.set_route(
+                destination,
+                int(next_hop[destination]),
+                float(distance[destination]),
+            )
+        tables[source] = table
+    return tables
+
+
+def min_energy_tables(
+    matrix: PropagationMatrix, min_gain: float = 0.0
+) -> Dict[int, RoutingTable]:
+    """Minimum-energy routing tables straight from the H matrix."""
+    return build_tables(energy_costs(matrix, min_gain))
+
+
+def relay_helps(
+    a: Sequence[float], b: Sequence[float], c: Sequence[float]
+) -> bool:
+    """Whether relaying A->B->C costs less energy than A->C directly.
+
+    With free-space ``1/r^2`` loss the comparison is
+    ``|AB|^2 + |BC|^2 < |AC|^2``; geometrically B must lie strictly
+    inside the circle with diameter AC (Figure 3's construction).  A
+    perfectly centred relay halves the energy: two hops of a quarter
+    the power each.
+    """
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    cx, cy = float(c[0]), float(c[1])
+    ab_sq = (bx - ax) ** 2 + (by - ay) ** 2
+    bc_sq = (cx - bx) ** 2 + (cy - by) ** 2
+    ac_sq = (cx - ax) ** 2 + (cy - ay) ** 2
+    return ab_sq + bc_sq < ac_sq
+
+
+def route_energy(
+    matrix: PropagationMatrix, path: Sequence[int]
+) -> float:
+    """Total reciprocal-gain cost of a concrete path."""
+    if len(path) < 2:
+        raise ValueError("a path needs at least two stations")
+    total = 0.0
+    for sender, receiver in zip(path, path[1:]):
+        gain = matrix.gain(receiver, sender)
+        if gain <= 0.0:
+            raise ValueError(f"link {sender}->{receiver} is unusable")
+        total += 1.0 / gain
+    return total

@@ -1,0 +1,72 @@
+"""Minimum-hop routing: the conventional baseline.
+
+The traditional nodes-and-edges view (Section 2) routes over the fewest
+hops, which under power control means preferring long, high-power hops
+— exactly what Section 6.2 argues against: "The criteria used to
+determine routes will need to prefer the short hops, which produce less
+interference, and avoid skipping over intermediate stations."  The
+routing trade-off experiment (T10) compares the two.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict
+
+import numpy as np
+
+from repro.propagation.matrix import PropagationMatrix
+from repro.routing.table import RoutingTable
+
+__all__ = ["hop_costs", "min_hop_tables"]
+
+
+def hop_costs(matrix: PropagationMatrix, min_gain: float) -> np.ndarray:
+    """Unit cost for every usable link, +inf otherwise."""
+    if min_gain <= 0.0:
+        raise ValueError(
+            "min-hop routing needs an explicit usability threshold; with "
+            "min_gain=0 every pair is one hop and the metric is vacuous"
+        )
+    costs = np.full_like(matrix.gains, math.inf)
+    usable = matrix.gains >= min_gain
+    np.fill_diagonal(usable, False)
+    costs[usable] = 1.0
+    return costs
+
+
+def min_hop_tables(
+    matrix: PropagationMatrix, min_gain: float
+) -> Dict[int, RoutingTable]:
+    """All-pairs min-hop routing tables via per-source BFS.
+
+    Ties between equal-hop routes break toward the lowest-numbered
+    neighbour, keeping tables deterministic.
+    """
+    usable = matrix.gains >= min_gain
+    np.fill_diagonal(usable, False)
+    count = matrix.count
+    tables: Dict[int, RoutingTable] = {}
+    for source in range(count):
+        parent = np.full(count, -1, dtype=int)
+        depth = np.full(count, -1, dtype=int)
+        depth[source] = 0
+        frontier = deque([source])
+        while frontier:
+            u = frontier.popleft()
+            for v in np.nonzero(usable[u])[0]:
+                if depth[v] < 0:
+                    depth[v] = depth[u] + 1
+                    parent[v] = u
+                    frontier.append(int(v))
+        table = RoutingTable(source)
+        for destination in range(count):
+            if destination == source or depth[destination] < 0:
+                continue
+            hop = destination
+            while parent[hop] != source:
+                hop = parent[hop]
+            table.set_route(destination, int(hop), float(depth[destination]))
+        tables[source] = table
+    return tables

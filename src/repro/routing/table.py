@@ -1,0 +1,108 @@
+"""Routing tables: next hops and route costs.
+
+Section 6.2: "Each station need only remember the next hop for each
+potential destination and the total energy along that route to the
+destination.  Hop-by-hop routing is possible since, at each station,
+each transit packet will be routed as if it had originated at the
+transit station."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["RoutingTable", "RouteError"]
+
+
+class RouteError(LookupError):
+    """No route is known toward the requested destination."""
+
+
+@dataclass
+class RoutingTable:
+    """One station's forwarding state.
+
+    Attributes:
+        station: the owning station's index.
+        next_hops: destination -> neighbour to forward through.
+        costs: destination -> total route cost (energy, for the paper's
+            metric; hops, for the min-hop baseline).
+    """
+
+    station: int
+    next_hops: Dict[int, int] = field(default_factory=dict)
+    costs: Dict[int, float] = field(default_factory=dict)
+
+    def set_route(self, destination: int, next_hop: int, cost: float) -> None:
+        """Install or replace the route toward ``destination``."""
+        if destination == self.station:
+            raise ValueError("a station needs no route to itself")
+        if next_hop == self.station:
+            raise ValueError("next hop cannot be the station itself")
+        if cost < 0.0:
+            raise ValueError("route cost must be non-negative")
+        self.next_hops[destination] = next_hop
+        self.costs[destination] = cost
+
+    def next_hop(self, destination: int) -> int:
+        """The neighbour to forward a packet for ``destination`` through."""
+        if destination == self.station:
+            raise ValueError("a station needs no route to itself")
+        try:
+            return self.next_hops[destination]
+        except KeyError:
+            raise RouteError(
+                f"station {self.station} has no route to {destination}"
+            ) from None
+
+    def cost(self, destination: int) -> float:
+        """Total cost of the installed route to ``destination``."""
+        try:
+            return self.costs[destination]
+        except KeyError:
+            raise RouteError(
+                f"station {self.station} has no route to {destination}"
+            ) from None
+
+    def has_route(self, destination: int) -> bool:
+        """Whether a route toward ``destination`` is installed."""
+        return destination in self.next_hops
+
+    def neighbors_in_use(self) -> List[int]:
+        """Distinct next hops appearing in the table — the station's
+        *routing neighbours* (the paper's simulations saw at most 8)."""
+        return sorted(set(self.next_hops.values()))
+
+    @property
+    def destination_count(self) -> int:
+        """Number of destinations with installed routes."""
+        return len(self.next_hops)
+
+
+def trace_route(
+    tables: Dict[int, "RoutingTable"], source: int, destination: int,
+    max_hops: Optional[int] = None,
+) -> List[int]:
+    """Follow next hops from ``source`` to ``destination``.
+
+    Verifies the hop-by-hop consistency property: the concatenation of
+    per-station next hops forms a loop-free path.  Raises
+    :class:`RouteError` on missing routes or loops.
+    """
+    if source == destination:
+        return [source]
+    limit = max_hops if max_hops is not None else len(tables) + 1
+    path = [source]
+    current = source
+    for _ in range(limit):
+        current = tables[current].next_hop(destination)
+        if current in path:
+            raise RouteError(f"routing loop at station {current}: {path}")
+        path.append(current)
+        if current == destination:
+            return path
+    raise RouteError(f"route from {source} to {destination} exceeds {limit} hops")
+
+
+__all__.append("trace_route")

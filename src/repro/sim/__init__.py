@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate (engine, processes, stats, traces)."""
+
+from repro.sim.engine import EmptySchedule, Environment
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.stats import Histogram, TimeWeighted, Welford
+from repro.sim.streams import RandomStreams
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "RandomStreams",
+    "TimeWeighted",
+    "TraceRecord",
+    "TraceRecorder",
+    "Welford",
+]

@@ -1,0 +1,188 @@
+"""Event primitives for the discrete-event engine.
+
+The engine follows the familiar process-interaction style (as in SimPy,
+which is not available in this offline environment): an
+:class:`Event` is a one-shot occurrence that carries a value or an
+exception, and processes (see :mod:`repro.sim.process`) suspend on
+events by ``yield``-ing them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "Interrupt"]
+
+#: Scheduling priorities; lower runs first among simultaneous events.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *pending* -> *triggered* (scheduled, value fixed) ->
+    *processed* (callbacks ran).  Events succeed with a value or fail
+    with an exception; a failed event re-raises inside any process that
+    waits on it.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has occurred (value fixed, scheduled)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded; valid only once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        if self._ok is None:
+            raise RuntimeError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        self._trigger(True, value, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(False, exception, delay)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the engine will not re-raise."""
+        self._defused = True
+
+    def _trigger(self, ok: bool, value: Any, delay: float = 0.0) -> None:
+        if self._ok is not None:
+            raise RuntimeError("event already triggered")
+        if delay < 0.0:
+            raise ValueError("delay must be non-negative")
+        self._ok = ok
+        self._value = value
+        self.env.schedule(self, delay)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(self)
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed.
+
+        If the event was already processed the callback runs
+        immediately (same semantics a late waiter would expect).
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def unsubscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Remove a previously registered callback, if still pending."""
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0.0:
+            raise ValueError("timeout delay must be non-negative")
+        super().__init__(env)
+        self.delay = delay
+        self._trigger(True, value, delay)
+
+
+class Condition(Event):
+    """An event that triggers when a predicate over its children holds.
+
+    Children that fail propagate their failure to the condition
+    immediately.  The condition's value is a dict mapping each
+    *processed* child to its value at the moment the condition fired
+    (a Timeout is triggered from creation, so `triggered` would wrongly
+    include pending timers).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        events: List[Event],
+        evaluate: Callable[[List[Event], int], bool],
+    ) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._done = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+            event.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._evaluate(self._events, self._done):
+            self.succeed(
+                {child: child.value for child in self._events if child.processed}
+            )
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any child event has triggered."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, events, lambda _events, done: done >= 1)
+
+
+class AllOf(Condition):
+    """Triggers when every child event has triggered."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        super().__init__(env, events, lambda events, done: done == len(events))
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    Attributes:
+        cause: the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause

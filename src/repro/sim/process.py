@@ -1,0 +1,102 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that ``yield``s :class:`Event` objects;
+the engine resumes it with the event's value (or throws the event's
+exception into it).  Station behaviours, traffic sources, and the MAC
+protocols are all written as processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process", "ProcessGenerator"]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running process; as an Event it triggers when the process ends.
+
+    The process's return value becomes the event value, and an uncaught
+    exception inside the process fails the event (re-raising in any
+    process that waits on it, or aborting the simulation if nobody
+    does).
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("a process must wrap a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick off the process at the current time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process is still running."""
+        return self._ok is None
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupted process stops waiting on its current event (it
+        may re-wait on the same event afterwards if it chooses).
+        Interrupting a finished process is an error; interrupting a
+        process twice before it runs again queues both interrupts.
+        """
+        if not self.is_alive:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self._target is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        carrier = Event(self.env)
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause))
+        carrier.defuse()
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        if self._target is not None:
+            self._target.unsubscribe(self._resume)
+            self._target = None
+        try:
+            if event.ok:
+                next_event = self._generator.send(event.value)
+            else:
+                # Failure: throw into the generator (Interrupt or the
+                # exception of a failed awaited event).  Receiving the
+                # failure here counts as handling it — defuse so the
+                # engine does not re-raise it out of run().
+                event.defuse()
+                next_event = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(next_event, Event):
+            error = RuntimeError(
+                f"process yielded {next_event!r}, which is not an Event"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        self._target = next_event
+        next_event.subscribe(self._resume)

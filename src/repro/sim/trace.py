@@ -1,0 +1,85 @@
+"""Event tracing for simulations.
+
+A :class:`TraceRecorder` collects timestamped records of what happened
+in a run (transmission started, reception failed, packet delivered...),
+which the experiments mine for their reported rows and the tests use to
+assert invariants such as "no reception ever overlapped a local
+transmission".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: simulated time of the occurrence.
+        kind: short event-kind tag, e.g. ``"tx_start"``.
+        data: free-form payload describing the occurrence.
+    """
+
+    time: float
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` entries during a run.
+
+    Args:
+        enabled: when False, :meth:`record` is a no-op — long benchmark
+            runs can skip the memory cost without touching call sites.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+        self._kind_counts: Counter = Counter()
+
+    def record(self, time: float, kind: str, **data: Any) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if not kind:
+            raise ValueError("record kind must be non-empty")
+        self._records.append(TraceRecord(time, kind, data))
+        self._kind_counts[kind] += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of records, optionally restricted to one kind."""
+        if kind is None:
+            return len(self._records)
+        return self._kind_counts[kind]
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [record for record in self._records if record.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Mapping of record kind to occurrence count."""
+        return dict(self._kind_counts)
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        return [record for record in self._records if start <= record.time < end]
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+        self._kind_counts.clear()

@@ -1,0 +1,54 @@
+"""Tests for the capacity arithmetic and its paper spot values."""
+
+import math
+
+import pytest
+
+from repro.analysis.capacity import (
+    bits_per_sec_per_khz,
+    linearization_error,
+    low_snr_linearization,
+    rate_gain_from_duty_change,
+    spectral_efficiency,
+)
+
+
+class TestSpotValues:
+    def test_snr_one_percent_gives_14_bits_per_khz(self):
+        # The paper's "C/W = 0.014" at SNR = 0.01.
+        assert bits_per_sec_per_khz(0.01) == pytest.approx(14.36, abs=0.01)
+
+    def test_snr_four_percent_gives_56_bits_per_khz(self):
+        # "around 56 bits per second per kilohertz" at eta = 0.25.
+        assert bits_per_sec_per_khz(0.04) == pytest.approx(56.6, abs=0.1)
+
+    def test_nonzero_capacity_at_any_positive_snr(self):
+        # "even with a signal-to-noise ratio of one part in one hundred,
+        # the theoretical communication capacity remains non-zero".
+        assert spectral_efficiency(1e-6) > 0.0
+
+
+class TestLinearization:
+    def test_footnote_4_coefficient(self):
+        # log2(1+x) ~= x / ln 2 ~= 1.44 x at small x.
+        assert low_snr_linearization(0.01) == pytest.approx(0.01443, abs=1e-4)
+
+    def test_error_small_at_low_snr(self):
+        assert linearization_error(0.01) < 0.01
+
+    def test_error_grows_with_snr(self):
+        assert linearization_error(1.0) > linearization_error(0.1) > linearization_error(0.01)
+
+
+class TestDutyCycleInvariance:
+    def test_halving_duty_is_nearly_free(self):
+        # Section 4: "Halving the duty cycle ... would result in no net
+        # gain in performance."
+        ratio = rate_gain_from_duty_change(1e9, duty_from=1.0, duty_to=0.5)
+        assert ratio == pytest.approx(1.0, abs=0.03)
+
+    def test_small_systems_do_benefit(self):
+        # The invariance is a low-SNR property; at small M the SNR is
+        # high and lowering the duty cycle genuinely costs throughput.
+        ratio = rate_gain_from_duty_change(30.0, duty_from=1.0, duty_to=0.5)
+        assert ratio < 0.95

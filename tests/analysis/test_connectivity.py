@@ -1,0 +1,70 @@
+"""Tests for connectivity-versus-reach analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.connectivity import (
+    connectivity_sweep,
+    largest_component_fraction,
+)
+from repro.propagation.geometry import Placement, uniform_disk
+
+import numpy as np
+
+
+class TestGiantComponent:
+    def test_fully_connected_pair(self):
+        placement = Placement(np.array([[0.0, 0.0], [1.0, 0.0]]), region_radius=2.0)
+        assert largest_component_fraction(placement, reach=1.5) == 1.0
+
+    def test_disconnected_pair(self):
+        placement = Placement(np.array([[0.0, 0.0], [10.0, 0.0]]), region_radius=20.0)
+        assert largest_component_fraction(placement, reach=1.0) == 0.5
+
+    def test_three_clusters(self):
+        positions = np.array(
+            [[0.0, 0.0], [0.5, 0.0], [100.0, 0.0], [100.5, 0.0], [200.0, 0.0]]
+        )
+        placement = Placement(positions, region_radius=300.0)
+        assert largest_component_fraction(placement, reach=1.0) == pytest.approx(0.4)
+
+    def test_rejects_bad_reach(self):
+        placement = uniform_disk(5, seed=0)
+        with pytest.raises(ValueError):
+            largest_component_fraction(placement, reach=0.0)
+
+
+class TestSweep:
+    def test_expected_neighbors_formula(self):
+        placement = uniform_disk(300, seed=1)
+        points = connectivity_sweep(placement, [1.0, 2.0])
+        assert points[0].expected_neighbors == pytest.approx(math.pi)
+        assert points[1].expected_neighbors == pytest.approx(4 * math.pi)
+
+    def test_measured_neighbors_track_expected(self):
+        placement = uniform_disk(1500, radius=1000.0, seed=2)
+        points = connectivity_sweep(placement, [1.0, 2.0])
+        for point in points:
+            # Edge effects depress the measurement slightly.
+            assert point.mean_neighbors == pytest.approx(
+                point.expected_neighbors, rel=0.2
+            )
+
+    def test_connectivity_improves_with_reach(self):
+        placement = uniform_disk(400, radius=1000.0, seed=3)
+        points = connectivity_sweep(placement, [0.5, 1.0, 2.0, 3.0])
+        fractions = [p.giant_component_fraction for p in points]
+        assert fractions == sorted(fractions)
+
+    def test_paper_reach_2_connects(self):
+        # Section 6: doubling to 2/sqrt(rho) "should suffice in most
+        # situations".
+        placement = uniform_disk(500, radius=1000.0, seed=4)
+        point = connectivity_sweep(placement, [2.0])[0]
+        assert point.giant_component_fraction > 0.97
+        assert point.isolated_fraction < 0.01
+
+    def test_rejects_empty_factors(self):
+        with pytest.raises(ValueError):
+            connectivity_sweep(uniform_disk(10, seed=5), [])

@@ -1,0 +1,59 @@
+"""Tests for the light-load delay model."""
+
+import pytest
+
+from repro.analysis.delay_model import (
+    end_to_end_delay_slots,
+    max_light_load,
+    per_hop_delay_slots,
+)
+
+
+class TestPerHop:
+    def test_at_p03(self):
+        # 1/(0.3*0.7) + 0.25 = 5.012 slots.
+        assert per_hop_delay_slots(0.3) == pytest.approx(5.012, abs=1e-3)
+
+    def test_minimised_at_half(self):
+        # p(1-p) peaks at p = 1/2, so the wait term is smallest there.
+        assert per_hop_delay_slots(0.5) < per_hop_delay_slots(0.3)
+        assert per_hop_delay_slots(0.5) < per_hop_delay_slots(0.7)
+
+    def test_symmetric_in_p(self):
+        assert per_hop_delay_slots(0.2) == pytest.approx(per_hop_delay_slots(0.8))
+
+    def test_packet_fraction_adds_airtime(self):
+        assert per_hop_delay_slots(0.3, 0.5) - per_hop_delay_slots(
+            0.3, 0.25
+        ) == pytest.approx(0.25)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            per_hop_delay_slots(0.3, 0.0)
+
+
+class TestEndToEnd:
+    def test_linear_in_hops(self):
+        single = end_to_end_delay_slots(1.0, 0.3)
+        assert end_to_end_delay_slots(5.0, 0.3) == pytest.approx(5.0 * single)
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            end_to_end_delay_slots(0.5, 0.3)
+
+
+class TestValidityEdge:
+    def test_scales_inversely_with_hops(self):
+        assert max_light_load(0.3, 8.0) == pytest.approx(
+            max_light_load(0.3, 4.0) / 2.0
+        )
+
+    def test_reasonable_magnitude(self):
+        # At p=0.3, quarter-slot packets, 4-hop routes: a few hundredths
+        # of a packet per slot per station.
+        edge = max_light_load(0.3, 4.0)
+        assert 0.01 < edge < 0.1
+
+    def test_rejects_bad_hops(self):
+        with pytest.raises(ValueError):
+            max_light_load(0.3, 0.5)

@@ -1,0 +1,66 @@
+"""Tests for the metro-scale projection."""
+
+import math
+
+import pytest
+
+from repro.analysis.metro import MetroProjection
+
+
+class TestAbstractClaim:
+    def test_hundreds_of_megabits_at_a_million_stations(self):
+        # The headline: 10^6 stations, 1 GHz, optimistic detection ->
+        # raw per-station rate in the hundreds of Mb/s.
+        projection = MetroProjection()
+        assert 100e6 < projection.raw_rate_bps < 1e9
+
+    def test_rate_survives_a_billion_stations(self):
+        projection = MetroProjection(station_count=1e9)
+        assert projection.raw_rate_bps > 50e6
+
+    def test_conservative_case_still_useful(self):
+        projection = MetroProjection(beta=3.0, reach_doublings=1.0)
+        assert projection.raw_rate_bps > 10e6
+
+
+class TestInternals:
+    def test_snr_matches_eq15(self):
+        projection = MetroProjection(station_count=1e6, duty_cycle=0.5)
+        assert projection.snr == pytest.approx(1.0 / (0.5 * math.log(1e6)))
+
+    def test_margins_reduce_design_snr(self):
+        base = MetroProjection()
+        margined = MetroProjection(beta=3.0, reach_doublings=1.0)
+        assert margined.worst_case_snr == pytest.approx(base.worst_case_snr / 12.0)
+
+    def test_sustained_rate_scales_with_duty(self):
+        projection = MetroProjection()
+        assert projection.sustained_rate_bps == pytest.approx(
+            projection.raw_rate_bps * projection.duty_cycle
+        )
+
+    def test_aggregate_counts_every_station(self):
+        projection = MetroProjection()
+        assert projection.aggregate_rate_bps == pytest.approx(
+            projection.sustained_rate_bps * 1e6
+        )
+
+    def test_processing_gain_positive_at_low_snr(self):
+        projection = MetroProjection(beta=3.0, reach_doublings=1.0)
+        assert projection.processing_gain_db > 10.0
+
+    def test_thermal_noise_negligible(self):
+        # Section 4's justification for dropping thermal noise.
+        assert MetroProjection().thermal_noise_check() > 30.0
+
+    def test_summary_keys(self):
+        summary = MetroProjection().summary()
+        assert {"raw_rate_mbps", "sustained_rate_mbps", "processing_gain_db"} <= set(
+            summary
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MetroProjection(station_count=1.0)
+        with pytest.raises(ValueError):
+            MetroProjection(duty_cycle=0.0)

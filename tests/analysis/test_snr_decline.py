@@ -1,0 +1,54 @@
+"""Tests for the Figure 1 series builders."""
+
+import math
+
+import pytest
+
+from repro.analysis.snr_decline import (
+    FIGURE1_DUTY_CYCLES,
+    FIGURE1_LOG10_RANGE,
+    figure1_series,
+    monte_carlo_series,
+)
+
+
+class TestAnalyticSeries:
+    def test_row_count(self):
+        rows = figure1_series()
+        assert len(rows) == len(FIGURE1_DUTY_CYCLES) * len(FIGURE1_LOG10_RANGE)
+
+    def test_paper_duty_cycles(self):
+        assert FIGURE1_DUTY_CYCLES == (0.05, 0.1, 0.2, 0.5, 1.0)
+
+    def test_monotone_decline_along_each_curve(self):
+        rows = figure1_series()
+        by_eta = {}
+        for row in rows:
+            by_eta.setdefault(row.duty_cycle, []).append(
+                (row.log10_stations, row.snr_db)
+            )
+        for eta, points in by_eta.items():
+            values = [snr for _x, snr in sorted(points)]
+            assert values == sorted(values, reverse=True)
+
+    def test_lower_duty_cycle_lies_above(self):
+        rows = figure1_series(log10_range=[8.0], duty_cycles=[0.05, 1.0])
+        low_eta = next(r for r in rows if r.duty_cycle == 0.05)
+        high_eta = next(r for r in rows if r.duty_cycle == 1.0)
+        assert low_eta.snr_db > high_eta.snr_db
+        # The gap is exactly 10 log10(1/0.05) = 13 dB.
+        assert low_eta.snr_db - high_eta.snr_db == pytest.approx(13.0, abs=0.05)
+
+
+class TestMonteCarloSeries:
+    def test_measured_tracks_analytic(self):
+        rows = monte_carlo_series([2000], [0.5], trials=15, seed=1)
+        row = rows[0]
+        assert not math.isnan(row.measured_db)
+        assert abs(row.measured_db - row.snr_db) < 1.2
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            monte_carlo_series([2000], [0.5], trials=0)
+        with pytest.raises(ValueError):
+            monte_carlo_series([5], [0.5], trials=2)

@@ -1,0 +1,71 @@
+"""Tests for free-running clocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock.clock import Clock, random_clock
+
+
+class TestClock:
+    def test_reading_at_zero_is_offset(self):
+        assert Clock(offset=42.0).reading(0.0) == 42.0
+
+    def test_rate_error_advances_faster(self):
+        clock = Clock(offset=0.0, rate_error=1e-3)
+        assert clock.reading(1000.0) == pytest.approx(1001.0)
+
+    def test_true_time_inverts_reading(self):
+        clock = Clock(offset=17.0, rate_error=-5e-5)
+        assert clock.true_time(clock.reading(123.456)) == pytest.approx(123.456)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6),
+        st.floats(min_value=-1e-3, max_value=1e-3),
+        st.floats(min_value=-1e7, max_value=1e7),
+    )
+    def test_roundtrip_property(self, offset, rate_error, t):
+        clock = Clock(offset=offset, rate_error=rate_error)
+        assert clock.true_time(clock.reading(t)) == pytest.approx(t, abs=1e-5)
+
+    def test_elapsed_local(self):
+        clock = Clock(rate_error=2e-6)
+        assert clock.elapsed_local(1e6) == pytest.approx(1e6 + 2.0)
+
+    def test_offset_from(self):
+        a = Clock(offset=10.0)
+        b = Clock(offset=4.0)
+        assert a.offset_from(b, 0.0) == pytest.approx(6.0)
+
+    def test_rejects_stopped_clock(self):
+        with pytest.raises(ValueError):
+            Clock(rate_error=-1.0)
+
+
+class TestRandomClock:
+    def test_offset_in_span(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            clock = random_clock(rng, offset_span=100.0)
+            assert 0.0 <= clock.offset < 100.0
+
+    def test_rate_error_within_ppm(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            clock = random_clock(rng, rate_error_ppm=50.0)
+            assert abs(clock.rate_error) <= 50e-6
+
+    def test_significant_bits_gives_integers(self):
+        rng = np.random.default_rng(2)
+        clock = random_clock(rng, significant_bits=8)
+        assert clock.offset == int(clock.offset)
+        assert 0 <= clock.offset < 256
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            random_clock(np.random.default_rng(0), offset_span=0.0)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            random_clock(np.random.default_rng(0), significant_bits=0)

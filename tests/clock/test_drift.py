@@ -1,0 +1,71 @@
+"""Tests for drift fitting and holdover horizons."""
+
+import numpy as np
+import pytest
+
+from repro.clock.drift import DriftModel, fit_drift, holdover_horizon
+
+
+class TestFitDrift:
+    def test_recovers_linear_drift(self):
+        times = np.linspace(0.0, 100.0, 20)
+        offsets = 3.0 + 0.01 * times
+        model = fit_drift(times, offsets, degree=1)
+        assert model.predict(200.0) == pytest.approx(5.0, abs=1e-9)
+        assert model.residual_rms == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_quadratic_ageing(self):
+        times = np.linspace(0.0, 100.0, 30)
+        offsets = 1.0 + 0.002 * times + 1e-5 * times**2
+        model = fit_drift(times, offsets, degree=2)
+        assert model.degree == 2
+        assert model.predict(150.0) == pytest.approx(
+            1.0 + 0.3 + 1e-5 * 150**2, abs=1e-6
+        )
+
+    def test_noise_reported_in_residual(self):
+        rng = np.random.default_rng(1)
+        times = np.linspace(0.0, 100.0, 50)
+        offsets = 0.01 * times + rng.normal(0.0, 0.1, 50)
+        model = fit_drift(times, offsets, degree=1)
+        assert 0.05 < model.residual_rms < 0.2
+
+    def test_needs_more_points_than_degree(self):
+        with pytest.raises(ValueError):
+            fit_drift([0.0, 1.0], [0.0, 1.0], degree=2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_drift([0.0, 1.0], [0.0], degree=1)
+
+
+class TestHoldover:
+    def test_identical_models_hold_forever(self):
+        model = DriftModel(np.array([0.01, 0.0]), 0.0)
+        horizon = holdover_horizon(
+            model, model, start_time=0.0, error_bound=0.1,
+            max_horizon=1000.0, step=10.0,
+        )
+        assert horizon == 1000.0
+
+    def test_rate_mismatch_bounds_horizon(self):
+        truth = DriftModel(np.array([0.01, 0.0]), 0.0)
+        wrong = DriftModel(np.array([0.02, 0.0]), 0.0)
+        # Error grows at 0.01/s; the 0.1 bound is crossed at 10 s.
+        horizon = holdover_horizon(
+            wrong, truth, start_time=0.0, error_bound=0.1,
+            max_horizon=1000.0, step=1.0,
+        )
+        assert horizon == pytest.approx(10.0, abs=1.0)
+
+    def test_immediate_violation_returns_zero(self):
+        truth = DriftModel(np.array([0.0, 0.0]), 0.0)
+        wrong = DriftModel(np.array([0.0, 100.0]), 0.0)
+        assert holdover_horizon(
+            wrong, truth, 0.0, error_bound=0.1, max_horizon=10.0, step=1.0
+        ) == 0.0
+
+    def test_rejects_bad_bound(self):
+        model = DriftModel(np.array([0.0]), 0.0)
+        with pytest.raises(ValueError):
+            holdover_horizon(model, model, 0.0, 0.0, 10.0, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for neighbour clock modelling via rendezvous."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clock.clock import Clock
+from repro.clock.sync import (
+    ClockSample,
+    NeighborClockModel,
+    exact_model,
+    exchange_readings,
+)
+
+
+class TestExchange:
+    def test_exact_exchange(self):
+        own = Clock(offset=5.0)
+        neighbor = Clock(offset=9.0)
+        sample = exchange_readings(own, neighbor, true_time=10.0)
+        assert sample.own_reading == 15.0
+        assert sample.neighbor_reading == 19.0
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            exchange_readings(Clock(), Clock(), 0.0, jitter=0.1)
+
+    def test_jitter_perturbs(self):
+        rng = np.random.default_rng(3)
+        clean = exchange_readings(Clock(), Clock(offset=1.0), 0.0)
+        noisy = exchange_readings(Clock(), Clock(offset=1.0), 0.0, jitter=0.5, rng=rng)
+        assert noisy.neighbor_reading != clean.neighbor_reading
+
+
+class TestModelFitting:
+    def test_no_samples_raises(self):
+        with pytest.raises(RuntimeError):
+            NeighborClockModel().predict_neighbor_reading(0.0)
+
+    def test_single_sample_assumes_equal_rates(self):
+        model = NeighborClockModel()
+        model.add_sample(ClockSample(own_reading=10.0, neighbor_reading=25.0))
+        assert model.predict_neighbor_reading(12.0) == pytest.approx(27.0)
+        assert model.relative_rate == 1.0
+
+    def test_two_exact_samples_fit_affine_exactly(self):
+        own = Clock(offset=3.0, rate_error=1e-5)
+        neighbor = Clock(offset=100.0, rate_error=-2e-5)
+        model = exact_model(own, neighbor)
+        for t in (0.0, 57.0, 1234.5):
+            assert model.predict_neighbor_reading(
+                own.reading(t)
+            ) == pytest.approx(neighbor.reading(t), abs=1e-6)
+
+    def test_inverse_prediction(self):
+        own = Clock(offset=3.0)
+        neighbor = Clock(offset=-7.0, rate_error=5e-5)
+        model = exact_model(own, neighbor)
+        t = 99.0
+        assert model.own_reading_for(
+            neighbor.reading(t)
+        ) == pytest.approx(own.reading(t), abs=1e-6)
+
+    def test_noisy_fit_averages_out(self):
+        rng = np.random.default_rng(7)
+        own = Clock()
+        neighbor = Clock(offset=50.0, rate_error=3e-5)
+        model = NeighborClockModel()
+        for t in np.linspace(0.0, 1000.0, 40):
+            model.add_sample(
+                exchange_readings(own, neighbor, float(t), jitter=0.01, rng=rng)
+            )
+        prediction = model.predict_neighbor_reading(own.reading(2000.0))
+        assert prediction == pytest.approx(neighbor.reading(2000.0), abs=0.02)
+
+    def test_sample_window_bounded(self):
+        model = NeighborClockModel(max_samples=4)
+        for k in range(10):
+            model.add_sample(ClockSample(float(k), float(k) + 1.0))
+        assert model.sample_count == 4
+
+    def test_repeated_instant_degenerates_gracefully(self):
+        model = NeighborClockModel()
+        model.add_sample(ClockSample(5.0, 8.0))
+        model.add_sample(ClockSample(5.0, 8.2))
+        assert model.relative_rate == 1.0
+        assert model.predict_neighbor_reading(5.0) == pytest.approx(8.1)
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=-1e4, max_value=1e4),
+        st.floats(min_value=-1e4, max_value=1e4),
+        st.floats(min_value=-1e-4, max_value=1e-4),
+        st.floats(min_value=-1e-4, max_value=1e-4),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_exact_model_property(self, o1, o2, r1, r2, t):
+        own = Clock(offset=o1, rate_error=r1)
+        neighbor = Clock(offset=o2, rate_error=r2)
+        model = exact_model(own, neighbor)
+        assert model.predict_neighbor_reading(own.reading(t)) == pytest.approx(
+            neighbor.reading(t), abs=1e-4
+        )

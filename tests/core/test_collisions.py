@@ -1,0 +1,79 @@
+"""Tests for the collision taxonomy."""
+
+import pytest
+
+from repro.core.collisions import (
+    CollisionType,
+    InterferenceSource,
+    classify_loss,
+    classify_source,
+    count_by_type,
+)
+
+
+RECEIVER = 5
+
+
+class TestClassifySource:
+    def test_type1_uninvolved(self):
+        source = InterferenceSource(transmitter=2, destination=3)
+        assert classify_source(source, RECEIVER) is CollisionType.TYPE_1
+
+    def test_type2_same_destination(self):
+        source = InterferenceSource(transmitter=2, destination=RECEIVER)
+        assert classify_source(source, RECEIVER) is CollisionType.TYPE_2
+
+    def test_type3_receiver_transmitting(self):
+        source = InterferenceSource(transmitter=RECEIVER, destination=9)
+        assert classify_source(source, RECEIVER) is CollisionType.TYPE_3
+
+    def test_type3_wins_over_type2(self):
+        # A station transmitting to itself is nonsense, but if the
+        # transmitter IS the receiver, it is Type 3 regardless of
+        # address (the paper's enumeration order).
+        source = InterferenceSource(transmitter=RECEIVER, destination=RECEIVER)
+        assert classify_source(source, RECEIVER) is CollisionType.TYPE_3
+
+
+class TestClassifyLoss:
+    def test_single_source(self):
+        types = classify_loss(
+            RECEIVER, [InterferenceSource(1, 2)]
+        )
+        assert types == frozenset({CollisionType.TYPE_1})
+
+    def test_multiple_simultaneous_types(self):
+        # "Multiple collision types may occur simultaneously."
+        types = classify_loss(
+            RECEIVER,
+            [
+                InterferenceSource(1, 2),
+                InterferenceSource(3, RECEIVER),
+                InterferenceSource(RECEIVER, 7),
+            ],
+        )
+        assert types == frozenset(CollisionType)
+
+    def test_duplicate_types_collapse(self):
+        types = classify_loss(
+            RECEIVER,
+            [InterferenceSource(1, 2), InterferenceSource(8, 9)],
+        )
+        assert types == frozenset({CollisionType.TYPE_1})
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            classify_loss(RECEIVER, [])
+
+
+class TestCounting:
+    def test_count_by_type(self):
+        losses = [
+            (RECEIVER, [InterferenceSource(1, 2)]),
+            (RECEIVER, [InterferenceSource(1, RECEIVER)]),
+            (RECEIVER, [InterferenceSource(1, 2), InterferenceSource(3, RECEIVER)]),
+        ]
+        counts = count_by_type(losses)
+        assert counts[CollisionType.TYPE_1] == 2
+        assert counts[CollisionType.TYPE_2] == 2
+        assert counts[CollisionType.TYPE_3] == 0

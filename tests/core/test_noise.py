@@ -1,0 +1,103 @@
+"""Tests for the Section 4 noise-growth analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.noise import (
+    interference_integral,
+    sample_snr,
+    snr_curve,
+    snr_nearest_neighbor,
+    snr_nearest_neighbor_db,
+)
+
+
+class TestClosedForm:
+    def test_paper_spot_value_minus_12db_at_1e8(self):
+        # Section 4: "even with eta = 1, it does not reach -12 db until
+        # 10^8 stations".
+        assert snr_nearest_neighbor_db(1e8, 1.0) == pytest.approx(-12.65, abs=0.05)
+
+    def test_duty_cycle_quarter_gains_6db(self):
+        # "At an average duty cycle of one quarter ... the signal-to-
+        # noise ratio is better by a factor of four, or +6 db."
+        gain = snr_nearest_neighbor_db(1e6, 0.25) - snr_nearest_neighbor_db(1e6, 1.0)
+        assert gain == pytest.approx(6.02, abs=0.01)
+
+    def test_logarithmic_decline(self):
+        # Squaring the station count doubles ln M, halving the SNR.
+        assert snr_nearest_neighbor(1e6, 1.0) / snr_nearest_neighbor(
+            1e12, 1.0
+        ) == pytest.approx(2.0)
+
+    def test_independent_of_scale_length(self):
+        # Eq. 15 has no rho: only M and eta appear.
+        assert snr_nearest_neighbor(1e6, 0.5) == 1.0 / (0.5 * math.log(1e6))
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            snr_nearest_neighbor(2.0, 1.0)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            snr_nearest_neighbor(1e6, 0.0)
+
+
+class TestInterferenceIntegral:
+    def test_matches_closed_form(self):
+        # N = 2 pi eta rho ln(R/R0).
+        value = interference_integral(100.0, 1.0, density=2.0, duty_cycle=0.5)
+        assert value == pytest.approx(2 * math.pi * 0.5 * 2.0 * math.log(100.0))
+
+    def test_diverges_logarithmically(self):
+        # Doubling the outer radius adds a constant (the paper's
+        # "integral just barely diverges").
+        a = interference_integral(100.0, 1.0, 1.0, 1.0)
+        b = interference_integral(200.0, 1.0, 1.0, 1.0)
+        c = interference_integral(400.0, 1.0, 1.0, 1.0)
+        assert b - a == pytest.approx(c - b)
+
+    def test_rejects_bad_radii(self):
+        with pytest.raises(ValueError):
+            interference_integral(1.0, 2.0, 1.0, 1.0)
+
+
+class TestCurve:
+    def test_family_shape(self):
+        curves = snr_curve([6.0, 9.0, 12.0], [0.1, 1.0])
+        assert set(curves) == {0.1, 1.0}
+        assert len(curves[0.1]) == 3
+        # Lower duty cycle -> higher SNR at every scale.
+        assert all(a > b for a, b in zip(curves[0.1], curves[1.0]))
+        # SNR declines with scale.
+        assert curves[1.0][0] > curves[1.0][2]
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_within_a_db(self):
+        trials = [sample_snr(3000, 0.5, seed=k).snr for k in range(25)]
+        measured_db = 10.0 * math.log10(float(np.mean(trials)))
+        analytic_db = snr_nearest_neighbor_db(3000, 0.5)
+        assert measured_db == pytest.approx(analytic_db, abs=1.0)
+
+    def test_duty_cycle_scales_interference(self):
+        full = sample_snr(1000, 1.0, seed=7)
+        half = sample_snr(1000, 0.5, seed=7)
+        assert half.snr / full.snr == pytest.approx(2.0)
+
+    def test_exclusion_zone_raises_snr(self):
+        with_zone = sample_snr(1000, 1.0, seed=9)
+        without = sample_snr(
+            1000, 1.0, seed=9, exclude_within_characteristic=False
+        )
+        assert with_zone.snr >= without.snr
+
+    def test_interferer_count_reported(self):
+        sample = sample_snr(500, 1.0, seed=11)
+        assert 0 < sample.active_interferers < 500
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            sample_snr(1, 1.0)

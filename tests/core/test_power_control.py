@@ -1,0 +1,88 @@
+"""Tests for transmit power policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.power_control import (
+    ConstantDeliveredPolicy,
+    FullPowerPolicy,
+    PolicyKind,
+    TargetSirPolicy,
+    make_policy,
+)
+
+
+class TestFullPower:
+    def test_always_maximum(self):
+        policy = FullPowerPolicy()
+        assert policy.transmit_power(0.001, 5.0) == 5.0
+        assert policy.transmit_power(0.9, 5.0) == 5.0
+
+
+class TestConstantDelivered:
+    def test_inverts_path_gain(self):
+        policy = ConstantDeliveredPolicy(target_received_w=2.0)
+        assert policy.transmit_power(0.01, 1e9) == pytest.approx(200.0)
+
+    def test_clamped_by_hardware(self):
+        policy = ConstantDeliveredPolicy(target_received_w=2.0)
+        assert policy.transmit_power(1e-9, 10.0) == 10.0
+
+    def test_delivered_power_is_constant(self):
+        policy = ConstantDeliveredPolicy(target_received_w=3.0)
+        for gain in (0.5, 0.01, 1e-4):
+            delivered = policy.transmit_power(gain, 1e12) * gain
+            assert delivered == pytest.approx(3.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1.0))
+    def test_never_exceeds_limit(self, gain):
+        policy = ConstantDeliveredPolicy(target_received_w=1.0)
+        assert policy.transmit_power(gain, 7.0) <= 7.0
+
+    def test_density_compensation(self):
+        # Section 6.1: quadruple density -> half distance -> quarter
+        # power under 1/r^2 loss (gain x4).
+        policy = ConstantDeliveredPolicy(target_received_w=1.0)
+        sparse = policy.transmit_power(0.01, 1e9)
+        dense = policy.transmit_power(0.04, 1e9)
+        assert sparse / dense == pytest.approx(4.0)
+
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ValueError):
+            ConstantDeliveredPolicy(1.0).transmit_power(0.0, 1.0)
+
+
+class TestTargetSir:
+    def test_uses_observed_noise(self):
+        policy = TargetSirPolicy(target_sir=0.1, fallback_noise_w=1.0)
+        power = policy.transmit_power(0.01, 1e9, observed_noise_w=5.0)
+        # Delivered 0.1 * 5.0 = 0.5 -> transmit 0.5 / 0.01.
+        assert power == pytest.approx(50.0)
+
+    def test_falls_back_without_observation(self):
+        policy = TargetSirPolicy(target_sir=0.1, fallback_noise_w=2.0)
+        assert policy.transmit_power(0.01, 1e9) == pytest.approx(20.0)
+
+    def test_adapts_to_quieter_channel(self):
+        policy = TargetSirPolicy(target_sir=0.1, fallback_noise_w=1.0)
+        loud = policy.transmit_power(0.01, 1e9, observed_noise_w=10.0)
+        quiet = policy.transmit_power(0.01, 1e9, observed_noise_w=1.0)
+        assert loud == pytest.approx(10.0 * quiet)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        assert isinstance(make_policy(PolicyKind.FULL), FullPowerPolicy)
+        assert isinstance(
+            make_policy(PolicyKind.CONSTANT_DELIVERED, target_received_w=2.0),
+            ConstantDeliveredPolicy,
+        )
+        assert isinstance(
+            make_policy(PolicyKind.TARGET_SIR, target_sir=0.2),
+            TargetSirPolicy,
+        )
+
+    def test_parameters_flow_through(self):
+        policy = make_policy(PolicyKind.CONSTANT_DELIVERED, target_received_w=9.0)
+        assert policy.target_received_w == 9.0

@@ -1,0 +1,106 @@
+"""Tests for the Shannon-bound reception model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.reception import (
+    ReceptionTracker,
+    max_rate,
+    required_sir,
+    shannon_capacity,
+    sir,
+)
+
+
+class TestRequiredSir:
+    def test_exact_form(self):
+        # C/W = 1 bit/s/Hz needs SNR 1 (i.e. 2^1 - 1), times beta.
+        assert required_sir(1e6, 1e6, beta=3.0) == pytest.approx(3.0)
+
+    def test_paper_printed_form(self):
+        assert required_sir(1e6, 1e6, beta=3.0, exact=False) == pytest.approx(6.0)
+
+    def test_low_rate_limit_linear(self):
+        # At C/W << 1 the threshold is ~ beta * ln2 * C/W.
+        threshold = required_sir(1e3, 1e6, beta=1.0)
+        assert threshold == pytest.approx(math.log(2.0) * 1e-3, rel=1e-3)
+
+    def test_forms_agree_at_low_rate(self):
+        exact = required_sir(1e3, 1e6, beta=3.0)
+        printed = required_sir(1e3, 1e6, beta=3.0, exact=False)
+        # The printed form differs by ~beta at low C/W; both tiny.
+        assert printed > exact
+        assert exact < 0.01
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            required_sir(1.0, 1.0, beta=0.9)
+
+
+class TestSir:
+    def test_basic_ratio(self):
+        assert sir(3.0, 1.0, 0.5) == pytest.approx(2.0)
+
+    def test_infinite_when_clean(self):
+        assert sir(1.0, 0.0, 0.0) == math.inf
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sir(-1.0, 1.0)
+
+
+class TestShannon:
+    def test_snr_one_gives_one_bit(self):
+        assert shannon_capacity(1e6, 1.0) == pytest.approx(1e6)
+
+    def test_paper_low_snr_example(self):
+        # SNR 0.01 -> C/W = log2(1.01) ~= 0.0144.
+        assert shannon_capacity(1e3, 0.01) == pytest.approx(14.355, abs=0.01)
+
+    def test_max_rate_inverts_required_sir(self):
+        rate = max_rate(1e6, snr=0.05, beta=3.0)
+        assert required_sir(rate, 1e6, beta=3.0) == pytest.approx(0.05)
+
+    @given(st.floats(min_value=1e-4, max_value=10.0))
+    def test_max_rate_monotone(self, snr):
+        assert max_rate(1e6, snr * 2.0) > max_rate(1e6, snr)
+
+
+class TestReceptionTracker:
+    def test_clean_reception_succeeds(self):
+        tracker = ReceptionTracker(threshold=0.1, signal_power_w=1.0)
+        tracker.update(0.0, 2.0)
+        tracker.update(1.0, 5.0)
+        assert tracker.ok
+        assert tracker.min_sir == pytest.approx(0.2)
+
+    def test_transient_violation_is_fatal(self):
+        # "the signal-to-noise ratio be greater than the required
+        # minimum for the duration of its reception" — a dip anywhere
+        # kills the packet, even if conditions recover.
+        tracker = ReceptionTracker(threshold=0.1, signal_power_w=1.0)
+        tracker.update(0.0, 1.0)
+        tracker.update(1.0, 100.0)  # dip
+        tracker.update(2.0, 1.0)    # recovery
+        assert not tracker.ok
+        assert tracker.failed_at == 1.0
+
+    def test_min_sir_tracks_worst(self):
+        tracker = ReceptionTracker(threshold=0.01, signal_power_w=1.0)
+        for interference in (1.0, 10.0, 2.0):
+            tracker.update(0.0, interference)
+        assert tracker.min_sir == pytest.approx(0.1)
+
+    def test_thermal_noise_counts(self):
+        tracker = ReceptionTracker(
+            threshold=1.0, signal_power_w=1.0, noise_power_w=2.0
+        )
+        tracker.update(0.0, 0.0)
+        assert not tracker.ok
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ReceptionTracker(threshold=0.0, signal_power_w=1.0)

@@ -1,0 +1,135 @@
+"""Tests for the pseudo-random unaligned-slot schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import clip, total_length
+from repro.core.schedule import DEFAULT_RECEIVE_FRACTION, Schedule, hash_slot
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert hash_slot(1234, key=9) == hash_slot(1234, key=9)
+
+    def test_uniform_range(self):
+        values = [hash_slot(i, key=1) for i in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert 0.45 < sum(values) / len(values) < 0.55
+
+    def test_key_changes_everything(self):
+        same = sum(
+            hash_slot(i, key=1) == hash_slot(i, key=2) for i in range(1000)
+        )
+        assert same == 0
+
+    def test_negative_indices_defined(self):
+        assert 0.0 <= hash_slot(-17, key=3) < 1.0
+
+
+class TestScheduleBasics:
+    def test_default_receive_fraction_is_thesis_optimum(self):
+        assert DEFAULT_RECEIVE_FRACTION == 0.3
+
+    def test_slot_index_floor(self):
+        schedule = Schedule(slot_time=2.0)
+        assert schedule.slot_index(3.9) == 1
+        assert schedule.slot_index(4.0) == 2
+        assert schedule.slot_index(-0.5) == -1
+
+    def test_slot_bounds(self):
+        schedule = Schedule(slot_time=2.0)
+        assert schedule.slot_bounds(3) == (6.0, 8.0)
+
+    def test_designations_are_complementary(self):
+        schedule = Schedule(key=5)
+        for index in range(100):
+            assert schedule.is_receive_slot(index) != schedule.is_transmit_slot(index)
+
+    def test_empirical_duty_cycle_near_p(self):
+        schedule = Schedule(receive_fraction=0.3, key=7)
+        measured = schedule.empirical_receive_fraction(0, 50_000)
+        assert measured == pytest.approx(0.3, abs=0.01)
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.integers(0, 1000))
+    @settings(max_examples=20)
+    def test_duty_cycle_tracks_any_p(self, p, key):
+        schedule = Schedule(receive_fraction=p, key=key)
+        measured = schedule.empirical_receive_fraction(0, 20_000)
+        assert measured == pytest.approx(p, abs=0.02)
+
+    def test_rejects_degenerate_fractions(self):
+        with pytest.raises(ValueError):
+            Schedule(receive_fraction=0.0)
+        with pytest.raises(ValueError):
+            Schedule(receive_fraction=1.0)
+
+    def test_rejects_nonpositive_slot(self):
+        with pytest.raises(ValueError):
+            Schedule(slot_time=0.0)
+
+
+class TestWindows:
+    def test_windows_match_designations(self):
+        schedule = Schedule(slot_time=1.0, key=11)
+        windows = []
+        gen = schedule.receive_windows(0.0)
+        for _ in range(20):
+            windows.append(next(gen))
+        for lo, hi in windows:
+            # Every slot inside a receive window is a receive slot.
+            index = schedule.slot_index(lo)
+            while schedule.slot_start(index) < hi:
+                assert schedule.is_receive_slot(index)
+                index += 1
+
+    def test_windows_are_maximal_runs(self):
+        schedule = Schedule(slot_time=1.0, key=11)
+        gen = schedule.receive_windows(0.0)
+        previous_end = None
+        for _ in range(20):
+            lo, hi = next(gen)
+            # The slots just outside the window are transmit slots.
+            assert schedule.is_transmit_slot(schedule.slot_index(lo - 0.5))
+            assert schedule.is_transmit_slot(schedule.slot_index(hi))
+            if previous_end is not None:
+                assert lo > previous_end
+            previous_end = hi
+
+    def test_windows_partition_time(self):
+        schedule = Schedule(slot_time=1.0, receive_fraction=0.4, key=13)
+        horizon = 500.0
+        rx = total_length(clip(schedule.receive_windows(0.0), 0.0, horizon))
+        tx = total_length(clip(schedule.transmit_windows(0.0), 0.0, horizon))
+        assert rx + tx == pytest.approx(horizon)
+        assert rx / horizon == pytest.approx(0.4, abs=0.05)
+
+    def test_windows_start_mid_window(self):
+        schedule = Schedule(slot_time=1.0, key=17)
+        # Find a receive window, then restart iteration from inside it.
+        lo, hi = next(schedule.receive_windows(0.0))
+        middle = (lo + hi) / 2.0
+        first = next(schedule.receive_windows(middle))
+        assert first == (middle, hi)
+
+    def test_is_receiving_consistent_with_windows(self):
+        schedule = Schedule(slot_time=1.0, key=19)
+        for lo, hi in clip(schedule.receive_windows(0.0), 0.0, 100.0):
+            assert schedule.is_receiving_at(lo)
+            assert schedule.is_receiving_at((lo + hi) / 2.0)
+
+
+class TestHelpers:
+    def test_raster(self):
+        schedule = Schedule(key=23)
+        raster = schedule.raster(0, 50)
+        assert len(raster) == 50
+        assert raster[7] == schedule.is_receive_slot(7)
+
+    def test_max_packet_time_quarter_slot(self):
+        schedule = Schedule(slot_time=8.0)
+        assert schedule.max_packet_time() == 2.0
+
+    def test_max_packet_time_bounds(self):
+        with pytest.raises(ValueError):
+            Schedule().max_packet_time(0.0)

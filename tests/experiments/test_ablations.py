@@ -1,0 +1,134 @@
+"""Integration tests for the ablation experiments (small parameters)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestA1GuardJitter:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # Keep the committed default parameterisation: the zero-loss
+        # corner is a statistical statement about tail clock-model
+        # errors, verified at these exact parameters.
+        return get_experiment("A1")(
+            rendezvous_counts=(2, 8),
+            guard_fractions=(0.0, 0.1),
+        )
+
+    def test_sloppy_corner_loses(self, report):
+        assert report.claims["losses with 2 exchanges, guard 0.0"][1] > 0
+
+    def test_robust_corner_lossless(self, report):
+        assert report.claims["losses with 8 exchanges, guard 0.1"][1] == 0
+
+    def test_robustness_also_buys_throughput(self, report):
+        assert (
+            report.claims[
+                "robust corner also delivers more (ratio best/worst)"
+            ][1]
+            > 1.0
+        )
+
+
+class TestA2DespreaderSizing:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("A2")(
+            channel_counts=(1, 6), station_count=20, duration_slots=250
+        )
+
+    def test_single_channel_overflows(self, report):
+        assert report.claims["Type 2 losses with 1 channel(s)"][1] > 0
+
+    def test_enough_channels_eliminate_type2(self, report):
+        assert report.claims["Type 2 losses with 6 channels"][1] == 0
+
+    def test_gateway_tracks_parallel_receptions(self, report):
+        six_channel_row = next(r for r in report.rows if r[0] == 6)
+        assert six_channel_row[2] >= 2  # peak busy beyond one channel
+
+
+class TestA3CourtesyRate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("A3")(station_counts=(25,), duration_slots=150)
+
+    def test_rate_gain(self, report):
+        assert (
+            report.claims["design-rate gain from the courtesy (ratio on/off)"][1]
+            > 1.0
+        )
+
+    def test_both_variants_lossless(self, report):
+        loss_rows = [row[5] for row in report.rows]
+        assert all(losses == 0 for losses in loss_rows)
+
+
+class TestA5FixedRatePenalty:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("A5")(station_count=60, seeds=(109,))
+
+    def test_fixed_rate_leaves_capacity(self, report):
+        assert (
+            report.claims["aggregate capacity left on the table (uniform)"][1] > 1.0
+        )
+
+    def test_clustering_worsens_penalty(self, report):
+        assert (
+            report.claims[
+                "penalty grows with density variation (clustered / uniform)"
+            ][1]
+            > 1.0
+        )
+
+    def test_fixed_rate_is_minimum_achievable(self, report):
+        for row in report.rows:
+            _label, fixed, median, best, _penalty = row
+            assert fixed <= median <= best
+
+
+class TestA6SpatialReuse:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("A6")(station_count=25, duration_slots=200)
+
+    def test_structured_schemes_reuse_space(self, report):
+        shepard, tdma = report.claims[
+            "both structured schemes exceed single-channel use (concurrency > 1)"
+        ][1]
+        assert shepard > 1.0
+        assert tdma > 1.0
+
+    def test_scheme_beats_tdma_throughput(self, report):
+        assert (
+            report.claims["scheme outdelivers TDMA at equal physics (ratio)"][1]
+            > 1.0
+        )
+
+    def test_tdma_also_loss_free(self, report):
+        tdma_row = next(r for r in report.rows if r[0] == "tdma")
+        assert tdma_row[4] == 0
+
+    def test_aloha_loses(self, report):
+        aloha_row = next(r for r in report.rows if r[0] == "aloha")
+        assert aloha_row[4] > 0
+
+
+class TestA4TargetSirPolicy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("A4")()
+
+    def test_adaptive_saves_power(self, report):
+        assert (
+            report.claims["radiated-power saving (constant / adaptive)"][1] > 1.0
+        )
+
+    def test_adaptive_never_under_delivers(self, report):
+        assert report.claims["adaptive rule still clears every threshold"][1] >= 1.0
+
+    def test_constant_rule_over_delivers_somewhere(self, report):
+        constant_row = next(r for r in report.rows if "constant" in r[0])
+        assert constant_row[3] > 2.0  # max over-delivery factor

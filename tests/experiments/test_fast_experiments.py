@@ -1,0 +1,179 @@
+"""Integration tests: the analytic/geometry experiments reproduce the
+paper's numbers (small parameterisations for test speed)."""
+
+import math
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestF1SnrDecline:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("F1")(
+            mc_station_counts=(1000,), mc_duty_cycles=(0.5,), trials=8
+        )
+
+    def test_spot_value_reproduced(self, report):
+        measured = report.claims[
+            "SNR(eta=1) reaches -12 dB near 10^8 stations"
+        ][1]
+        assert "-12.6" in measured
+
+    def test_six_db_duty_gain(self, report):
+        assert report.claims["eta=0.25 improves SNR by +6 dB over eta=1"][
+            1
+        ] == pytest.approx(6.02, abs=0.01)
+
+    def test_monte_carlo_gap_small(self, report):
+        gap = report.claims["Monte-Carlo vs Eq.15 worst gap (dB)"][1]
+        assert gap < 1.5
+
+
+class TestF2Taxonomy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("F2")()
+
+    def test_each_type_staged_and_classified(self, report):
+        by_scene = {row[0]: row for row in report.rows}
+        assert "Type 1" in by_scene["1: bystander interferer"][3]
+        assert "Type 2" in by_scene["2: two senders, one receiver"][3]
+        assert "Type 3" in by_scene["3: receiver transmitting"][3]
+
+    def test_distant_bystander_tolerated(self, report):
+        survival_row = next(r for r in report.rows if r[0].startswith("4:"))
+        assert survival_row[2] == "survived"
+
+
+class TestF3RelayRule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("F3")(trials=500, station_count=40)
+
+    def test_criterion_always_agrees(self, report):
+        row = next(r for r in report.rows if r[0].startswith("circle"))
+        assert row[1] == row[2]  # agreements == cases
+
+    def test_centred_relay_halves(self, report):
+        assert report.claims["centred relay energy ratio"][1] == pytest.approx(0.5)
+
+    def test_routes_never_skip_helpful_relays(self, report):
+        assert report.claims["unused-relay violations"][1] == 0
+
+
+class TestF4Schedule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("F4")()
+
+    def test_twenty_station_raster(self, report):
+        assert len(report.rows) == 20
+
+    def test_duty_cycle_reproduced(self, report):
+        paper, measured = report.claims["receive duty cycle p"]
+        assert measured == pytest.approx(paper, abs=0.05)
+
+    def test_worked_example_found(self, report):
+        assert any("circled-instant" in name for name in report.claims)
+
+
+class TestT1Scheduling:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T1")(pairs=6, arrivals_per_pair=150, horizon_slots=8000)
+
+    def test_overlap_021(self, report):
+        paper, measured = report.claims["overlap fraction p(1-p)"]
+        assert measured == pytest.approx(paper, abs=0.02)
+
+    def test_wait_bernoulli_model(self, report):
+        paper, measured = report.claims[
+            "expected wait slots 1/(p(1-p)) (slotted model)"
+        ]
+        assert measured == pytest.approx(paper, abs=1.0)
+
+    def test_geometric_fairly_well_modeled(self, report):
+        worst = report.claims[
+            "worst per-slot deviation from geometric pmf ('fairly well modeled')"
+        ][1]
+        assert worst < 0.12
+
+
+class TestT5Neighbors:
+    def test_never_exceeds_eight(self):
+        report = get_experiment("T5")(
+            station_counts=(100,), placements_per_scale=2
+        )
+        assert report.claims["maximum routing neighbours"][1] <= 8
+
+
+class TestT6PowerControl:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T6")(station_count=80, density_factors=(1.0, 4.0))
+
+    def test_spread_collapses_under_control(self, report):
+        assert report.claims["delivered-power spread under control (dB)"][
+            1
+        ] == pytest.approx(0.0, abs=1e-6)
+
+    def test_density_compensation(self, report):
+        variation = report.claims[
+            "radiated power density variation across 16x density range"
+        ][1]
+        assert variation < 1.6
+
+
+class TestT8Metro:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T8")()
+
+    def test_hundreds_of_mbps(self, report):
+        measured = report.claims["raw per-station rate at 10^6 stations, 1 GHz"][1]
+        rate = float(measured.split()[0])
+        assert 100 <= rate <= 999
+
+    def test_capacity_spot_value(self, report):
+        assert report.claims["capacity at SNR 0.01 (b/s per kHz)"][1] == pytest.approx(
+            14.36, abs=0.01
+        )
+
+
+class TestT9Connectivity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T9")(station_count=300, placements=2)
+
+    def test_pi_and_four_pi(self, report):
+        paper, measured = report.claims[
+            "expected neighbours at reach 1 (pi) and 2 (4 pi)"
+        ]
+        assert measured[0] == pytest.approx(math.pi)
+        assert measured[1] == pytest.approx(4 * math.pi)
+
+    def test_reach_two_suffices(self, report):
+        assert report.claims["giant component at reach 2 (should suffice)"][1] > 0.95
+
+    def test_reach_one_insufficient(self, report):
+        assert report.claims["giant component at reach 1 (insufficient)"][1] < 0.9
+
+
+class TestT11Clocks:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T11")(trials=50_000)
+
+    def test_halving_per_bit(self, report):
+        ratio = report.claims[
+            "halving per extra offset bit (measured/analytic ratio ~ 1)"
+        ][1]
+        assert ratio == pytest.approx(1.0, abs=0.35)
+
+    def test_holdover_allows_rare_rendezvous(self, report):
+        hours = report.claims[
+            "drift-model holdover before a quarter-slot error (hours)"
+        ][1]
+        assert hours >= 24.0

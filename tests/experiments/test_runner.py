@@ -1,0 +1,54 @@
+"""Tests for the experiment harness and registry."""
+
+import pytest
+
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.runner import ExperimentReport
+
+
+EXPECTED_IDS = {
+    "F1", "F2", "F3", "F4",
+    "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11",
+    "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
+}
+
+
+class TestRegistry:
+    def test_every_design_md_experiment_registered(self):
+        assert set(all_experiments()) == EXPECTED_IDS
+
+    def test_lookup(self):
+        assert callable(get_experiment("F1"))
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("Z9")
+
+
+class TestReport:
+    def test_add_row_checks_arity(self):
+        report = ExperimentReport("X", "t", columns=("a", "b"))
+        report.add_row(1, 2)
+        with pytest.raises(ValueError):
+            report.add_row(1, 2, 3)
+
+    def test_claims_recorded(self):
+        report = ExperimentReport("X", "t", columns=("a",))
+        report.claim("thing", 1.0, 1.01)
+        assert report.claims["thing"] == (1.0, 1.01)
+
+    def test_format_contains_everything(self):
+        report = ExperimentReport("X", "demo", columns=("col1", "col2"))
+        report.add_row("v1", 3.14159)
+        report.claim("pi-ish", 3.14, 3.14159)
+        report.notes.append("a note")
+        text = report.format()
+        assert "X: demo" in text
+        assert "col1" in text and "v1" in text
+        assert "pi-ish" in text
+        assert "a note" in text
+
+    def test_format_numbers_compactly(self):
+        report = ExperimentReport("X", "t", columns=("v",))
+        report.add_row(123456789.0)
+        assert "1.235e+08" in report.format()

@@ -1,0 +1,56 @@
+"""Tests for the shared experiment setup helpers."""
+
+import pytest
+
+from repro.experiments.simsetup import (
+    add_uniform_poisson,
+    run_loaded_network,
+    standard_network,
+)
+from repro.net.network import NetworkConfig
+
+
+class TestStandardNetwork:
+    def test_builds_requested_size(self):
+        network = standard_network(12, placement_seed=3, trace=False)
+        assert network.station_count == 12
+
+    def test_placement_seed_reproducible(self):
+        a = standard_network(10, placement_seed=5, trace=False)
+        b = standard_network(10, placement_seed=5, trace=False)
+        assert (a.placement.positions == b.placement.positions).all()
+
+    def test_config_flows_through(self):
+        config = NetworkConfig(receive_fraction=0.4, seed=1)
+        network = standard_network(10, 1, config, trace=False)
+        assert network.config.receive_fraction == 0.4
+
+
+class TestAddUniformPoisson:
+    def test_one_source_per_station(self):
+        network = standard_network(8, 7, trace=False)
+        add_uniform_poisson(network, 0.05, traffic_seed=9)
+        assert len(network._sources) == 8
+
+    def test_rate_in_slot_units(self):
+        network = standard_network(8, 7, trace=False)
+        add_uniform_poisson(network, 0.05, traffic_seed=9)
+        source = network._sources[0]
+        assert source.rate == pytest.approx(0.05 / network.budget.slot_time)
+
+    def test_rejects_zero_load(self):
+        network = standard_network(8, 7, trace=False)
+        with pytest.raises(ValueError):
+            add_uniform_poisson(network, 0.0, traffic_seed=9)
+
+
+class TestRunLoadedNetwork:
+    def test_returns_network_and_result(self):
+        network, result = run_loaded_network(10, 0.05, 100, placement_seed=3)
+        assert network.station_count == 10
+        assert result.duration == pytest.approx(100 * network.budget.slot_time)
+
+    def test_deterministic(self):
+        _n1, r1 = run_loaded_network(10, 0.05, 100, placement_seed=3)
+        _n2, r2 = run_loaded_network(10, 0.05, 100, placement_seed=3)
+        assert r1.transmissions == r2.transmissions

@@ -1,0 +1,181 @@
+"""Property-based tests: the medium's accounting under random scenes.
+
+Hypothesis drives randomly generated transmission schedules through the
+physical medium and asserts the invariants that every experiment's
+bookkeeping rests on:
+
+* conservation: every transmission ends as exactly one delivery or one
+  loss record;
+* the oracle event value agrees with the records;
+* interference is additive and exclusion-correct;
+* no despreader channel leaks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.medium import Medium
+from repro.net.packet import Packet
+from repro.radio.spreadspectrum import DespreaderBank
+from repro.sim.engine import Environment
+
+
+class World:
+    def __init__(self, count, channels):
+        self.banks = [DespreaderBank(capacity=channels) for _ in range(count)]
+
+    def listen(self, station, now):
+        return True
+
+    def bank(self, station):
+        return self.banks[station]
+
+
+def build_medium(count, seed, channels=2, threshold=0.05):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, 100.0, (count, 2))
+    deltas = positions[:, None, :] - positions[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=-1))
+    gains = np.zeros((count, count))
+    mask = ~np.eye(count, dtype=bool)
+    gains[mask] = 1.0 / np.maximum(distances[mask], 1.0) ** 2
+    env = Environment()
+    world = World(count, channels)
+    medium = Medium(
+        env=env,
+        gains=gains,
+        thermal_noise_w=1e-9,
+        sir_thresholds=np.full(count, threshold),
+        listen_query=world.listen,
+        channel_query=world.bank,
+    )
+    return env, medium, world
+
+
+scene_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0),   # start time
+        st.integers(min_value=0, max_value=5),      # source
+        st.integers(min_value=0, max_value=5),      # destination
+        st.floats(min_value=0.1, max_value=3.0),    # duration
+        st.floats(min_value=0.1, max_value=100.0),  # power
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_scene(scene, seed=0, channels=2):
+    env, medium, world = build_medium(6, seed=seed, channels=channels)
+    outcomes = []
+    busy_until = {}
+    planned = 0
+    for start, source, destination, duration, power in sorted(scene):
+        if source == destination:
+            continue
+        # A station cannot start a burst while its previous one runs.
+        if busy_until.get(source, -1.0) > start:
+            continue
+        busy_until[source] = start + duration
+        planned += 1
+
+        def process(env, start=start, source=source, destination=destination,
+                    duration=duration, power=power):
+            if start > env.now:
+                yield env.timeout(start - env.now)
+            packet = Packet(
+                source=source, destination=destination,
+                size_bits=10.0, created_at=env.now,
+            )
+            done = medium.transmit(source, destination, packet, power, duration)
+            outcomes.append((yield done))
+
+        env.process(process(env))
+    env.run()
+    return medium, outcomes, planned, world
+
+
+class TestConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(scene_strategy, st.integers(min_value=0, max_value=1000))
+    def test_every_transmission_resolves_once(self, scene, seed):
+        medium, outcomes, planned, _world = run_scene(scene, seed=seed)
+        assert len(outcomes) == planned
+        assert medium.deliveries + len(medium.losses) == planned
+
+    @settings(max_examples=40, deadline=None)
+    @given(scene_strategy, st.integers(min_value=0, max_value=1000))
+    def test_oracle_agrees_with_records(self, scene, seed):
+        medium, outcomes, planned, _world = run_scene(scene, seed=seed)
+        assert sum(outcomes) == medium.deliveries
+        assert outcomes.count(False) == len(medium.losses)
+
+    @settings(max_examples=40, deadline=None)
+    @given(scene_strategy, st.integers(min_value=0, max_value=1000))
+    def test_medium_quiesces(self, scene, seed):
+        medium, _outcomes, _planned, _world = run_scene(scene, seed=seed)
+        assert medium.active_transmissions == []
+        assert all(
+            medium.interference_at(i, None) == 0.0 for i in range(6)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(scene_strategy, st.integers(min_value=0, max_value=1000))
+    def test_no_despreader_leaks(self, scene, seed):
+        _medium, _outcomes, _planned, world = run_scene(scene, seed=seed)
+        for bank in world.banks:
+            assert bank.busy_count == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(scene_strategy, st.integers(min_value=0, max_value=1000))
+    def test_every_loss_has_a_reason(self, scene, seed):
+        medium, _outcomes, _planned, _world = run_scene(scene, seed=seed)
+        valid = {"sir", "self_transmitting", "no_channel", "not_listening"}
+        for record in medium.losses:
+            assert record.reason in valid
+            if record.reason == "sir":
+                assert record.min_sir == record.min_sir  # not NaN
+                assert record.collision_types  # someone caused it
+
+
+class TestInterferenceArithmetic:
+    def test_additivity(self):
+        env, medium, world = build_medium(6, seed=3)
+
+        def burst(env, source, destination, power, duration):
+            packet = Packet(
+                source=source, destination=destination,
+                size_bits=10.0, created_at=env.now,
+            )
+            medium.transmit(source, destination, packet, power, duration)
+            yield env.timeout(0.0)
+
+        env.process(burst(env, 0, 1, 10.0, 5.0))
+        env.process(burst(env, 2, 3, 20.0, 5.0))
+        env.run(until=1.0)
+        total = medium.interference_at(4, None)
+        expected = 10.0 * medium.gains[4, 0] + 20.0 * medium.gains[4, 2]
+        assert total == pytest.approx(expected)
+
+    def test_exclusion_removes_exactly_one_contribution(self):
+        env, medium, world = build_medium(6, seed=4)
+
+        def burst(env, source, destination, power):
+            packet = Packet(
+                source=source, destination=destination,
+                size_bits=10.0, created_at=env.now,
+            )
+            medium.transmit(source, destination, packet, power, 5.0)
+            yield env.timeout(0.0)
+
+        env.process(burst(env, 0, 1, 10.0))
+        env.process(burst(env, 2, 1, 20.0))
+        env.run(until=1.0)
+        txs = {tx.source: tx for tx in medium.active_transmissions}
+        with_all = medium.interference_at(1, None)
+        without_zero = medium.interference_at(1, txs[0].seq)
+        assert with_all - without_zero == pytest.approx(
+            10.0 * medium.gains[1, 0]
+        )

@@ -1,0 +1,152 @@
+"""Tests for network assembly, calibration, and end-to-end runs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reception import required_sir
+from repro.net.network import NetworkConfig, build_network
+from repro.net.traffic import PoissonTraffic
+from repro.propagation.geometry import uniform_disk
+from repro.sim.streams import RandomStreams
+
+
+def loaded_network(count=20, seed=3, load=0.05, **config_overrides):
+    placement = uniform_disk(count, radius=800.0, seed=seed)
+    config = NetworkConfig(seed=seed, **config_overrides)
+    network = build_network(placement, config, trace=True)
+    rng = RandomStreams(seed + 1).stream("traffic")
+    for origin in range(count):
+        network.add_traffic(
+            PoissonTraffic(
+                origin=origin,
+                rate=load / network.budget.slot_time,
+                destinations=list(range(count)),
+                size_bits=config.packet_size_bits,
+                rng=rng,
+            )
+        )
+    return network
+
+
+class TestCalibration:
+    def test_slot_is_four_packet_airtimes(self):
+        network = loaded_network()
+        budget = network.budget
+        assert budget.slot_time == pytest.approx(4.0 * budget.packet_airtime)
+
+    def test_threshold_consistent_with_rate(self):
+        network = loaded_network()
+        budget = network.budget
+        assert required_sir(
+            budget.data_rate_bps, network.config.bandwidth_hz, network.config.beta
+        ) == pytest.approx(budget.sir_threshold)
+
+    def test_delivery_at_target_clears_threshold_under_bound(self):
+        # The zero-loss argument: target power over the worst
+        # interference bound leaves the safety margin.
+        network = loaded_network()
+        budget = network.budget
+        worst = float(budget.interference_bounds.max()) + budget.thermal_noise_w
+        sir = network.config.target_delivered_w / worst
+        assert sir >= budget.sir_threshold * network.config.safety_margin * 0.999
+
+    def test_respecting_neighbors_raises_rate(self):
+        with_courtesy = loaded_network(respect_neighbors=True)
+        without = loaded_network(respect_neighbors=False)
+        assert (
+            with_courtesy.budget.data_rate_bps >= without.budget.data_rate_bps
+        )
+
+    def test_power_lookup_delivers_target(self):
+        network = loaded_network()
+        for station in network.stations[:5]:
+            for hop in station.table.neighbors_in_use():
+                power = station.power_for(hop)
+                delivered = power * network.matrix.gain(hop, station.index)
+                assert delivered == pytest.approx(
+                    network.config.target_delivered_w, rel=1e-6
+                ) or power == pytest.approx(
+                    2.0 * network.config.target_delivered_w / network.budget.min_gain
+                )
+
+    def test_processing_gain_reported(self):
+        network = loaded_network()
+        budget = network.budget
+        assert budget.processing_gain_db == pytest.approx(
+            10.0 * math.log10(network.config.bandwidth_hz / budget.data_rate_bps)
+        )
+
+
+class TestRun:
+    def test_zero_losses_under_the_scheme(self):
+        network = loaded_network()
+        result = network.run(300 * network.budget.slot_time)
+        assert result.collision_free
+        assert result.hop_deliveries == result.transmissions
+
+    def test_packets_actually_flow(self):
+        network = loaded_network()
+        result = network.run(300 * network.budget.slot_time)
+        assert result.originated > 0
+        assert result.delivered_end_to_end > 0
+        assert result.mean_delay > 0
+
+    def test_result_consistency(self):
+        network = loaded_network()
+        result = network.run(200 * network.budget.slot_time)
+        assert result.hop_deliveries + result.losses_total == result.transmissions
+        assert 0.0 <= result.mean_duty_cycle <= result.max_duty_cycle <= 1.0
+
+    def test_reproducible_with_same_seeds(self):
+        first = loaded_network().run(150 * 1.0)
+        second = loaded_network().run(150 * 1.0)
+        assert first.transmissions == second.transmissions
+        assert first.delivered_end_to_end == second.delivered_end_to_end
+
+    def test_cannot_start_twice(self):
+        network = loaded_network()
+        network.start()
+        with pytest.raises(RuntimeError):
+            network.start()
+
+    def test_traffic_origin_validated(self):
+        network = loaded_network()
+        with pytest.raises(ValueError):
+            network.add_traffic(
+                PoissonTraffic(
+                    origin=999, rate=1.0, destinations=[0], size_bits=10.0,
+                    rng=np.random.default_rng(0),
+                )
+            )
+
+
+class TestConfigVariants:
+    def test_fifo_queue_config(self):
+        from repro.net.queueing import FifoQueue
+
+        network = loaded_network(fifo_queues=True)
+        assert isinstance(network.stations[0].queue, FifoQueue)
+
+    def test_min_hop_routing_config(self):
+        energy_net = loaded_network(min_hop_routing=False)
+        hop_net = loaded_network(min_hop_routing=True)
+        energy_costs = energy_net.tables[0].costs
+        hop_costs = hop_net.tables[0].costs
+        # Min-hop costs are integers (hop counts); energy costs are not.
+        assert all(cost == int(cost) for cost in hop_costs.values())
+        assert any(cost != int(cost) for cost in energy_costs.values())
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(receive_fraction=0.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(safety_margin=0.5)
+        with pytest.raises(ValueError):
+            NetworkConfig(clock_offset_span_slots=1.0)
+
+    def test_routing_neighbor_counts_small(self):
+        network = loaded_network(count=40, seed=11)
+        counts = network.routing_neighbor_counts()
+        assert max(counts) <= 8  # the paper's observed bound

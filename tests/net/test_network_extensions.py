@@ -1,0 +1,74 @@
+"""Tests for the network-level extensions: propagation-delay
+compensation (Section 3.3) and online rendezvous maintenance
+(Section 7's "occasionally rendezvous", during operation)."""
+
+import pytest
+
+from repro.experiments.simsetup import run_loaded_network, standard_network
+from repro.net.network import NetworkConfig
+from repro.radio.antenna import SPEED_OF_LIGHT
+
+
+class TestPropagationDelayCompensation:
+    def test_still_collision_free(self):
+        config = NetworkConfig(seed=5, model_propagation_delay=True)
+        _network, result = run_loaded_network(
+            20, 0.05, 250, placement_seed=5, traffic_seed=6, config=config
+        )
+        assert result.collision_free
+
+    def test_delay_lookup_is_distance_over_c(self):
+        config = NetworkConfig(seed=5, model_propagation_delay=True)
+        network = standard_network(10, 5, config, trace=False)
+        station = network.stations[0]
+        hop = station.table.neighbors_in_use()[0]
+        distance = float(
+            (
+                (network.placement.positions[hop] - network.placement.positions[0])
+                ** 2
+            ).sum()
+            ** 0.5
+        )
+        assert station.delay_for(hop) == pytest.approx(distance / SPEED_OF_LIGHT)
+
+    def test_default_is_zero_delay(self):
+        network = standard_network(10, 5, NetworkConfig(seed=5), trace=False)
+        station = network.stations[0]
+        hop = station.table.neighbors_in_use()[0]
+        assert station.delay_for(hop) == 0.0
+
+
+class TestOnlineRendezvous:
+    @staticmethod
+    def _run(refresh):
+        slot = standard_network(
+            15, 7, NetworkConfig(seed=7), trace=False
+        ).budget.slot_time
+        config = NetworkConfig(
+            seed=7,
+            rendezvous_jitter=0.02 * slot,
+            rendezvous_count=4,
+            guard_fraction=0.05,
+            clock_rate_error_ppm=200.0,
+            rendezvous_refresh_slots=refresh,
+        )
+        _network, result = run_loaded_network(
+            15, 0.04, 1500, placement_seed=7, traffic_seed=8, config=config
+        )
+        return result
+
+    def test_stale_models_drift_into_losses(self):
+        # Pre-run-only rendezvous + 200 ppm oscillators + jitter: the
+        # rate-fit residual grows over 1500 slots and windows start
+        # being missed.
+        result = self._run(refresh=None)
+        assert result.losses_total > 50
+
+    def test_periodic_refresh_restores_operation(self):
+        result = self._run(refresh=100.0)
+        stale = self._run(refresh=None)
+        assert result.losses_total < stale.losses_total / 20
+
+    def test_refresh_interval_validated(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(rendezvous_refresh_slots=0.0)

@@ -1,0 +1,62 @@
+"""Tests for packets and hop records."""
+
+import pytest
+
+from repro.net.packet import HopRecord, Packet
+
+
+def make_packet(**overrides):
+    params = dict(source=0, destination=5, size_bits=1000.0, created_at=2.0)
+    params.update(overrides)
+    return Packet(**params)
+
+
+class TestPacket:
+    def test_airtime(self):
+        assert make_packet().airtime(1e4) == pytest.approx(0.1)
+
+    def test_airtime_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            make_packet().airtime(0.0)
+
+    def test_unique_ids(self):
+        assert make_packet().packet_id != make_packet().packet_id
+
+    def test_rejects_self_addressed(self):
+        with pytest.raises(ValueError):
+            make_packet(destination=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_packet(size_bits=0.0)
+
+    def test_data_kind_default(self):
+        assert not make_packet().is_control
+
+    def test_control_kind(self):
+        assert make_packet(kind="rts").is_control
+
+
+class TestJourney:
+    def test_delay_from_hops(self):
+        packet = make_packet(created_at=1.0)
+        packet.hops.append(HopRecord(0, 3, start=2.0, end=2.5, power_w=1.0))
+        packet.hops.append(HopRecord(3, 5, start=4.0, end=4.5, power_w=1.0))
+        assert packet.delay() == pytest.approx(3.5)
+        assert packet.hop_count == 2
+        assert packet.delivered_at == 4.5
+
+    def test_delay_without_hops_raises(self):
+        with pytest.raises(ValueError):
+            make_packet().delay()
+
+    def test_energy_accumulates(self):
+        packet = make_packet()
+        packet.hops.append(HopRecord(0, 1, start=0.0, end=2.0, power_w=3.0))
+        packet.hops.append(HopRecord(1, 5, start=3.0, end=4.0, power_w=1.0))
+        assert packet.total_radiated_energy_j() == pytest.approx(7.0)
+
+    def test_hop_record_properties(self):
+        hop = HopRecord(0, 1, start=1.0, end=3.0, power_w=2.0)
+        assert hop.airtime == 2.0
+        assert hop.energy_j == 4.0

@@ -1,0 +1,114 @@
+"""Tests for station behaviour: intake, forwarding, wake-up."""
+
+import pytest
+
+from repro.net.network import NetworkConfig, build_network
+from repro.net.packet import Packet
+from repro.propagation.geometry import uniform_disk
+
+
+def tiny_network(count=8, seed=5, **config_overrides):
+    placement = uniform_disk(count, radius=500.0, seed=seed)
+    config = NetworkConfig(seed=seed, **config_overrides)
+    return build_network(placement, config, trace=True)
+
+
+class TestSubmit:
+    def test_fresh_packet_counts_as_originated(self):
+        network = tiny_network()
+        station = network.stations[0]
+        destination = next(
+            d for d in range(network.station_count)
+            if d != 0 and station.table.has_route(d)
+        )
+        station.submit(
+            Packet(source=0, destination=destination, size_bits=100.0, created_at=0.0)
+        )
+        assert station.stats.originated == 1
+        assert len(station.queue) == 1
+
+    def test_unroutable_packet_dropped_and_counted(self):
+        network = tiny_network()
+        station = network.stations[0]
+        ghost = Packet(
+            source=0, destination=network.station_count + 5,
+            size_bits=100.0, created_at=0.0,
+        )
+        station.submit(ghost)
+        assert station.stats.no_route_drops == 1
+        assert len(station.queue) == 0
+
+    def test_self_addressed_submission_rejected(self):
+        network = tiny_network()
+        with pytest.raises(ValueError):
+            network.stations[0].submit(
+                Packet(source=3, destination=0, size_bits=100.0, created_at=0.0)
+            )
+
+
+class TestArrivalEvents:
+    def test_enqueue_triggers_waiting_event(self):
+        network = tiny_network()
+        station = network.stations[0]
+        event = station.next_arrival()
+        assert not event.triggered
+        destination = next(
+            d for d in range(network.station_count)
+            if d != 0 and station.table.has_route(d)
+        )
+        station.submit(
+            Packet(source=0, destination=destination, size_bits=100.0, created_at=0.0)
+        )
+        assert event.triggered
+
+    def test_fresh_event_after_trigger(self):
+        network = tiny_network()
+        station = network.stations[0]
+        first = station.next_arrival()
+        destination = next(
+            d for d in range(network.station_count)
+            if d != 0 and station.table.has_route(d)
+        )
+        station.submit(
+            Packet(source=0, destination=destination, size_bits=100.0, created_at=0.0)
+        )
+        second = station.next_arrival()
+        assert second is not first
+        assert not second.triggered
+
+
+class TestForwarding:
+    def test_multihop_forwarding_records_hops(self):
+        network = tiny_network(count=12, seed=9)
+        # Find a pair whose route has at least two hops.
+        chosen = None
+        for source in range(network.station_count):
+            table = network.tables[source]
+            for destination in range(network.station_count):
+                if (
+                    source != destination
+                    and table.has_route(destination)
+                    and table.next_hop(destination) != destination
+                ):
+                    chosen = (source, destination)
+                    break
+            if chosen:
+                break
+        assert chosen is not None, "placement has no multihop routes"
+        source, destination = chosen
+        packet = Packet(
+            source=source, destination=destination, size_bits=100.0, created_at=0.0
+        )
+        network.stations[source].submit(packet)
+        network.start()
+        network.env.run(until=200 * network.budget.slot_time)
+        target = network.stations[destination]
+        assert target.stats.delivered_to_me == 1
+        assert packet.hop_count >= 2
+        assert packet.hops[-1].receiver == destination
+
+    def test_neighbor_view_missing_raises(self):
+        network = tiny_network()
+        with pytest.raises(LookupError, match="no clock model"):
+            # A station never rendezvouses with itself.
+            network.stations[0].neighbor_view(0)

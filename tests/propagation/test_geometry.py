@@ -1,0 +1,136 @@
+"""Tests for station placements and planar geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.propagation.geometry import (
+    Placement,
+    characteristic_length,
+    clustered,
+    jittered_grid,
+    pairwise_distances,
+    uniform_disk,
+    uniform_square,
+)
+
+
+class TestCharacteristicLength:
+    def test_unit_density(self):
+        assert characteristic_length(1.0) == 1.0
+
+    def test_inverse_sqrt(self):
+        assert characteristic_length(4.0) == 0.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            characteristic_length(0.0)
+
+    def test_expected_stations_in_characteristic_circle_is_pi(self):
+        # Section 6: rho * pi * (1/sqrt(rho))^2 == pi for any density.
+        density = 3.7
+        radius = characteristic_length(density)
+        assert density * math.pi * radius**2 == pytest.approx(math.pi)
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        positions = np.array([[0.0, 0.0], [3.0, 4.0], [-1.0, 1.0]])
+        distances = pairwise_distances(positions)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert np.allclose(distances, distances.T)
+        assert np.all(np.diag(distances) == 0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((3, 3)))
+
+
+class TestUniformDisk:
+    def test_count(self):
+        assert uniform_disk(50, seed=1).count == 50
+
+    def test_all_inside_radius(self):
+        placement = uniform_disk(500, radius=10.0, seed=2)
+        radii = np.sqrt((placement.positions**2).sum(axis=1))
+        assert np.all(radii <= 10.0)
+
+    def test_density(self):
+        placement = uniform_disk(100, radius=10.0, seed=3)
+        assert placement.density == pytest.approx(100 / (math.pi * 100.0))
+
+    def test_seed_reproducibility(self):
+        a = uniform_disk(20, seed=7).positions
+        b = uniform_disk(20, seed=7).positions
+        assert np.array_equal(a, b)
+
+    def test_area_uniformity(self):
+        # Half the area of the disk lies within r = R/sqrt(2); about
+        # half the stations should, too.
+        placement = uniform_disk(4000, radius=1.0, seed=4)
+        radii = np.sqrt((placement.positions**2).sum(axis=1))
+        inner = float(np.mean(radii <= 1.0 / math.sqrt(2.0)))
+        assert inner == pytest.approx(0.5, abs=0.03)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            uniform_disk(0)
+
+
+class TestOtherPlacements:
+    def test_square_bounds(self):
+        placement = uniform_square(200, side=4.0, seed=5)
+        assert np.all(np.abs(placement.positions) <= 2.0)
+
+    def test_grid_count_and_spacing(self):
+        placement = jittered_grid(5, spacing=2.0)
+        assert placement.count == 25
+        nearest = placement.nearest_neighbor_distances()
+        assert np.allclose(nearest, 2.0)
+
+    def test_grid_jitter_perturbs(self):
+        perfect = jittered_grid(4, spacing=1.0)
+        jittered = jittered_grid(4, spacing=1.0, jitter=0.1, seed=6)
+        assert not np.array_equal(perfect.positions, jittered.positions)
+
+    def test_clustered_count(self):
+        placement = clustered(5, 10, seed=8)
+        assert placement.count == 50
+
+    def test_clustered_is_lumpy(self):
+        # Nearest neighbours in a tight-cluster placement are far closer
+        # than the global density suggests.
+        placement = clustered(8, 12, radius=100.0, cluster_spread=0.01, seed=9)
+        nearest = placement.nearest_neighbor_distances()
+        assert float(np.median(nearest)) < placement.characteristic_length / 3.0
+
+
+class TestPlacementQueries:
+    def test_neighbors_within(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]])
+        placement = Placement(positions, region_radius=10.0)
+        assert list(placement.neighbors_within(0, 2.0)) == [1]
+
+    def test_neighbors_within_excludes_self(self):
+        positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+        placement = Placement(positions, region_radius=10.0)
+        assert 0 not in placement.neighbors_within(0, 100.0)
+
+    def test_neighbors_within_bad_index(self):
+        placement = uniform_disk(5, seed=1)
+        with pytest.raises(IndexError):
+            placement.neighbors_within(99, 1.0)
+
+    def test_nearest_neighbor_needs_two(self):
+        placement = uniform_disk(1, seed=1)
+        with pytest.raises(ValueError):
+            placement.nearest_neighbor_distances()
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=99))
+    def test_nearest_neighbor_positive(self, count, seed):
+        placement = uniform_disk(count, seed=seed)
+        assert np.all(placement.nearest_neighbor_distances() > 0.0)

@@ -1,0 +1,44 @@
+"""Tests for the radio-horizon model."""
+
+import pytest
+
+from repro.propagation.horizon import (
+    interference_circle_radius,
+    mutual_radio_horizon_m,
+    radio_horizon_m,
+)
+
+
+class TestRadioHorizon:
+    def test_ten_metre_antenna(self):
+        # d = sqrt(2 * 4/3 * 6371e3 * 10) ~= 13.0 km; the standard 4.12
+        # sqrt(h) km formula gives 13.0 km too.
+        assert radio_horizon_m(10.0) == pytest.approx(13_000, rel=0.01)
+
+    def test_grows_with_sqrt_height(self):
+        assert radio_horizon_m(40.0) == pytest.approx(2.0 * radio_horizon_m(10.0))
+
+    def test_zero_height_zero_horizon(self):
+        assert radio_horizon_m(0.0) == 0.0
+
+    def test_four_thirds_factor_extends(self):
+        assert radio_horizon_m(10.0) > radio_horizon_m(
+            10.0, effective_earth_factor=1.0
+        )
+
+    def test_rejects_negative_height(self):
+        with pytest.raises(ValueError):
+            radio_horizon_m(-1.0)
+
+
+class TestMutualHorizon:
+    def test_sum_of_horizons(self):
+        assert mutual_radio_horizon_m(10.0, 20.0) == pytest.approx(
+            radio_horizon_m(10.0) + radio_horizon_m(20.0)
+        )
+
+    def test_interference_circle_is_metro_sized(self):
+        # Section 4: "the circle could cover at least an entire
+        # metropolitan area" — ~26 km for rooftop antennas.
+        radius = interference_circle_radius(antenna_height_m=10.0)
+        assert 20_000 < radius < 35_000

@@ -1,0 +1,132 @@
+"""Tests for path-loss models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.propagation.models import (
+    AttenuatedFreeSpace,
+    FreeSpace,
+    ObstructedUrban,
+    PathLossExponent,
+    model_from_name,
+)
+
+
+class TestFreeSpace:
+    def test_inverse_square(self):
+        model = FreeSpace()
+        assert model.power_gain(10.0) == pytest.approx(0.01)
+
+    def test_six_db_per_doubling(self):
+        # Section 4: "falls off by a factor of four, or 6 db, for each
+        # doubling in distance".
+        model = FreeSpace()
+        assert model.power_gain(50.0) / model.power_gain(100.0) == pytest.approx(4.0)
+
+    def test_amplitude_is_sqrt(self):
+        model = FreeSpace()
+        assert model.amplitude_gain(10.0) == pytest.approx(0.1)
+
+    def test_constant_scales(self):
+        assert FreeSpace(constant=4.0).power_gain(2.0) == pytest.approx(1.0)
+
+    def test_near_field_clamp(self):
+        model = FreeSpace(near_field_clamp=1.0)
+        assert model.power_gain(0.0) == model.power_gain(1.0)
+
+    def test_vectorised(self):
+        gains = FreeSpace().power_gain(np.array([1.0, 2.0, 4.0]))
+        assert np.allclose(gains, [1.0, 0.25, 0.0625])
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            FreeSpace().power_gain(-1.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    def test_monotone_decreasing(self, distance):
+        model = FreeSpace()
+        assert model.power_gain(distance) >= model.power_gain(distance * 1.5)
+
+
+class TestPathLossExponent:
+    def test_matches_free_space_at_n2(self):
+        assert PathLossExponent(exponent=2.0).power_gain(7.0) == pytest.approx(
+            FreeSpace().power_gain(7.0)
+        )
+
+    def test_steeper_exponent_attenuates_more(self):
+        assert PathLossExponent(exponent=4.0).power_gain(10.0) < FreeSpace().power_gain(10.0)
+
+    def test_rejects_sub_unity_exponent(self):
+        with pytest.raises(ValueError):
+            PathLossExponent(exponent=0.5)
+
+
+class TestAttenuatedFreeSpace:
+    def test_reduces_to_free_space_at_zero_epsilon(self):
+        model = AttenuatedFreeSpace(epsilon=0.0)
+        assert model.power_gain(13.0) == pytest.approx(FreeSpace().power_gain(13.0))
+
+    def test_distant_interference_converges(self):
+        # Section 4: the e^-eps*r factor makes the interference integral
+        # converge.  Numerically: the annulus sum with attenuation is
+        # finite while the pure 1/r^2 sum grows with the outer bound.
+        model = AttenuatedFreeSpace(epsilon=0.05)
+        radii = np.linspace(1.0, 1e4, 200_000)
+        with_attenuation = float(
+            (model.power_gain(radii) * 2 * np.pi * radii).sum()
+        )
+        assert with_attenuation < 1e3  # finite, small
+
+    def test_attenuates_relative_to_free_space(self):
+        assert AttenuatedFreeSpace(epsilon=0.1).power_gain(50.0) < FreeSpace().power_gain(50.0)
+
+
+class TestObstructedUrban:
+    def test_reciprocal_matrix(self):
+        model = ObstructedUrban(shadowing_db=8.0, seed=3)
+        distances = np.array(
+            [[0.0, 10.0, 20.0], [10.0, 0.0, 15.0], [20.0, 15.0, 0.0]]
+        )
+        gains = model.gain_matrix(distances)
+        assert np.allclose(gains, gains.T)
+
+    def test_never_exceeds_free_space(self):
+        model = ObstructedUrban(shadowing_db=6.0, seed=4)
+        distances = np.abs(np.random.default_rng(0).uniform(5, 50, (6, 6)))
+        distances = (distances + distances.T) / 2
+        np.fill_diagonal(distances, 0.0)
+        free = FreeSpace().gain_matrix(distances)
+        obstructed = model.gain_matrix(distances)
+        assert np.all(obstructed <= free + 1e-15)
+
+    def test_reproducible_by_seed(self):
+        distances = np.array([[0.0, 9.0], [9.0, 0.0]])
+        a = ObstructedUrban(seed=5).gain_matrix(distances)
+        b = ObstructedUrban(seed=5).gain_matrix(distances)
+        assert np.array_equal(a, b)
+
+
+class TestGainMatrix:
+    def test_zero_diagonal(self):
+        distances = np.array([[0.0, 5.0], [5.0, 0.0]])
+        gains = FreeSpace().gain_matrix(distances)
+        assert gains[0, 0] == 0.0 and gains[1, 1] == 0.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            FreeSpace().gain_matrix(np.zeros((2, 3)))
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(model_from_name("free_space"), FreeSpace)
+        assert isinstance(model_from_name("path_loss", exponent=3.0), PathLossExponent)
+        assert isinstance(model_from_name("attenuated"), AttenuatedFreeSpace)
+        assert isinstance(model_from_name("obstructed"), ObstructedUrban)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown propagation model"):
+            model_from_name("warp_drive")

@@ -1,0 +1,63 @@
+"""Tests for antenna gains and the Friis link constant."""
+
+import math
+
+import pytest
+
+from repro.radio.antenna import (
+    Antenna,
+    SPEED_OF_LIGHT,
+    friis_constant,
+    friis_power_gain,
+    wavelength,
+)
+
+
+class TestWavelength:
+    def test_one_ghz(self):
+        assert wavelength(1e9) == pytest.approx(0.2998, abs=1e-3)
+
+    def test_inverse_relation(self):
+        assert wavelength(2e9) == pytest.approx(wavelength(1e9) / 2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestAntenna:
+    def test_isotropic_gain_is_unity(self):
+        assert Antenna().gain_linear == 1.0
+
+    def test_gain_conversion(self):
+        assert Antenna(gain_dbi=3.0103).gain_linear == pytest.approx(2.0, rel=1e-4)
+
+
+class TestFriis:
+    def test_free_space_loss_at_1km_1ghz(self):
+        # Canonical value: FSPL(1 km, 1 GHz) ~= 92.45 dB.
+        gain = friis_power_gain(1000.0, 1e9)
+        assert -10.0 * math.log10(gain) == pytest.approx(92.45, abs=0.05)
+
+    def test_inverse_square_law(self):
+        near = friis_power_gain(100.0, 1e9)
+        far = friis_power_gain(200.0, 1e9)
+        assert near / far == pytest.approx(4.0)
+
+    def test_antenna_gains_multiply(self):
+        base = friis_power_gain(100.0, 1e9)
+        boosted = friis_power_gain(
+            100.0, 1e9, Antenna(gain_dbi=3.0), Antenna(gain_dbi=3.0)
+        )
+        assert boosted / base == pytest.approx(10 ** 0.6, rel=1e-6)
+
+    def test_friis_constant_matches_unit_distance(self):
+        assert friis_constant(1e9) == pytest.approx(friis_power_gain(1.0, 1e9))
+
+    def test_constant_gives_gain_over_r_squared(self):
+        alpha = friis_constant(2.4e9)
+        assert alpha / 50.0**2 == pytest.approx(friis_power_gain(50.0, 2.4e9))
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            friis_power_gain(0.0, 1e9)

@@ -1,0 +1,50 @@
+"""Tests for the receiver configuration object."""
+
+import pytest
+
+from repro.core.reception import required_sir
+from repro.radio.receiver import Receiver
+
+
+def make_receiver(**overrides):
+    params = dict(
+        bandwidth_hz=1e6, data_rate_bps=1e4, noise_budget_w=2.0, beta=3.0
+    )
+    params.update(overrides)
+    return Receiver(**params)
+
+
+class TestReceiver:
+    def test_processing_gain(self):
+        assert make_receiver().processing_gain.db == pytest.approx(20.0)
+
+    def test_sir_threshold_matches_reception_model(self):
+        receiver = make_receiver()
+        assert receiver.sir_threshold == pytest.approx(
+            required_sir(1e4, 1e6, 3.0)
+        )
+
+    def test_target_power_clears_threshold_at_budget(self):
+        receiver = make_receiver()
+        target = receiver.target_received_power_w
+        assert receiver.can_receive(target, receiver.noise_budget_w)
+
+    def test_below_threshold_fails(self):
+        receiver = make_receiver()
+        target = receiver.target_received_power_w
+        assert not receiver.can_receive(0.9 * target, receiver.noise_budget_w)
+
+    def test_zero_interference_always_receives(self):
+        assert make_receiver().can_receive(1e-12, 0.0)
+
+    def test_rejects_rate_above_bandwidth(self):
+        with pytest.raises(ValueError):
+            make_receiver(data_rate_bps=2e6)
+
+    def test_rejects_negative_interference(self):
+        with pytest.raises(ValueError):
+            make_receiver().can_receive(1.0, -1.0)
+
+    def test_rejects_small_beta(self):
+        with pytest.raises(ValueError):
+            make_receiver(beta=0.5)

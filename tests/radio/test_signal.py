@@ -1,0 +1,130 @@
+"""Tests for decibel arithmetic and the Signal value object."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio.signal import (
+    Signal,
+    add_powers_db,
+    combine_powers,
+    db_to_linear,
+    dbm_to_watts,
+    linear_to_db,
+    power_rise_db,
+    watts_to_dbm,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_ten_db_is_factor_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_minus_three_db_is_half(self):
+        assert db_to_linear(-3.0103) == pytest.approx(0.5, rel=1e-4)
+
+    def test_linear_to_db_of_hundred(self):
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    @given(st.floats(min_value=-120.0, max_value=120.0))
+    def test_roundtrip(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9
+        )
+
+    def test_dbm_zero_is_one_milliwatt(self):
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watts(30.0) == pytest.approx(1.0)
+
+    def test_watts_to_dbm_roundtrip(self):
+        assert watts_to_dbm(dbm_to_watts(17.0)) == pytest.approx(17.0)
+
+    def test_watts_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watts_to_dbm(0.0)
+
+
+class TestPowerCombination:
+    def test_combine_sums(self):
+        assert combine_powers([1.0, 2.0, 3.0]) == 6.0
+
+    def test_combine_empty_is_zero(self):
+        assert combine_powers([]) == 0.0
+
+    def test_combine_rejects_negative(self):
+        with pytest.raises(ValueError):
+            combine_powers([1.0, -0.5])
+
+    def test_paper_example_20_plus_10_db(self):
+        # Section 7.3: 20 dB + 10 dB = 20.4 dB, "barely significant".
+        assert add_powers_db(20.0, 10.0) == pytest.approx(20.414, abs=1e-3)
+
+    def test_add_powers_db_equal_signals_gain_3db(self):
+        assert add_powers_db(10.0, 10.0) == pytest.approx(13.0103, abs=1e-3)
+
+    def test_add_powers_db_requires_input(self):
+        with pytest.raises(ValueError):
+            add_powers_db()
+
+    def test_one_db_rise_needs_quarter_power(self):
+        # Section 7.3: a 1 dB rise requires the addition to be at least
+        # about one fourth of the existing power.
+        assert power_rise_db(1.0, 0.259) == pytest.approx(1.0, abs=0.01)
+
+    def test_tiny_addition_is_insignificant(self):
+        assert power_rise_db(1.0, 0.01) < 0.05
+
+    def test_power_rise_rejects_zero_base(self):
+        with pytest.raises(ValueError):
+            power_rise_db(0.0, 1.0)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_power_rise_nonnegative(self, base, addition):
+        assert power_rise_db(base, addition) >= 0.0
+
+
+class TestSignal:
+    def test_attenuated_scales_power(self):
+        signal = Signal(power_w=2.0, bandwidth_hz=1e6)
+        assert signal.attenuated(0.25).power_w == 0.5
+
+    def test_attenuated_keeps_bandwidth(self):
+        signal = Signal(power_w=2.0, bandwidth_hz=1e6)
+        assert signal.attenuated(0.25).bandwidth_hz == 1e6
+
+    def test_scaled_db(self):
+        signal = Signal(power_w=1.0, bandwidth_hz=1e6)
+        assert signal.scaled_db(-20.0).power_w == pytest.approx(0.01)
+
+    def test_power_dbm(self):
+        assert Signal(1.0, 1e6).power_dbm == pytest.approx(30.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Signal(power_w=-1.0, bandwidth_hz=1e6)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            Signal(power_w=1.0, bandwidth_hz=0.0)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            Signal(1.0, 1e6).attenuated(-0.1)

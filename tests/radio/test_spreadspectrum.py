@@ -1,0 +1,124 @@
+"""Tests for processing gain and the despreader bank."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.radio.spreadspectrum import (
+    DespreaderBank,
+    DespreaderBusyError,
+    ProcessingGain,
+)
+
+
+class TestProcessingGain:
+    def test_from_db_roundtrip(self):
+        assert ProcessingGain.from_db(23.0).db == pytest.approx(23.0)
+
+    def test_paper_design_range_in_linear(self):
+        # 20-25 dB is a spreading ratio of 100-316.
+        assert ProcessingGain.from_db(20.0).linear == pytest.approx(100.0)
+        assert ProcessingGain.from_db(25.0).linear == pytest.approx(316.2, abs=0.1)
+
+    def test_from_rates(self):
+        gain = ProcessingGain.from_rates(1e6, 1e4)
+        assert gain.linear == pytest.approx(100.0)
+
+    def test_data_rate_inverse(self):
+        gain = ProcessingGain.from_db(20.0)
+        assert gain.data_rate(1e6) == pytest.approx(1e4)
+
+    def test_bandwidth_inverse(self):
+        gain = ProcessingGain.from_db(20.0)
+        assert gain.bandwidth(1e4) == pytest.approx(1e6)
+
+    def test_rejects_sub_unity(self):
+        with pytest.raises(ValueError):
+            ProcessingGain(0.5)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ProcessingGain.from_rates(0.0, 1.0)
+
+
+class TestDespreaderBank:
+    def test_acquire_returns_distinct_channels(self):
+        bank = DespreaderBank(capacity=3)
+        channels = {bank.acquire(f"t{i}") for i in range(3)}
+        assert channels == {0, 1, 2}
+
+    def test_full_bank_raises(self):
+        bank = DespreaderBank(capacity=1)
+        bank.acquire("a")
+        with pytest.raises(DespreaderBusyError):
+            bank.acquire("b")
+
+    def test_try_acquire_returns_none_when_full(self):
+        bank = DespreaderBank(capacity=1)
+        bank.acquire("a")
+        assert bank.try_acquire("b") is None
+
+    def test_rejections_counted(self):
+        bank = DespreaderBank(capacity=1)
+        bank.acquire("a")
+        bank.try_acquire("b")
+        bank.try_acquire("c")
+        assert bank.rejections == 2
+
+    def test_release_frees_channel(self):
+        bank = DespreaderBank(capacity=1)
+        bank.acquire("a")
+        bank.release("a")
+        assert bank.acquire("b") == 0
+
+    def test_release_unknown_token_raises(self):
+        with pytest.raises(KeyError):
+            DespreaderBank().release("ghost")
+
+    def test_duplicate_token_raises(self):
+        bank = DespreaderBank(capacity=2)
+        bank.acquire("a")
+        with pytest.raises(ValueError):
+            bank.acquire("a")
+
+    def test_peak_busy_tracks_high_water_mark(self):
+        bank = DespreaderBank(capacity=4)
+        bank.acquire("a")
+        bank.acquire("b")
+        bank.release("a")
+        bank.acquire("c")
+        assert bank.peak_busy == 2
+
+    def test_holds(self):
+        bank = DespreaderBank()
+        bank.acquire("a")
+        assert bank.holds("a")
+        assert not bank.holds("b")
+
+    def test_reset_stats(self):
+        bank = DespreaderBank(capacity=1)
+        bank.acquire("a")
+        bank.try_acquire("b")
+        bank.reset_stats()
+        assert bank.rejections == 0
+        assert bank.peak_busy == 1  # the live channel still counts
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DespreaderBank(capacity=0)
+
+    @given(st.lists(st.sampled_from(["acq", "rel"]), max_size=60))
+    def test_busy_count_never_exceeds_capacity(self, ops):
+        bank = DespreaderBank(capacity=3)
+        held = []
+        counter = 0
+        for op in ops:
+            if op == "acq":
+                token = f"t{counter}"
+                counter += 1
+                if bank.try_acquire(token) is not None:
+                    held.append(token)
+            elif held:
+                bank.release(held.pop())
+            assert 0 <= bank.busy_count <= 3
+            assert bank.free_count == 3 - bank.busy_count

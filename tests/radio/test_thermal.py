@@ -1,0 +1,39 @@
+"""Tests for the thermal noise floor."""
+
+import math
+
+import pytest
+
+from repro.radio.signal import watts_to_dbm
+from repro.radio.thermal import thermal_noise_power
+
+
+class TestThermalNoise:
+    def test_minus_174_dbm_per_hz(self):
+        # The RF engineer's constant: kTB at 290 K over 1 Hz.
+        assert watts_to_dbm(thermal_noise_power(1.0)) == pytest.approx(
+            -174.0, abs=0.1
+        )
+
+    def test_scales_linearly_with_bandwidth(self):
+        assert thermal_noise_power(2e6) == pytest.approx(
+            2.0 * thermal_noise_power(1e6)
+        )
+
+    def test_noise_figure_adds_db(self):
+        clean = thermal_noise_power(1e6)
+        noisy = thermal_noise_power(1e6, noise_figure_db=3.0)
+        assert noisy / clean == pytest.approx(10 ** 0.3)
+
+    def test_temperature_scaling(self):
+        assert thermal_noise_power(1e6, temperature_k=580.0) == pytest.approx(
+            2.0 * thermal_noise_power(1e6, temperature_k=290.0)
+        )
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(0.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power(1e6, temperature_k=0.0)

@@ -1,0 +1,90 @@
+"""Tests for transmitter state and duty-cycle accounting."""
+
+import pytest
+
+from repro.radio.transmitter import Transmitter, TransmitterBusyError
+
+
+class TestTransmitterLifecycle:
+    def test_begin_end_counts_transmission(self):
+        tx = Transmitter()
+        tx.begin(0.0, 0.5)
+        tx.end(2.0)
+        assert tx.transmissions == 1
+
+    def test_busy_flag(self):
+        tx = Transmitter()
+        assert not tx.is_transmitting
+        tx.begin(0.0, 0.5)
+        assert tx.is_transmitting
+        tx.end(1.0)
+        assert not tx.is_transmitting
+
+    def test_double_begin_raises(self):
+        tx = Transmitter()
+        tx.begin(0.0, 0.5)
+        with pytest.raises(TransmitterBusyError):
+            tx.begin(0.5, 0.5)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(TransmitterBusyError):
+            Transmitter().end(1.0)
+
+    def test_end_before_begin_raises(self):
+        tx = Transmitter()
+        tx.begin(5.0, 0.5)
+        with pytest.raises(ValueError):
+            tx.end(4.0)
+
+    def test_current_power_reflects_burst(self):
+        tx = Transmitter()
+        tx.begin(0.0, 0.7)
+        assert tx.current_power_w == 0.7
+        tx.end(1.0)
+        assert tx.current_power_w == 0.0
+
+
+class TestAccounting:
+    def test_time_transmitting_accumulates(self):
+        tx = Transmitter()
+        tx.begin(0.0, 1.0)
+        tx.end(2.0)
+        tx.begin(10.0, 1.0)
+        tx.end(13.0)
+        assert tx.time_transmitting == pytest.approx(5.0)
+
+    def test_energy_is_power_times_time(self):
+        tx = Transmitter()
+        tx.begin(0.0, 0.25)
+        tx.end(4.0)
+        assert tx.energy_radiated_j == pytest.approx(1.0)
+
+    def test_duty_cycle(self):
+        tx = Transmitter()
+        tx.begin(0.0, 1.0)
+        tx.end(3.0)
+        assert tx.duty_cycle(10.0) == pytest.approx(0.3)
+
+    def test_duty_cycle_rejects_zero_elapsed(self):
+        with pytest.raises(ValueError):
+            Transmitter().duty_cycle(0.0)
+
+
+class TestPowerLimits:
+    def test_clamp_power(self):
+        tx = Transmitter(max_power_w=2.0)
+        assert tx.clamp_power(5.0) == 2.0
+        assert tx.clamp_power(1.0) == 1.0
+
+    def test_clamp_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Transmitter().clamp_power(0.0)
+
+    def test_begin_rejects_over_limit(self):
+        tx = Transmitter(max_power_w=1.0)
+        with pytest.raises(ValueError):
+            tx.begin(0.0, 1.5)
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            Transmitter(max_power_w=0.0)

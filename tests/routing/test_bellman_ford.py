@@ -1,0 +1,85 @@
+"""Tests for the distributed distance-vector computations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.propagation.geometry import uniform_disk
+from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.models import FreeSpace
+from repro.routing.bellman_ford import DistributedBellmanFord, synchronous_rounds
+from repro.routing.min_energy import dijkstra, energy_costs
+
+
+def random_costs(count=15, seed=0, censor_quantile=0.5):
+    placement = uniform_disk(count, radius=100.0, seed=seed)
+    matrix = PropagationMatrix.from_placement(
+        placement, FreeSpace(near_field_clamp=1e-6)
+    )
+    threshold = float(
+        np.quantile(matrix.gains[matrix.gains > 0], censor_quantile)
+    )
+    return energy_costs(matrix.observed(min_gain=threshold))
+
+
+class TestSynchronousRounds:
+    def test_matches_dijkstra(self):
+        costs = random_costs(seed=1)
+        tables, _rounds = synchronous_rounds(costs)
+        for source in range(costs.shape[0]):
+            distance, _ = dijkstra(costs, source)
+            for destination in range(costs.shape[0]):
+                if destination == source:
+                    continue
+                if math.isfinite(distance[destination]):
+                    assert tables[source].cost(destination) == pytest.approx(
+                        float(distance[destination])
+                    )
+                else:
+                    assert not tables[source].has_route(destination)
+
+    def test_converges_within_station_count_rounds(self):
+        costs = random_costs(seed=2)
+        _tables, rounds = synchronous_rounds(costs)
+        assert rounds <= costs.shape[0]
+
+    def test_round_limit_enforced(self):
+        costs = random_costs(seed=3)
+        with pytest.raises(RuntimeError):
+            synchronous_rounds(costs, max_rounds=1)
+
+
+class TestDistributed:
+    def test_matches_dijkstra(self):
+        costs = random_costs(seed=4)
+        tables = DistributedBellmanFord(costs).run()
+        for source in range(costs.shape[0]):
+            distance, _ = dijkstra(costs, source)
+            for destination in range(costs.shape[0]):
+                if destination != source and math.isfinite(distance[destination]):
+                    assert tables[source].cost(destination) == pytest.approx(
+                        float(distance[destination])
+                    )
+
+    def test_message_order_does_not_change_fixed_point(self):
+        costs = random_costs(seed=5)
+        reference = DistributedBellmanFord(costs).run()
+        for seed in (0, 1, 2):
+            shuffled = DistributedBellmanFord(
+                costs, rng=np.random.default_rng(seed)
+            ).run()
+            for station in reference:
+                assert shuffled[station].costs == pytest.approx(
+                    reference[station].costs
+                )
+
+    def test_message_budget_enforced(self):
+        costs = random_costs(seed=6)
+        with pytest.raises(RuntimeError):
+            DistributedBellmanFord(costs).run(max_messages=3)
+
+    def test_rejects_nonpositive_costs(self):
+        costs = np.array([[math.inf, 0.0], [1.0, math.inf]])
+        with pytest.raises(ValueError):
+            DistributedBellmanFord(costs)

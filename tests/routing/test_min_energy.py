@@ -1,0 +1,159 @@
+"""Tests for minimum-energy routing."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.propagation.geometry import uniform_disk
+from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.models import FreeSpace
+from repro.routing.min_energy import (
+    build_tables,
+    dijkstra,
+    energy_costs,
+    min_energy_tables,
+    relay_helps,
+    route_energy,
+)
+from repro.routing.table import trace_route
+
+
+def random_matrix(count=25, seed=0):
+    placement = uniform_disk(count, radius=100.0, seed=seed)
+    return placement, PropagationMatrix.from_placement(
+        placement, FreeSpace(near_field_clamp=1e-6)
+    )
+
+
+class TestEnergyCosts:
+    def test_reciprocal_gains(self):
+        _, matrix = random_matrix(5)
+        costs = energy_costs(matrix)
+        assert costs[0, 1] == pytest.approx(1.0 / matrix.gain(0, 1))
+
+    def test_unusable_links_infinite(self):
+        _, matrix = random_matrix(10, seed=1)
+        threshold = float(np.median(matrix.gains[matrix.gains > 0]))
+        costs = energy_costs(matrix, min_gain=threshold)
+        weak = (matrix.gains <= threshold) & (matrix.gains > 0)
+        assert np.all(np.isinf(costs[weak]))
+
+    def test_diagonal_infinite(self):
+        _, matrix = random_matrix(5)
+        assert np.all(np.isinf(np.diag(energy_costs(matrix))))
+
+
+class TestDijkstra:
+    def test_matches_networkx(self):
+        _, matrix = random_matrix(20, seed=3)
+        costs = energy_costs(matrix)
+        graph = nx.DiGraph()
+        count = costs.shape[0]
+        for i in range(count):
+            for j in range(count):
+                if i != j and math.isfinite(costs[i, j]):
+                    graph.add_edge(i, j, weight=costs[i, j])
+        distance, _pred = dijkstra(costs, 0)
+        nx_lengths = nx.single_source_dijkstra_path_length(graph, 0)
+        for node, length in nx_lengths.items():
+            assert distance[node] == pytest.approx(length)
+
+    def test_unreachable_infinite(self):
+        costs = np.full((3, 3), math.inf)
+        costs[0, 1] = 1.0
+        distance, predecessor = dijkstra(costs, 0)
+        assert math.isinf(distance[2])
+        assert predecessor[2] == -1
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            dijkstra(np.zeros((2, 2)), 5)
+
+
+class TestBuildTables:
+    def test_matches_pure_python_dijkstra(self):
+        _, matrix = random_matrix(18, seed=4)
+        costs = energy_costs(matrix)
+        tables = build_tables(costs)
+        for source in (0, 7, 17):
+            distance, _ = dijkstra(costs, source)
+            for destination in range(18):
+                if destination == source:
+                    continue
+                assert tables[source].cost(destination) == pytest.approx(
+                    float(distance[destination])
+                )
+
+    def test_next_hops_consistent(self):
+        # Hop-by-hop forwarding reaches every destination at the
+        # advertised total cost (Section 6.2's consistency property).
+        _, matrix = random_matrix(15, seed=5)
+        tables = min_energy_tables(matrix)
+        for source in range(15):
+            for destination in range(15):
+                if source == destination:
+                    continue
+                path = trace_route(tables, source, destination)
+                assert path[0] == source and path[-1] == destination
+                assert route_energy(matrix, path) == pytest.approx(
+                    tables[source].cost(destination)
+                )
+
+    def test_transit_routing_invariant(self):
+        # "a minimum-energy route from A to C that goes through B will
+        # use the same route from B to C as any other route".
+        _, matrix = random_matrix(15, seed=6)
+        tables = min_energy_tables(matrix)
+        for source in range(15):
+            for destination in range(15):
+                if source == destination:
+                    continue
+                path = trace_route(tables, source, destination)
+                if len(path) < 3:
+                    continue
+                via = path[1]
+                assert trace_route(tables, via, destination) == path[1:]
+
+
+class TestRelayRule:
+    def test_midpoint_halves_energy(self):
+        a, c = (0.0, 0.0), (2.0, 0.0)
+        assert relay_helps(a, (1.0, 0.0), c)
+
+    def test_outside_circle_never_helps(self):
+        a, c = (0.0, 0.0), (2.0, 0.0)
+        assert not relay_helps(a, (1.0, 1.01), c)  # just outside
+        assert not relay_helps(a, (3.0, 0.0), c)
+
+    def test_on_circle_boundary_neutral(self):
+        # On the circle: |AB|^2 + |BC|^2 == |AC|^2 exactly (Thales).
+        a, c = (0.0, 0.0), (2.0, 0.0)
+        assert not relay_helps(a, (1.0, 1.0), c)
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-10, max_value=10),
+    )
+    def test_circle_criterion_property(self, bx, by):
+        a, c = (0.0, 0.0), (4.0, 0.0)
+        inside = (bx - 2.0) ** 2 + by**2 < 4.0
+        assert relay_helps(a, (bx, by), c) == inside
+
+
+class TestRouteEnergy:
+    def test_simple_path(self):
+        _, matrix = random_matrix(6, seed=7)
+        energy = route_energy(matrix, [0, 1, 2])
+        assert energy == pytest.approx(
+            1.0 / matrix.gain(1, 0) + 1.0 / matrix.gain(2, 1)
+        )
+
+    def test_requires_two_stations(self):
+        _, matrix = random_matrix(3, seed=8)
+        with pytest.raises(ValueError):
+            route_energy(matrix, [0])

@@ -1,0 +1,73 @@
+"""Tests for the min-hop routing baseline."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.propagation.geometry import uniform_disk
+from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.models import FreeSpace
+from repro.routing.min_hop import hop_costs, min_hop_tables
+from repro.routing.table import trace_route
+
+
+def usable_threshold(matrix):
+    return float(np.percentile(matrix.gains[matrix.gains > 0], 60))
+
+
+def random_matrix(count=20, seed=0):
+    placement = uniform_disk(count, radius=100.0, seed=seed)
+    return PropagationMatrix.from_placement(
+        placement, FreeSpace(near_field_clamp=1e-6)
+    )
+
+
+class TestHopCosts:
+    def test_unit_costs(self):
+        matrix = random_matrix(8, seed=1)
+        threshold = usable_threshold(matrix)
+        costs = hop_costs(matrix, threshold)
+        usable = matrix.gains >= threshold
+        np.fill_diagonal(usable, False)
+        assert np.all(costs[usable] == 1.0)
+        assert np.all(np.isinf(costs[~usable]))
+
+    def test_requires_threshold(self):
+        with pytest.raises(ValueError):
+            hop_costs(random_matrix(5), 0.0)
+
+
+class TestMinHopTables:
+    def test_depths_match_networkx(self):
+        matrix = random_matrix(20, seed=2)
+        threshold = usable_threshold(matrix)
+        tables = min_hop_tables(matrix, threshold)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(20))
+        usable = matrix.gains >= threshold
+        for i in range(20):
+            for j in range(i + 1, 20):
+                if usable[i, j]:
+                    graph.add_edge(i, j)
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for source in range(20):
+            for destination in range(20):
+                if source == destination:
+                    continue
+                expected = lengths[source].get(destination)
+                if expected is None:
+                    assert not tables[source].has_route(destination)
+                else:
+                    assert tables[source].cost(destination) == expected
+
+    def test_routes_are_followable(self):
+        matrix = random_matrix(15, seed=3)
+        threshold = usable_threshold(matrix)
+        tables = min_hop_tables(matrix, threshold)
+        for source in range(15):
+            for destination in range(15):
+                if source != destination and tables[source].has_route(destination):
+                    path = trace_route(tables, source, destination)
+                    assert len(path) - 1 == tables[source].cost(destination)

@@ -1,0 +1,75 @@
+"""Tests for routing tables and route tracing."""
+
+import pytest
+
+from repro.routing.table import RouteError, RoutingTable, trace_route
+
+
+class TestRoutingTable:
+    def test_set_and_get(self):
+        table = RoutingTable(0)
+        table.set_route(5, next_hop=2, cost=7.5)
+        assert table.next_hop(5) == 2
+        assert table.cost(5) == 7.5
+
+    def test_missing_route_raises(self):
+        with pytest.raises(RouteError):
+            RoutingTable(0).next_hop(9)
+
+    def test_route_to_self_rejected(self):
+        table = RoutingTable(3)
+        with pytest.raises(ValueError):
+            table.set_route(3, 1, 1.0)
+        with pytest.raises(ValueError):
+            table.next_hop(3)
+
+    def test_self_next_hop_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTable(3).set_route(5, 3, 1.0)
+
+    def test_replace_route(self):
+        table = RoutingTable(0)
+        table.set_route(5, 2, 10.0)
+        table.set_route(5, 4, 3.0)
+        assert table.next_hop(5) == 4
+
+    def test_neighbors_in_use_distinct_sorted(self):
+        table = RoutingTable(0)
+        table.set_route(5, 2, 1.0)
+        table.set_route(6, 2, 2.0)
+        table.set_route(7, 1, 3.0)
+        assert table.neighbors_in_use() == [1, 2]
+
+    def test_has_route_and_count(self):
+        table = RoutingTable(0)
+        assert not table.has_route(4)
+        table.set_route(4, 1, 1.0)
+        assert table.has_route(4)
+        assert table.destination_count == 1
+
+
+class TestTraceRoute:
+    def _tables(self):
+        # 0 -> 1 -> 2 -> 3 linear topology.
+        tables = {i: RoutingTable(i) for i in range(4)}
+        tables[0].set_route(3, 1, 3.0)
+        tables[1].set_route(3, 2, 2.0)
+        tables[2].set_route(3, 3, 1.0)
+        return tables
+
+    def test_follows_next_hops(self):
+        assert trace_route(self._tables(), 0, 3) == [0, 1, 2, 3]
+
+    def test_trivial_route(self):
+        assert trace_route({}, 4, 4) == [4]
+
+    def test_loop_detected(self):
+        tables = {0: RoutingTable(0), 1: RoutingTable(1)}
+        tables[0].set_route(9, 1, 1.0)
+        tables[1].set_route(9, 0, 1.0)
+        with pytest.raises(RouteError, match="loop"):
+            trace_route(tables, 0, 9)
+
+    def test_hop_limit(self):
+        with pytest.raises(RouteError):
+            trace_route(self._tables(), 0, 3, max_hops=2)

@@ -1,0 +1,130 @@
+"""Tests for event primitives."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class TestEventLifecycle:
+    def test_untriggered_state(self):
+        event = Event(Environment())
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_before_trigger_raises(self):
+        event = Event(Environment())
+        with pytest.raises(RuntimeError):
+            event.value
+
+    def test_succeed_fixes_value_immediately(self):
+        env = Environment()
+        event = env.event().succeed("v")
+        assert event.triggered and event.value == "v"
+        assert not event.processed  # callbacks run when the engine steps
+
+    def test_processed_after_step(self):
+        env = Environment()
+        event = env.event().succeed()
+        env.run()
+        assert event.processed
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event().succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_defused_failure_is_silent(self):
+        env = Environment()
+        event = env.event()
+        event.fail(ValueError("x"))
+        event.defuse()
+        env.run()  # must not raise
+
+    def test_subscribe_after_processed_fires_immediately(self):
+        env = Environment()
+        event = env.event().succeed()
+        env.run()
+        seen = []
+        event.subscribe(lambda e: seen.append(e.value))
+        assert seen == [None]
+
+    def test_unsubscribe(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        callback = lambda e: seen.append(1)
+        event.subscribe(callback)
+        event.unsubscribe(callback)
+        event.succeed()
+        env.run()
+        assert seen == []
+
+
+class TestTimeout:
+    def test_triggered_at_creation_processed_at_fire(self):
+        # The distinction that bit the MAC scheduler: a Timeout's value
+        # is fixed immediately; only `processed` reports firing.
+        env = Environment()
+        timer = env.timeout(5.0)
+        assert timer.triggered
+        assert not timer.processed
+        env.run()
+        assert timer.processed
+
+    def test_carries_value(self):
+        env = Environment()
+        timer = env.timeout(1.0, value="tick")
+        env.run()
+        assert timer.value == "tick"
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Timeout(Environment(), -1.0)
+
+
+class TestConditions:
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+        fast = env.timeout(1.0)
+        slow = env.timeout(9.0)
+        either = AnyOf(env, [fast, slow])
+        env.run(until=2.0)
+        assert either.processed
+        assert fast in either.value
+        assert slow not in either.value
+
+    def test_all_of_waits_for_every_child(self):
+        env = Environment()
+        a = env.timeout(1.0, value="a")
+        b = env.timeout(2.0, value="b")
+        both = AllOf(env, [a, b])
+        env.run(until=1.5)
+        assert not both.triggered
+        env.run()
+        assert both.value == {a: "a", b: "b"}
+
+    def test_empty_condition_fires_immediately(self):
+        env = Environment()
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_child_failure_fails_condition(self):
+        env = Environment()
+        bad = env.event()
+        condition = AnyOf(env, [bad, env.timeout(5.0)])
+        bad.fail(ValueError("child broke"))
+        condition.defuse()
+        env.run()
+        assert condition.triggered and not condition.ok
+
+    def test_cross_environment_rejected(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(ValueError):
+            AnyOf(env_a, [env_b.timeout(1.0)])

@@ -1,0 +1,192 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.events import Interrupt
+from repro.sim.process import Process
+
+
+class TestProcessBasics:
+    def test_return_value_becomes_event_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            return 42
+
+        process = env.process(worker(env))
+        env.run()
+        assert process.value == 42
+
+    def test_sequential_timeouts(self):
+        env = Environment()
+        ticks = []
+
+        def worker(env):
+            for _ in range(3):
+                yield env.timeout(2.0)
+                ticks.append(env.now)
+
+        env.process(worker(env))
+        env.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_process_waits_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(3.0)
+            return "child done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"saw: {result}"
+
+        parent_proc = env.process(parent(env))
+        env.run()
+        assert parent_proc.value == "saw: child done"
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+
+        process = env.process(worker(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_yielding_non_event_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        process = env.process(bad(env))
+        with pytest.raises(RuntimeError, match="not an Event"):
+            env.run()
+        assert not process.ok
+
+    def test_requires_generator(self):
+        with pytest.raises(TypeError):
+            Process(Environment(), lambda: None)
+
+    def test_immediate_return(self):
+        env = Environment()
+
+        def instant(env):
+            return "done"
+            yield  # pragma: no cover - makes this a generator
+
+        process = env.process(instant(env))
+        env.run()
+        assert process.value == "done"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+        caught = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                caught.append(interrupt.cause)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert caught == ["wake up"]
+
+    def test_interrupted_process_continues(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt:
+                log.append(("interrupted", env.now))
+            yield env.timeout(5.0)
+            log.append(("done", env.now))
+
+        def interrupter(env, victim):
+            yield env.timeout(2.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("interrupted", 2.0), ("done", 7.0)]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1.0)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def fragile(env):
+            yield env.timeout(100.0)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(fragile(env))
+        env.process(interrupter(env, victim))
+        with pytest.raises(Interrupt):
+            env.run()
+
+
+class TestExceptionFlow:
+    def test_exception_reaches_waiting_process(self):
+        env = Environment()
+        seen = []
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def waiter(env, child):
+            try:
+                yield child
+            except KeyError as exc:
+                seen.append(exc.args[0])
+
+        child = env.process(failing(env))
+        env.process(waiter(env, child))
+        env.run()
+        assert seen == ["inner"]
+
+    def test_exception_in_handler_propagates(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def bad_handler(env, child):
+            try:
+                yield child
+            except KeyError:
+                raise ValueError("handler broke")
+
+        child = env.process(failing(env))
+        env.process(bad_handler(env, child))
+        with pytest.raises(ValueError, match="handler broke"):
+            env.run()

@@ -1,0 +1,49 @@
+"""Tests for named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.streams import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_same_generator_instance(self):
+        streams = RandomStreams(0)
+        assert streams.stream("traffic") is streams.stream("traffic")
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(5).stream("x").random(4)
+        b = RandomStreams(5).stream("x").random(4)
+        assert np.array_equal(a, b)
+
+    def test_names_are_independent(self):
+        streams = RandomStreams(5)
+        a = streams.stream("a").random(4)
+        b = streams.stream("b").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_consuming_one_stream_leaves_others_untouched(self):
+        fresh = RandomStreams(9)
+        fresh.stream("noise").random(100)  # burn some draws
+        value = fresh.stream("placement").random()
+        assert value == RandomStreams(9).stream("placement").random()
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).stream("")
+
+    def test_integer_seed_stable(self):
+        assert RandomStreams(3).integer_seed("k") == RandomStreams(3).integer_seed("k")
+
+    def test_integer_seed_bits(self):
+        value = RandomStreams(3).integer_seed("k", bits=8)
+        assert 0 <= value < 256
+
+    def test_integer_seed_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).integer_seed("k", bits=0)

@@ -1,0 +1,67 @@
+"""Tests for the trace recorder."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_record_and_count(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "tx_start", station=3)
+        trace.record(2.0, "tx_end", station=3)
+        trace.record(2.5, "tx_start", station=4)
+        assert trace.count() == 3
+        assert trace.count("tx_start") == 2
+
+    def test_of_kind_in_order(self):
+        trace = TraceRecorder()
+        trace.record(2.0, "a")
+        trace.record(1.0, "b")
+        trace.record(3.0, "a")
+        assert [r.time for r in trace.of_kind("a")] == [2.0, 3.0]
+
+    def test_kinds_summary(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "x")
+        trace.record(0.0, "x")
+        trace.record(0.0, "y")
+        assert trace.kinds() == {"x": 2, "y": 1}
+
+    def test_between(self):
+        trace = TraceRecorder()
+        for t in (0.0, 1.0, 2.0, 3.0):
+            trace.record(t, "tick")
+        assert [r.time for r in trace.between(1.0, 3.0)] == [1.0, 2.0]
+
+    def test_between_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().between(2.0, 1.0)
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0.0, "x")
+        assert trace.count() == 0
+
+    def test_empty_recorder_is_not_falsy_trap(self):
+        # Regression: `trace or default` once replaced an enabled-but-
+        # empty recorder because __len__ made it falsy.
+        trace = TraceRecorder()
+        assert len(trace) == 0
+        assert trace.enabled
+
+    def test_payload_preserved(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "loss", reason="sir", station=7)
+        record = trace.of_kind("loss")[0]
+        assert record.data == {"reason": "sir", "station": 7}
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "x")
+        trace.clear()
+        assert trace.count() == 0 and trace.kinds() == {}
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record(0.0, "")

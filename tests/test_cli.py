@@ -1,0 +1,66 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_overrides
+
+
+class TestParseOverrides:
+    def test_literals(self):
+        overrides = parse_overrides(
+            ["count=5", "rate=0.5", "flag=True", "counts=(100, 200)"]
+        )
+        assert overrides == {
+            "count": 5,
+            "rate": 0.5,
+            "flag": True,
+            "counts": (100, 200),
+        }
+
+    def test_string_fallback(self):
+        assert parse_overrides(["name=free_space"]) == {"name": "free_space"}
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_overrides(["justakey"])
+
+
+class TestCommands:
+    def test_list_shows_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("F1", "T4", "T11", "A1"):
+            assert experiment_id in out
+
+    def test_run_fast_experiment(self, capsys):
+        code = main(
+            [
+                "run",
+                "F1",
+                "--set", "mc_station_counts=(300,)",
+                "--set", "mc_duty_cycles=(0.5,)",
+                "--set", "trials=4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F1:" in out
+        assert "claim" in out
+
+    def test_run_unknown_id_fails_cleanly(self, capsys):
+        assert main(["run", "Z9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_malformed_override_fails_cleanly(self, capsys):
+        assert main(["run", "F1", "--set", "nonsense"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_design_command(self, capsys):
+        assert main(["design", "--stations", "1e9", "--duty", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "processing_gain_db" in out
+
+    def test_metro_command(self, capsys):
+        assert main(["metro", "--stations", "1e6"]) == 0
+        out = capsys.readouterr().out
+        assert "raw_rate_mbps" in out

@@ -1,0 +1,54 @@
+"""Documentation consistency: DESIGN.md's experiment index, the
+experiment registry, and the benchmark files must agree."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import all_experiments
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestDesignDocIndex:
+    @pytest.fixture(scope="class")
+    def design_text(self):
+        return (REPO_ROOT / "DESIGN.md").read_text()
+
+    def test_every_registered_experiment_appears_in_design_md(self, design_text):
+        for experiment_id in all_experiments():
+            assert re.search(
+                rf"\|\s*{experiment_id}\s*\|", design_text
+            ), f"{experiment_id} missing from DESIGN.md's experiment index"
+
+    def test_every_design_bench_target_exists(self, design_text):
+        for match in re.finditer(r"`benchmarks/(bench_\w+\.py)`", design_text):
+            bench = REPO_ROOT / "benchmarks" / match.group(1)
+            assert bench.exists(), f"{match.group(1)} referenced but missing"
+
+
+class TestBenchCoverage:
+    def test_every_experiment_has_a_bench(self):
+        benches = " ".join(
+            path.read_text()
+            for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+        )
+        for experiment_id in all_experiments():
+            assert f'"{experiment_id}"' in benches, (
+                f"no benchmark invokes experiment {experiment_id}"
+            )
+
+    def test_every_bench_is_a_pytest_test(self):
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py"):
+            text = path.read_text()
+            assert "def test_bench_" in text, f"{path.name} has no test function"
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_appears_in_experiments_md(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for experiment_id in all_experiments():
+            assert re.search(
+                rf"(^|\|\s*|#+\s+){experiment_id}\b", text, re.MULTILINE
+            ), f"{experiment_id} missing from EXPERIMENTS.md"

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: whole-network invariants.
+
+These are the repository's strongest checks: full networks built from
+placement to MAC, run under load, with the paper's guarantees asserted
+against the physical medium's records rather than any shortcut.
+"""
+
+import pytest
+
+from repro.net.network import NetworkConfig, build_network
+from repro.net.traffic import PoissonTraffic
+from repro.propagation.geometry import clustered, uniform_disk
+from repro.propagation.models import ObstructedUrban
+from repro.routing.table import trace_route
+from repro.sim.streams import RandomStreams
+
+
+def build_loaded(
+    count=30,
+    seed=71,
+    load=0.06,
+    placement=None,
+    model=None,
+    **config_overrides,
+):
+    placement = placement or uniform_disk(count, radius=900.0, seed=seed)
+    config = NetworkConfig(seed=seed, **config_overrides)
+    network = build_network(placement, config, model=model, trace=True)
+    rng = RandomStreams(seed + 1).stream("traffic")
+    for origin in range(placement.count):
+        network.add_traffic(
+            PoissonTraffic(
+                origin=origin,
+                rate=load / network.budget.slot_time,
+                destinations=list(range(placement.count)),
+                size_bits=config.packet_size_bits,
+                rng=rng,
+            )
+        )
+    return network
+
+
+class TestCollisionFreedom:
+    def test_zero_losses_under_load(self):
+        network = build_loaded()
+        result = network.run(400 * network.budget.slot_time)
+        assert result.collision_free
+        assert result.hop_deliveries == result.transmissions
+        assert result.delivered_end_to_end > 50
+
+    def test_zero_losses_with_clock_jitter(self):
+        # Imperfect clock models, absorbed by the guard band.
+        network = build_loaded(
+            rendezvous_jitter=1e-3,
+            rendezvous_count=8,
+            guard_fraction=0.03,
+        )
+        result = network.run(300 * network.budget.slot_time)
+        assert result.collision_free
+
+    def test_zero_losses_on_clustered_placement(self):
+        placement = clustered(
+            cluster_count=6, per_cluster=5, radius=900.0,
+            cluster_spread=0.08, seed=73,
+        )
+        network = build_loaded(placement=placement, seed=73, load=0.04)
+        result = network.run(300 * network.budget.slot_time)
+        assert result.collision_free
+
+    def test_zero_losses_under_obstructed_propagation(self):
+        network = build_loaded(
+            model=ObstructedUrban(shadowing_db=6.0, seed=5, near_field_clamp=1e-6),
+            seed=79,
+            load=0.04,
+        )
+        result = network.run(300 * network.budget.slot_time)
+        assert result.collision_free
+
+
+class TestDeliveredPacketsFollowRoutes:
+    def test_hops_match_routing_tables(self):
+        network = build_loaded(count=20, seed=83)
+        result = network.run(300 * network.budget.slot_time)
+        assert result.delivered_end_to_end > 0
+        # Reconstruct each delivery's expected path from the tables.
+        for record in network.trace.of_kind("delivered"):
+            station = record.data["station"]
+            hops = record.data["hops"]
+            # The trace has no path, but the hop count must match the
+            # table-traced route length for *some* origin; verify via
+            # the stronger invariant: no delivered path is longer than
+            # the longest table route to this destination.
+            longest = max(
+                len(trace_route(network.tables, src, station)) - 1
+                for src in range(network.station_count)
+                if src != station and network.tables[src].has_route(station)
+            )
+            assert 1 <= hops <= longest
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_transcripts(self):
+        first = build_loaded(count=15, seed=89)
+        second = build_loaded(count=15, seed=89)
+        r1 = first.run(200 * first.budget.slot_time)
+        r2 = second.run(200 * second.budget.slot_time)
+        assert r1.transmissions == r2.transmissions
+        assert r1.delivered_end_to_end == r2.delivered_end_to_end
+        assert first.trace.kinds() == second.trace.kinds()
+        starts_1 = [(r.time, r.data["source"]) for r in first.trace.of_kind("tx_start")]
+        starts_2 = [(r.time, r.data["source"]) for r in second.trace.of_kind("tx_start")]
+        assert starts_1 == starts_2
+
+    def test_different_traffic_seed_changes_run(self):
+        base = build_loaded(count=15, seed=89)
+        base.run(200 * base.budget.slot_time)
+
+        placement = uniform_disk(15, radius=900.0, seed=89)
+        config = NetworkConfig(seed=89)
+        other = build_network(placement, config, trace=True)
+        rng = RandomStreams(12345).stream("traffic")
+        for origin in range(15):
+            other.add_traffic(
+                PoissonTraffic(
+                    origin=origin,
+                    rate=0.06 / other.budget.slot_time,
+                    destinations=list(range(15)),
+                    size_bits=config.packet_size_bits,
+                    rng=rng,
+                )
+            )
+        other.run(200 * other.budget.slot_time)
+        assert base.trace.count("tx_start") != other.trace.count("tx_start")
+
+
+class TestResourceSizing:
+    def test_despreader_never_needs_more_than_neighbors(self):
+        # Section 5: the despreader bank need not exceed the number of
+        # stations that might address this one.
+        network = build_loaded(count=30, seed=97, load=0.1)
+        network.run(300 * network.budget.slot_time)
+        for station in network.stations:
+            inbound = sum(
+                1
+                for other in network.stations
+                if other.index != station.index
+                and station.index in other.table.neighbors_in_use()
+            )
+            assert station.bank.peak_busy <= max(inbound, 1)
+
+    def test_no_despreader_rejections_with_twelve_channels(self):
+        network = build_loaded(count=30, seed=97, load=0.1)
+        result = network.run(300 * network.budget.slot_time)
+        assert result.despreader_rejections == 0
