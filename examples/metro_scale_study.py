@@ -16,7 +16,6 @@ Run::
     python examples/metro_scale_study.py
 """
 
-import numpy as np
 
 from repro.analysis import (
     MetroProjection,

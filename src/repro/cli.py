@@ -22,8 +22,9 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.analysis.metro import MetroProjection
 from repro.core.design import DesignPoint
 from repro.experiments import all_experiments, get_experiment
+from repro.sim.sanitizer import sanitized
 
-__all__ = ["main", "build_parser", "parse_overrides"]
+__all__ = ["main", "build_parser", "parse_overrides", "run_digest"]
 
 
 def parse_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
@@ -50,7 +51,7 @@ def _experiment_summary(run_callable) -> str:
 def _cmd_list(_args: argparse.Namespace) -> int:
     experiments = all_experiments()
 
-    def sort_key(eid: str):
+    def sort_key(eid: str) -> "tuple[str, int]":
         return (eid[0], int(eid[1:]))
 
     for experiment_id in sorted(experiments, key=sort_key):
@@ -102,6 +103,44 @@ def _cmd_metro(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_digest(
+    stations: int,
+    load: float,
+    duration_slots: float,
+    seed: int,
+) -> str:
+    """Run the T4-style loaded-network scenario once, sanitized, and
+    return the engine's replay digest."""
+    from repro.experiments.simsetup import run_loaded_network
+
+    with sanitized(True):
+        network, _ = run_loaded_network(
+            stations,
+            load,
+            duration_slots,
+            placement_seed=seed + stations,
+            traffic_seed=seed,
+        )
+    return network.env.replay_digest()
+
+
+def _cmd_verify_determinism(args: argparse.Namespace) -> int:
+    digests = []
+    for attempt in (1, 2):
+        digest = run_digest(args.stations, args.load, args.duration_slots, args.seed)
+        digests.append(digest)
+        print(f"run {attempt}: replay digest {digest}")
+    if digests[0] == digests[1]:
+        print("determinism verified: digests identical")
+        return 0
+    print(
+        "DETERMINISM VIOLATION: same-seed runs produced different replay "
+        "digests",
+        file=sys.stderr,
+    )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -144,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     metro_cmd.add_argument("--beta", type=float, default=1.0)
     metro_cmd.add_argument("--reach-doublings", type=float, default=0.0)
     metro_cmd.set_defaults(handler=_cmd_metro)
+
+    verify_cmd = commands.add_parser(
+        "verify-determinism",
+        help="run a seeded scenario twice and compare replay digests",
+    )
+    verify_cmd.add_argument("--stations", type=int, default=40)
+    verify_cmd.add_argument("--load", type=float, default=0.03)
+    verify_cmd.add_argument("--duration-slots", type=float, default=80.0)
+    verify_cmd.add_argument("--seed", type=int, default=29)
+    verify_cmd.set_defaults(handler=_cmd_verify_determinism)
 
     return parser
 

@@ -24,7 +24,13 @@ import enum
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Tuple
 
-__all__ = ["CollisionType", "InterferenceSource", "classify_loss"]
+__all__ = [
+    "CollisionType",
+    "InterferenceSource",
+    "classify_loss",
+    "classify_source",
+    "count_by_type",
+]
 
 
 class CollisionType(enum.Enum):

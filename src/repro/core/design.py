@@ -23,6 +23,7 @@ from repro.radio.signal import linear_to_db
 
 __all__ = [
     "expected_neighbors",
+    "RANGE_DOUBLING_LOSS_DB",
     "reach_for_expected_neighbors",
     "range_doubling_cost_db",
     "DesignPoint",

@@ -20,7 +20,13 @@ from repro.experiments.runner import ExperimentReport, register
 from repro.experiments.simsetup import add_uniform_poisson, standard_network
 from repro.mac.aloha import AlohaMac
 from repro.mac.tdma import TdmaMac, build_tdma_plan
-from repro.net.network import NetworkConfig
+from repro.net.network import (
+    LinkBudget,
+    MacFactory,
+    Network,
+    NetworkConfig,
+    NetworkResult,
+)
 from repro.sim.streams import RandomStreams
 
 __all__ = ["run"]
@@ -56,7 +62,9 @@ def run(
     concurrency = {}
     deliveries = {}
 
-    def build_and_run(name, factory, share_note):
+    def build_and_run(
+        name: str, factory: "MacFactory | None", share_note: str
+    ) -> "tuple[Network, NetworkResult]":
         config = NetworkConfig(seed=seed)
         network = standard_network(station_count, seed, config, mac_factory=factory)
         add_uniform_poisson(network, load_packets_per_slot, seed + 1)
@@ -75,7 +83,7 @@ def run(
     usable = probe.matrix.usable_links(probe.budget.min_gain)
     plan = build_tdma_plan(usable, probe.budget.packet_airtime)
 
-    def tdma_factory(_index, _budget):
+    def tdma_factory(_index: int, _budget: "LinkBudget") -> TdmaMac:
         return TdmaMac(plan)
 
     build_and_run(

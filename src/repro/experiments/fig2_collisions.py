@@ -15,9 +15,11 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.collisions import CollisionType
-from repro.net.medium import Medium
+from repro.net.medium import LossRecord, Medium
 from repro.net.packet import Packet
+from repro.radio.spreadspectrum import DespreaderBank
 from repro.sim.engine import Environment
+from repro.sim.process import ProcessGenerator
 
 __all__ = ["run"]
 
@@ -27,21 +29,19 @@ from repro.experiments.runner import ExperimentReport, register
 class _Everyone:
     """Listen-always stub standing in for stations in the mini-scenes."""
 
-    def __init__(self, banks) -> None:
+    def __init__(self, banks: "list[DespreaderBank]") -> None:
         self.banks = banks
 
     def listen(self, _station: int, _now: float) -> bool:
         return True
 
-    def bank(self, station: int):
+    def bank(self, station: int) -> DespreaderBank:
         return self.banks[station]
 
 
 def _mini_medium(
     gains: np.ndarray, threshold: float, channels: int = 1
 ) -> Tuple[Environment, Medium]:
-    from repro.radio.spreadspectrum import DespreaderBank
-
     env = Environment()
     count = gains.shape[0]
     banks = [DespreaderBank(capacity=channels) for _ in range(count)]
@@ -86,7 +86,7 @@ def run(threshold: float = 0.1) -> ExperimentReport:
     # (addressed elsewhere, very near 2) crushes 2's reception.
     env, medium = _mini_medium(_line_gains([0.0, 10.0, 11.0, 21.0]), threshold)
 
-    def scene1(env, medium):
+    def scene1(env: Environment, medium: Medium) -> ProcessGenerator:
         yield env.timeout(1.0)
         medium.transmit(3, 2, _packet(3, 2, env), power_w=100.0, duration=1.0)
         yield env.timeout(0.2)
@@ -103,7 +103,7 @@ def run(threshold: float = 0.1) -> ExperimentReport:
         _line_gains([0.0, 10.0, 20.0]), threshold, channels=1
     )
 
-    def scene2(env, medium):
+    def scene2(env: Environment, medium: Medium) -> ProcessGenerator:
         yield env.timeout(1.0)
         medium.transmit(0, 1, _packet(0, 1, env), power_w=50.0, duration=1.0)
         yield env.timeout(0.1)
@@ -118,7 +118,7 @@ def run(threshold: float = 0.1) -> ExperimentReport:
     # arrives; its own transmitter self-jams the reception.
     env, medium = _mini_medium(_line_gains([0.0, 10.0, 20.0]), threshold)
 
-    def scene3(env, medium):
+    def scene3(env: Environment, medium: Medium) -> ProcessGenerator:
         yield env.timeout(1.0)
         medium.transmit(1, 2, _packet(1, 2, env), power_w=50.0, duration=1.0)
         yield env.timeout(0.1)
@@ -134,7 +134,7 @@ def run(threshold: float = 0.1) -> ExperimentReport:
     # the reception must survive (spread spectrum absorbs it).
     env, medium = _mini_medium(_line_gains([0.0, 200.0, 11.0, 21.0]), threshold)
 
-    def scene4(env, medium):
+    def scene4(env: Environment, medium: Medium) -> ProcessGenerator:
         yield env.timeout(1.0)
         medium.transmit(3, 2, _packet(3, 2, env), power_w=100.0, duration=1.0)
         yield env.timeout(0.2)
@@ -173,5 +173,5 @@ def _report_scene(
     report.add_row(label, str(expected), loss.reason, types or "-")
 
 
-def _first_loss(medium: Medium):
+def _first_loss(medium: Medium) -> "LossRecord | None":
     return medium.losses[0] if medium.losses else None

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.net.network import MacFactory, Network, NetworkConfig, build_network
+from repro.net.network import (
+    MacFactory,
+    Network,
+    NetworkConfig,
+    NetworkResult,
+    build_network,
+)
 from repro.net.traffic import PoissonTraffic
 from repro.propagation.geometry import uniform_disk
 from repro.propagation.models import PropagationModel
@@ -74,7 +80,7 @@ def run_loaded_network(
     traffic_seed: int = 99,
     config: Optional[NetworkConfig] = None,
     mac_factory: Optional[MacFactory] = None,
-):
+) -> Tuple[Network, "NetworkResult"]:
     """Build, load, and run a standard network; returns (network, result)."""
     network = standard_network(station_count, placement_seed, config, mac_factory)
     add_uniform_poisson(network, packets_per_slot, traffic_seed)

@@ -29,7 +29,7 @@ from repro.net.packet import Packet
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
-__all__ = ["MacaMac"]
+__all__ = ["MacaMac", "RTS", "CTS"]
 
 RTS = "rts"
 CTS = "cts"

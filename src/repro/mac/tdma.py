@@ -29,7 +29,7 @@ of demand, while the pseudo-random schedules let demand find idle air.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -33,4 +33,5 @@ __all__ = [
     "TrafficSource",
     "TransmitQueue",
     "Transmission",
+    "build_network",
 ]

@@ -24,7 +24,7 @@ defines, not against a convenient abstraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field  # field used by ReceptionAttempt default
+from dataclasses import dataclass
 from itertools import count
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -37,7 +37,14 @@ from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["Transmission", "ReceptionAttempt", "LossRecord", "Medium"]
+__all__ = [
+    "Transmission",
+    "ReceptionAttempt",
+    "LossRecord",
+    "Medium",
+    "SELF_COUPLING_GAIN",
+    "SIGNIFICANT_FRACTION",
+]
 
 #: Power gain from a station's transmitter into its own receiver.  Real
 #: duplexer isolation leaves this vastly above any path gain; 0 dB is

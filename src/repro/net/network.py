@@ -29,7 +29,7 @@ explicit *link-budget calibration*:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -53,11 +53,19 @@ from repro.routing.min_hop import min_hop_tables
 from repro.routing.min_energy import min_energy_tables
 from repro.routing.table import RoutingTable
 from repro.sim.engine import Environment
+from repro.sim.process import ProcessGenerator
 from repro.sim.stats import Welford
 from repro.sim.streams import RandomStreams
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["NetworkConfig", "LinkBudget", "Network", "NetworkResult", "build_network"]
+__all__ = [
+    "NetworkConfig",
+    "LinkBudget",
+    "MacFactory",
+    "Network",
+    "NetworkResult",
+    "build_network",
+]
 
 MacFactory = Callable[[int, "LinkBudget"], MacProtocol]
 
@@ -548,7 +556,7 @@ def build_network(
         interval = config.rendezvous_refresh_slots * budget.slot_time
         jitter_rng = streams.stream("rendezvous-online")
 
-        def refresher():
+        def refresher() -> ProcessGenerator:
             return _rendezvous_refresher(
                 env, models, clocks, config.rendezvous_jitter, jitter_rng, interval
             )

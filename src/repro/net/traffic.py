@@ -17,7 +17,6 @@ station via a sink callable supplied by the network harness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -26,7 +25,13 @@ from repro.net.packet import Packet
 from repro.sim.engine import Environment
 from repro.sim.process import ProcessGenerator
 
-__all__ = ["TrafficSource", "PoissonTraffic", "CbrTraffic", "HotspotTraffic"]
+__all__ = [
+    "TrafficSource",
+    "PacketSink",
+    "PoissonTraffic",
+    "CbrTraffic",
+    "HotspotTraffic",
+]
 
 PacketSink = Callable[[Packet], None]
 

@@ -32,7 +32,7 @@ from repro.sim.process import ProcessGenerator
 if TYPE_CHECKING:  # pragma: no cover - avoids routing <-> net cycle
     from repro.net.station import Station
 
-__all__ = ["DistanceVectorOverlay"]
+__all__ = ["DistanceVectorOverlay", "DV_KIND"]
 
 DV_KIND = "dv"
 

@@ -3,6 +3,7 @@
 from repro.sim.engine import EmptySchedule, Environment
 from repro.sim.events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
 from repro.sim.process import Process, ProcessGenerator
+from repro.sim.sanitizer import DeterminismSanitizer, SanitizerError, sanitized
 from repro.sim.stats import Histogram, TimeWeighted, Welford
 from repro.sim.streams import RandomStreams
 from repro.sim.trace import TraceRecord, TraceRecorder
@@ -11,6 +12,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "DeterminismSanitizer",
     "EmptySchedule",
     "Environment",
     "Event",
@@ -19,6 +21,9 @@ __all__ = [
     "Process",
     "ProcessGenerator",
     "RandomStreams",
+    "SanitizerError",
+    "Timeout",
+    "sanitized",
     "TimeWeighted",
     "TraceRecord",
     "TraceRecorder",

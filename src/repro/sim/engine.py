@@ -15,6 +15,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.sim.events import NORMAL, URGENT, AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
+from repro.sim.sanitizer import DeterminismSanitizer, sanitize_default
 
 __all__ = ["Environment", "EmptySchedule"]
 
@@ -26,15 +27,30 @@ class EmptySchedule(Exception):
 class Environment:
     """Execution environment for a single simulation run.
 
+    Args:
+        initial_time: starting simulated time.
+        sanitize: enable the determinism sanitizer (invariant checks on
+            every step plus a replay digest; see
+            :mod:`repro.sim.sanitizer`).  ``None`` defers to the
+            process-wide default (``REPRO_SANITIZE=1`` or the
+            :func:`repro.sim.sanitizer.sanitized` context manager).
+
     Attributes:
         now: current simulated time.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self, initial_time: float = 0.0, sanitize: Optional[bool] = None
+    ) -> None:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = count()
         self._active_process: Optional[Process] = None
+        if sanitize is None:
+            sanitize = sanitize_default()
+        self._sanitizer: Optional[DeterminismSanitizer] = (
+            DeterminismSanitizer() if sanitize else None
+        )
 
     @property
     def now(self) -> float:
@@ -46,15 +62,36 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active_process
 
+    @property
+    def sanitizing(self) -> bool:
+        """Whether the determinism sanitizer is enabled."""
+        return self._sanitizer is not None
+
+    def replay_digest(self) -> str:
+        """Hex digest of the processed event stream so far.
+
+        Two runs of the same seeded scenario must return identical
+        digests; any divergence means nondeterminism leaked into the
+        event wheel.  Requires the sanitizer (``sanitize=True`` or
+        ``REPRO_SANITIZE=1``).
+        """
+        if self._sanitizer is None:
+            raise RuntimeError(
+                "replay digests require the determinism sanitizer; construct "
+                "the Environment with sanitize=True or set REPRO_SANITIZE=1"
+            )
+        return self._sanitizer.digest()
+
     # -- scheduling --------------------------------------------------
 
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Queue a triggered event for processing after ``delay``."""
         if delay < 0.0:
             raise ValueError("cannot schedule into the past")
-        heappush(
-            self._queue, (self._now + delay, priority, next(self._sequence), event)
-        )
+        when = self._now + delay
+        if self._sanitizer is not None:
+            self._sanitizer.check_schedule(event, when, self._now)
+        heappush(self._queue, (when, priority, next(self._sequence), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
@@ -63,9 +100,12 @@ class Environment:
     def step(self) -> None:
         """Process the single next event."""
         try:
-            when, _, _, event = heappop(self._queue)
+            when, priority, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no events scheduled") from None
+        if self._sanitizer is not None:
+            self._sanitizer.check_step(event, when, self._now)
+            self._sanitizer.record(when, priority, event)
         self._now = when
         event._run_callbacks()
         if event._ok is False and not event._defused:

@@ -14,7 +14,16 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.engine import Environment
 
-__all__ = ["Event", "Timeout", "Condition", "AnyOf", "AllOf", "Interrupt"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "URGENT",
+    "NORMAL",
+]
 
 #: Scheduling priorities; lower runs first among simultaneous events.
 URGENT = 0

@@ -1,0 +1,156 @@
+"""Runtime determinism sanitizer for the event wheel.
+
+The collision-freedom experiments assert *exact* outcomes (zero losses,
+bit-identical statistics), which only hold if the engine's event order
+is deterministic.  This module provides an opt-in debug mode that
+checks the wheel's invariants on every step:
+
+* simulated time is monotonic — processing never moves time backwards
+  (the observable symptom of scheduling into the past);
+* an event is processed at most once — re-scheduling an
+  already-processed event would double-run its callbacks;
+* scheduled times are finite — ``nan``/``inf`` would corrupt heap order.
+
+While enabled, the sanitizer also folds every processed event into a
+rolling **replay digest** (BLAKE2b over the event's time, priority, and
+type).  Two runs of the same seeded scenario must produce identical
+digests; :meth:`repro.sim.engine.Environment.replay_digest` exposes the
+hash and the ``repro verify-determinism`` CLI subcommand automates the
+two-run comparison.
+
+Enable per environment with ``Environment(sanitize=True)``, process-wide
+with the ``REPRO_SANITIZE=1`` environment variable, or lexically with
+the :func:`sanitized` context manager.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import struct
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.events import Event
+
+__all__ = [
+    "SanitizerError",
+    "DeterminismSanitizer",
+    "sanitize_default",
+    "sanitized",
+    "ENV_VAR",
+]
+
+#: Environment variable that turns the sanitizer on process-wide.
+ENV_VAR = "REPRO_SANITIZE"
+
+_FALSEY = frozenset({"", "0", "false", "no", "off"})
+
+# Lexical override installed by :func:`sanitized`; beats the env var.
+_default_override: Optional[bool] = None
+
+
+class SanitizerError(AssertionError):
+    """An event-wheel invariant was violated.
+
+    Derives from :class:`AssertionError`: a sanitizer failure means the
+    simulation's *internal* consistency is broken, not that a scenario
+    was misconfigured.
+    """
+
+
+def sanitize_default() -> bool:
+    """Whether new environments sanitize by default.
+
+    The :func:`sanitized` context manager takes precedence; otherwise
+    the ``REPRO_SANITIZE`` environment variable decides (any value but
+    ``0``/``false``/``no``/``off``/empty enables).
+    """
+    if _default_override is not None:
+        return _default_override
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _FALSEY
+
+
+@contextmanager
+def sanitized(enabled: bool = True) -> Iterator[None]:
+    """Force the sanitizer default for environments built in this block."""
+    global _default_override
+    previous = _default_override
+    _default_override = enabled
+    try:
+        yield
+    finally:
+        _default_override = previous
+
+
+class DeterminismSanitizer:
+    """Per-environment invariant checker and replay hasher.
+
+    The digest covers, per processed event: the processing time (raw
+    IEEE-754 bits, so even ULP-level drift is caught), the scheduling
+    priority, the event's class name, and whether it succeeded.  Object
+    identities and values are deliberately excluded — ``repr`` of
+    arbitrary payloads is not stable across processes.
+    """
+
+    def __init__(self) -> None:
+        self._digest = hashlib.blake2b(digest_size=16)
+        self._events = 0
+        self._last_time = -math.inf
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events folded into the digest so far."""
+        return self._events
+
+    def check_schedule(self, event: "Event", when: float, now: float) -> None:
+        """Validate one scheduling request (called from ``schedule``)."""
+        if not math.isfinite(when):
+            raise SanitizerError(
+                f"scheduled event {type(event).__name__} at non-finite time "
+                f"{when!r}"
+            )
+        if when < now:
+            raise SanitizerError(
+                f"scheduled event {type(event).__name__} at t={when!r}, "
+                f"before the current time t={now!r}"
+            )
+        if event.processed:
+            raise SanitizerError(
+                f"re-scheduled already-processed event {type(event).__name__}; "
+                "events are one-shot and must not be re-triggered"
+            )
+
+    def check_step(self, event: "Event", when: float, now: float) -> None:
+        """Validate the next event about to be processed."""
+        if not math.isfinite(when):
+            raise SanitizerError(
+                f"event {type(event).__name__} queued at non-finite time "
+                f"{when!r}"
+            )
+        if when < now:
+            raise SanitizerError(
+                f"event wheel time went backwards: processing "
+                f"{type(event).__name__} at t={when!r} after t={now!r} "
+                "(an event was scheduled into the past)"
+            )
+        if event.processed:
+            raise SanitizerError(
+                f"event {type(event).__name__} is being processed twice"
+            )
+
+    def record(self, when: float, priority: int, event: "Event") -> None:
+        """Fold one processed event into the replay digest."""
+        ok = event._ok  # noqa: SLF001 - sanitizer is an engine internal
+        self._digest.update(
+            struct.pack("<dIB", when, priority, 1 if ok else 0)
+        )
+        self._digest.update(type(event).__name__.encode("ascii", "replace"))
+        self._events += 1
+        self._last_time = when
+
+    def digest(self) -> str:
+        """Hex digest of the event stream processed so far."""
+        return self._digest.hexdigest()

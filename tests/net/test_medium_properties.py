@@ -76,7 +76,11 @@ def run_scene(scene, seed=0, channels=2):
         if source == destination:
             continue
         # A station cannot start a burst while its previous one runs.
-        if busy_until.get(source, -1.0) > start:
+        # >= not >: a burst ending at exactly `start` is still active at
+        # that instant (the medium processes the end event after any
+        # same-time start), so back-to-back bursts must be skipped too.
+        # Hypothesis found the tie via 1.0 + 1.39e-102 == 1.0.
+        if busy_until.get(source, -1.0) >= start:
             continue
         busy_until[source] = start + duration
         planned += 1

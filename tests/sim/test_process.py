@@ -62,7 +62,7 @@ class TestProcessBasics:
         env = Environment()
 
         def bad(env):
-            yield 42
+            yield 42  # noqa: REP007 - deliberately broken process
 
         process = env.process(bad(env))
         with pytest.raises(RuntimeError, match="not an Event"):
@@ -78,7 +78,7 @@ class TestProcessBasics:
 
         def instant(env):
             return "done"
-            yield  # pragma: no cover - makes this a generator
+            yield  # noqa: REP007 - pragma: no cover - makes this a generator
 
         process = env.process(instant(env))
         env.run()

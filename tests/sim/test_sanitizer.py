@@ -1,0 +1,195 @@
+"""The determinism sanitizer: invariants, digests, and opt-in plumbing."""
+
+from heapq import heappush
+
+import pytest
+
+from repro.experiments.simsetup import run_loaded_network
+from repro.sim.engine import Environment
+from repro.sim.events import NORMAL, Event
+from repro.sim.sanitizer import (
+    ENV_VAR,
+    DeterminismSanitizer,
+    SanitizerError,
+    sanitize_default,
+    sanitized,
+)
+
+
+def drain(env):
+    while True:
+        try:
+            env.step()
+        except Exception:
+            break
+
+
+class TestOptIn:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not Environment().sanitizing
+
+    def test_explicit_flag(self):
+        assert Environment(sanitize=True).sanitizing
+        assert not Environment(sanitize=False).sanitizing
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert sanitize_default()
+        assert Environment().sanitizing
+
+    def test_env_var_falsey_values(self, monkeypatch):
+        for value in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert not sanitize_default()
+
+    def test_context_manager_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        with sanitized(False):
+            assert not Environment().sanitizing
+        assert Environment().sanitizing
+
+    def test_explicit_flag_beats_context(self):
+        with sanitized(True):
+            assert not Environment(sanitize=False).sanitizing
+
+    def test_digest_requires_sanitizer(self):
+        with pytest.raises(RuntimeError, match="REPRO_SANITIZE"):
+            Environment(sanitize=False).replay_digest()
+
+
+class TestInvariants:
+    def test_catches_schedule_into_the_past(self):
+        """An event smuggled into the wheel behind `now` is caught."""
+        env = Environment(sanitize=True)
+        env.run(until=env.timeout(5.0))
+        stale = Event(env)
+        stale._ok = True
+        # Bypass schedule()'s delay check, as a buggy component that
+        # manipulates the queue (or corrupts `now`) effectively would.
+        heappush(env._queue, (1.0, NORMAL, 999, stale))
+        with pytest.raises(SanitizerError, match="backwards"):
+            env.step()
+
+    def test_env_var_enabled_sanitizer_catches_injected_bug(self, monkeypatch):
+        """REPRO_SANITIZE=1 alone (no code changes) catches the bug."""
+        monkeypatch.setenv(ENV_VAR, "1")
+        env = Environment()
+        env.run(until=env.timeout(5.0))
+        stale = Event(env)
+        stale._ok = True
+        heappush(env._queue, (1.0, NORMAL, 999, stale))
+        with pytest.raises(SanitizerError, match="scheduled into the past"):
+            env.step()
+
+    def test_unsanitized_engine_misses_the_same_bug(self):
+        env = Environment(sanitize=False)
+        env.run(until=env.timeout(5.0))
+        stale = Event(env)
+        stale._ok = True
+        heappush(env._queue, (1.0, NORMAL, 999, stale))
+        env.step()  # silently rewinds time — the failure mode we sanitize
+        assert env.now == pytest.approx(1.0)
+
+    def test_catches_rescheduling_processed_event(self):
+        env = Environment(sanitize=True)
+        event = env.event()
+        event.succeed("once")
+        env.run()
+        assert event.processed
+        with pytest.raises(SanitizerError, match="one-shot"):
+            env.schedule(event)
+
+    def test_catches_non_finite_schedule(self):
+        env = Environment(sanitize=True)
+        event = env.event()
+        event._ok = True
+        with pytest.raises(SanitizerError, match="non-finite"):
+            env.schedule(event, delay=float("nan"))
+
+    def test_clean_run_unaffected(self):
+        env = Environment(sanitize=True)
+        results = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, "tick")
+            results.append(value)
+            return env.now
+
+        process = env.process(proc(env))
+        env.run()
+        assert results == ["tick"]
+        assert process.value == pytest.approx(1.0)
+
+
+class TestReplayDigest:
+    def test_digest_counts_events(self):
+        env = Environment(sanitize=True)
+        env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        sanitizer = env._sanitizer
+        assert sanitizer.events_processed == 2
+
+    def test_identical_scripted_runs_match(self):
+        def run_once():
+            env = Environment(sanitize=True)
+
+            def proc(env):
+                for _ in range(5):
+                    yield env.timeout(0.3)
+
+            env.process(proc(env))
+            env.run()
+            return env.replay_digest()
+
+        assert run_once() == run_once()
+
+    def test_different_schedules_differ(self):
+        def run_once(delay):
+            env = Environment(sanitize=True)
+            env.timeout(delay)
+            env.run()
+            return env.replay_digest()
+
+        assert run_once(1.0) != run_once(2.0)
+
+    def test_record_is_order_sensitive(self):
+        first = DeterminismSanitizer()
+        second = DeterminismSanitizer()
+        env = Environment(sanitize=False)
+        a, b = Event(env), Event(env)
+        a._ok = True
+        b._ok = False
+        first.record(1.0, 0, a)
+        first.record(2.0, 1, b)
+        second.record(2.0, 1, b)
+        second.record(1.0, 0, a)
+        assert first.digest() != second.digest()
+
+
+class TestT4Determinism:
+    """The acceptance criterion: the collision-free scenario replays
+    bit-identically under the same seed."""
+
+    SCENARIO = dict(
+        station_count=40,
+        packets_per_slot=0.03,
+        duration_slots=60.0,
+        traffic_seed=29,
+    )
+
+    def _digest(self, placement_seed=69):
+        with sanitized(True):
+            network, result = run_loaded_network(
+                placement_seed=placement_seed, **self.SCENARIO
+            )
+        assert network.env.sanitizing
+        assert result.losses_total == 0  # still collision-free when sanitized
+        return network.env.replay_digest()
+
+    def test_same_seed_runs_are_bit_identical(self):
+        assert self._digest() == self._digest()
+
+    def test_different_seed_runs_differ(self):
+        assert self._digest() != self._digest(placement_seed=70)

@@ -64,3 +64,19 @@ class TestCommands:
         assert main(["metro", "--stations", "1e6"]) == 0
         out = capsys.readouterr().out
         assert "raw_rate_mbps" in out
+
+    def test_verify_determinism_command(self, capsys):
+        code = main(
+            [
+                "verify-determinism",
+                "--stations", "25",
+                "--duration-slots", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "determinism verified" in out
+        digests = [
+            line.split()[-1] for line in out.splitlines() if "replay digest" in line
+        ]
+        assert len(digests) == 2 and digests[0] == digests[1]

@@ -1,0 +1,280 @@
+"""Positive and negative fixtures for every reprolint rule."""
+
+import textwrap
+from pathlib import Path
+
+from tools.reprolint import lint_paths, lint_source
+from tools.reprolint.runner import main
+
+SRC = "src/repro/net/fake.py"  # a path inside simulation code
+TEST = "tests/net/test_fake.py"  # a path outside src/
+
+
+def codes(source, path=SRC):
+    return [v.code for v in lint_source(textwrap.dedent(source), path)]
+
+
+class TestUnseededRandomRule:
+    def test_fires_on_stdlib_random_call(self):
+        assert "REP001" in codes("import random\nx = random.random()\n")
+
+    def test_fires_on_stdlib_random_import_from(self):
+        assert "REP001" in codes("from random import choice\n")
+
+    def test_fires_on_numpy_global_draw(self):
+        assert "REP001" in codes("import numpy as np\nx = np.random.uniform()\n")
+
+    def test_fires_outside_src_too(self):
+        assert "REP001" in codes(
+            "import numpy as np\nx = np.random.normal()\n", path=TEST
+        )
+
+    def test_allows_seeded_constructors(self):
+        clean = """
+        import numpy as np
+        __all__ = ["make"]
+        def make(seed: int) -> np.random.Generator:
+            return np.random.default_rng(np.random.SeedSequence(seed))
+        """
+        assert "REP001" not in codes(clean)
+
+    def test_exempts_streams_module(self):
+        assert "REP001" not in codes(
+            "import random\nx = random.random()\n",
+            path="src/repro/sim/streams.py",
+        )
+
+
+class TestWallClockRule:
+    def test_fires_on_time_time(self):
+        assert "REP002" in codes("import time\nstart = time.time()\n")
+
+    def test_fires_on_datetime_now(self):
+        assert "REP002" in codes(
+            "import datetime\nstamp = datetime.datetime.now()\n"
+        )
+
+    def test_fires_on_from_import(self):
+        assert "REP002" in codes("from time import perf_counter\n")
+
+    def test_scoped_to_src(self):
+        # Benchmarks and tests may legitimately time things.
+        assert "REP002" not in codes(
+            "import time\nstart = time.perf_counter()\n",
+            path="benchmarks/bench_fake.py",
+        )
+
+    def test_allows_time_sleep_mention(self):
+        # Only clock *reads* are flagged, not the module itself.
+        assert "REP002" not in codes("__all__ = []\nimport time\n")
+
+
+class TestSimTimeEqualityRule:
+    def test_fires_on_env_now_equality(self):
+        assert "REP003" in codes(
+            "__all__ = []\ndef f(env):\n    return env.now == 3.5\n"
+        )
+
+    def test_fires_on_time_named_variable(self):
+        assert "REP003" in codes(
+            "__all__ = []\ndef f(slot_time, t):\n    return slot_time != t\n"
+        )
+
+    def test_allows_isclose(self):
+        clean = """
+        import math
+        __all__ = []
+        def f(env, deadline):
+            return math.isclose(env.now, deadline)
+        """
+        assert "REP003" not in codes(clean)
+
+    def test_allows_none_comparison_via_ordering(self):
+        assert "REP003" not in codes(
+            "__all__ = []\ndef f(now):\n    return now == 'label'\n"
+        )
+
+    def test_scoped_to_src(self):
+        assert "REP003" not in codes(
+            "def f(env):\n    assert env.now == 0.0\n", path=TEST
+        )
+
+
+class TestMutableDefaultRule:
+    def test_fires_on_list_literal(self):
+        assert "REP004" in codes("__all__ = []\ndef f(items=[]):\n    pass\n")
+
+    def test_fires_on_dict_call(self):
+        assert "REP004" in codes("__all__ = []\ndef f(table=dict()):\n    pass\n")
+
+    def test_fires_on_kwonly_default(self):
+        assert "REP004" in codes("__all__ = []\ndef f(*, bins={}):\n    pass\n")
+
+    def test_allows_none_and_tuple(self):
+        assert "REP004" not in codes(
+            "__all__ = []\ndef f(items=None, pair=(1, 2)):\n    pass\n"
+        )
+
+
+class TestBareExceptRule:
+    def test_fires_on_bare_except(self):
+        bad = """
+        __all__ = []
+        def f():
+            try:
+                pass
+            except:
+                pass
+        """
+        assert "REP005" in codes(bad)
+
+    def test_allows_typed_except(self):
+        clean = """
+        __all__ = []
+        def f():
+            try:
+                pass
+            except ValueError:
+                pass
+        """
+        assert "REP005" not in codes(clean)
+
+
+class TestDunderAllRule:
+    def test_fires_on_missing_dunder_all(self):
+        assert "REP006" in codes("def public():\n    pass\n")
+
+    def test_fires_on_undefined_export(self):
+        assert "REP006" in codes("__all__ = ['ghost']\n")
+
+    def test_fires_on_unlisted_public_definition(self):
+        assert "REP006" in codes("__all__ = []\nCONSTANT = 3\n")
+
+    def test_accepts_matching_module(self):
+        clean = """
+        __all__ = ["CONSTANT", "helper"]
+        CONSTANT = 3
+        def helper():
+            pass
+        def _private():
+            pass
+        """
+        assert "REP006" not in codes(clean)
+
+    def test_accepts_augmented_and_appended_all(self):
+        clean = """
+        __all__ = ["first"]
+        def first():
+            pass
+        __all__ += ["second"]
+        def second():
+            pass
+        __all__.append("third")
+        def third():
+            pass
+        """
+        assert "REP006" not in codes(clean)
+
+    def test_scoped_to_src_repro(self):
+        assert "REP006" not in codes("def public():\n    pass\n", path=TEST)
+
+
+class TestYieldEventRule:
+    def test_fires_on_literal_yield_in_process(self):
+        bad = """
+        __all__ = []
+        def source(env):
+            yield env.timeout(1.0)
+            yield 42
+        """
+        assert "REP007" in codes(bad)
+
+    def test_fires_on_bare_yield_in_process(self):
+        assert "REP007" in codes(
+            "__all__ = []\ndef source(env):\n    yield\n"
+        )
+
+    def test_fires_on_arithmetic_yield(self):
+        bad = """
+        __all__ = []
+        def source(env):
+            yield env.now + 1.0
+        """
+        assert "REP007" in codes(bad)
+
+    def test_allows_event_factory_yields(self):
+        clean = """
+        __all__ = []
+        def source(env, medium):
+            value = yield env.timeout(1.0)
+            yield medium.transmit(value)
+        """
+        assert "REP007" not in codes(clean)
+
+    def test_ignores_plain_generators(self):
+        # A data generator (no env, no event factories) is not a process.
+        assert "REP007" not in codes(
+            "__all__ = []\ndef numbers(n):\n    yield from range(n)\n"
+        )
+
+    def test_ignores_nested_generator_frames(self):
+        clean = """
+        __all__ = []
+        def source(env):
+            def inner():
+                yield 1
+            yield env.timeout(sum(inner()))
+        """
+        assert "REP007" not in codes(clean)
+
+
+class TestSuppression:
+    def test_noqa_with_code_suppresses(self):
+        assert (
+            codes("__all__ = []\ndef _f(xs=[]):  # noqa: REP004\n    pass\n")
+            == []
+        )
+
+    def test_noqa_other_code_does_not_suppress(self):
+        assert "REP004" in codes(
+            "__all__ = []\ndef _f(xs=[]):  # noqa: REP001\n    pass\n"
+        )
+
+    def test_blanket_noqa_suppresses(self):
+        assert codes("__all__ = []\ndef _f(xs=[]):  # noqa\n    pass\n") == []
+
+    def test_skip_file_comment(self):
+        assert codes("# reprolint: skip-file\ndef f(xs=[]):\n    pass\n") == []
+
+    def test_syntax_error_reported_not_raised(self):
+        assert codes("def broken(:\n") == ["REP000"]
+
+
+class TestRunner:
+    def test_repo_is_clean(self):
+        # The acceptance criterion: the suite passes on the whole repo.
+        root = Path(__file__).resolve().parents[2]
+        violations = lint_paths(
+            [str(root / "src"), str(root / "tests"), str(root / "benchmarks")]
+        )
+        assert violations == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(xs=[]):\n    pass\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP004" in out and "REP006" in out
+        bad.write_text("__all__ = []\n")
+        assert main([str(bad)]) == 0
+
+    def test_main_select_and_list_rules(self, tmp_path, capsys):
+        assert main(["--list-rules"]) == 0
+        assert "REP001" in capsys.readouterr().out
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(xs=[]):\n    pass\n")
+        # Selecting only REP004 hides the REP006 finding.
+        assert main(["--select", "REP004", str(bad)]) == 1
+        assert "REP006" not in capsys.readouterr().out

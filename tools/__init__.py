@@ -1,0 +1,1 @@
+"""Developer tooling for the repro project (not shipped with the package)."""

@@ -1,0 +1,41 @@
+"""reprolint — domain-specific static analysis for the repro codebase.
+
+A small AST-based lint suite enforcing the determinism and correctness
+invariants the simulation relies on (see DESIGN.md and the module
+docstring of :mod:`repro.sim.engine`):
+
+==========  ==============================================================
+Code        Rule
+==========  ==============================================================
+REP001      No direct ``random.*`` / ``numpy.random.*`` draws outside
+            ``sim/streams.py`` — all randomness must flow through named,
+            seeded streams.
+REP002      No wall-clock reads (``time.time``, ``datetime.now``, ...)
+            in simulation code under ``src/``.
+REP003      No ``==`` / ``!=`` on simulated-time floats in ``src/`` —
+            use ``math.isclose`` or the interval helpers.
+REP004      No mutable default arguments.
+REP005      No bare ``except:`` clauses.
+REP006      ``__all__`` must exist and match the public definitions in
+            every ``src/repro`` module.
+REP007      Simulation processes must only ``yield`` Event objects
+            (heuristic: flags yields of literals and arithmetic in
+            process-shaped generators).
+==========  ==============================================================
+
+Run as ``python -m tools.reprolint src tests benchmarks``.  Suppress a
+single line with ``# noqa: REP00x`` or a whole file with a leading
+``# reprolint: skip-file`` comment.
+"""
+
+from tools.reprolint.rules import ALL_RULES, Violation
+from tools.reprolint.runner import lint_file, lint_paths, lint_source, main
+
+__all__ = [
+    "ALL_RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

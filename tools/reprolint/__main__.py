@@ -1,0 +1,6 @@
+"""``python -m tools.reprolint`` — run the lint suite."""
+
+from tools.reprolint.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""File discovery, suppression handling, and the CLI driver."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from tools.reprolint.rules import ALL_RULES, Rule, Violation
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "main"]
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+_SKIP_FILE = re.compile(r"#\s*reprolint:\s*skip-file", re.IGNORECASE)
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".eggs"}
+
+
+def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
+    """Whether a ``# noqa`` comment on the flagged line covers it."""
+    if not 1 <= violation.line <= len(lines):
+        return False
+    match = _NOQA.search(lines[violation.line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True  # blanket noqa
+    wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return violation.code in wanted
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint a source string as though it lived at ``path``.
+
+    The path matters: several rules scope themselves by location (e.g.
+    REP002 only applies under ``src/``).
+    """
+    lines = source.splitlines()
+    for line in lines[:5]:
+        if _SKIP_FILE.search(line):
+            return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="REP000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    violations: List[Violation] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        if not rule.applies_to(path):
+            continue
+        violations.extend(rule.check(tree, path))
+    violations = [v for v in violations if not _suppressed(v, lines)]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path.as_posix(), rules=rules)
+
+
+def _discover(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: List[Violation] = []
+    for path in _discover(paths):
+        violations.extend(lint_file(path, rules=rules))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m tools.reprolint src tests benchmarks``."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Domain-specific determinism/correctness lints for repro.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or dirs")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.CODE}  {rule.SUMMARY}")
+        return 0
+
+    rules: Optional[Sequence[Rule]] = None
+    if args.select:
+        wanted = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+        unknown = wanted - {rule.CODE for rule in ALL_RULES}
+        if unknown:
+            parser.error(f"unknown rule codes: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in ALL_RULES if rule.CODE in wanted]
+
+    try:
+        violations = lint_paths(args.paths or ["src"], rules=rules)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"reprolint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
