@@ -1,0 +1,25 @@
+"""Bench: simulator hot-path throughput on the loaded-network scenario.
+
+Unlike the figure/table benches, the deliverable here is the timing
+itself: events/sec on the seeded 100-station scenario, the quantity
+tracked in ``BENCH_medium.json``.  The delivery/loss counts double as a
+correctness fingerprint — they are seed-determined, so any change to
+them means the medium's physics changed, not just its speed.
+"""
+
+from repro.analysis.perf import format_samples, run_perf_scenario
+
+
+def test_bench_perf_medium_100(benchmark, capsys):
+    sample = benchmark.pedantic(
+        lambda: run_perf_scenario(stations=100, load=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(format_samples([sample]))
+    assert sample.events > 0
+    assert sample.deliveries > 0
+    assert sample.losses == 0
+    assert sample.collision_free

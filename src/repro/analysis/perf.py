@@ -1,0 +1,148 @@
+"""Performance measurement harness for the simulator hot path.
+
+The tracked quantity is *events per second*: the engine counts every
+processed event (:attr:`repro.sim.engine.Environment.events_processed`),
+and dividing by the wall-clock duration of a run gives a throughput
+figure that is comparable across code versions because same-seed runs
+process bit-identical event sequences — the work is fixed, only the
+speed varies.
+
+This module is the one deliberate exception to the REP002 reprolint
+rule (no wall-clock reads under ``src/``): measuring wall time is its
+entire purpose, and nothing here feeds back into simulation state —
+the scenario runs to completion and is only *observed* afterwards, so
+replay determinism is untouched.
+
+The standard workload is :func:`repro.experiments.simsetup.run_loaded_network`
+(the T4 scenario family): uniform-disk placement, Poisson traffic, the
+paper's MAC.  ``tools/perfreport.py`` and the ``repro bench`` CLI
+subcommand wrap this module; ``BENCH_medium.json`` at the repo root is
+the tracked before/after record.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["PerfSample", "run_perf_scenario", "write_report", "format_samples"]
+
+
+@dataclass(frozen=True)
+class PerfSample:
+    """One timed run of the loaded-network scenario.
+
+    Attributes:
+        stations: network size M.
+        load: offered load in packets per slot per station.
+        duration_slots: simulated duration in slots.
+        seed: base seed (placement uses ``seed + stations``, traffic
+            uses ``seed``, matching the T4 experiment convention).
+        wall_s: wall-clock duration of the run.
+        events: total simulation events processed.
+        events_per_s: the throughput figure, ``events / wall_s``.
+        deliveries: hop deliveries (a correctness fingerprint — any two
+            code versions must agree on it for the timing comparison to
+            be meaningful).
+        losses: total losses (same role).
+        collision_free: whether the run had zero losses of any type.
+    """
+
+    stations: int
+    load: float
+    duration_slots: float
+    seed: int
+    wall_s: float
+    events: int
+    events_per_s: float
+    deliveries: int
+    losses: int
+    collision_free: bool
+
+
+def run_perf_scenario(
+    stations: int = 100,
+    load: float = 0.1,
+    duration_slots: float = 60.0,
+    seed: int = 29,
+) -> PerfSample:
+    """Run the loaded-network scenario once and time it.
+
+    The run itself is fully deterministic (seeded placement, traffic,
+    and schedules); only the wall-clock observation varies between
+    hosts and runs.
+    """
+    from repro.experiments.simsetup import run_loaded_network
+
+    began = time.perf_counter()
+    network, result = run_loaded_network(
+        stations,
+        load,
+        duration_slots,
+        placement_seed=seed + stations,
+        traffic_seed=seed,
+    )
+    wall_s = time.perf_counter() - began
+    events = network.env.events_processed
+    return PerfSample(
+        stations=stations,
+        load=load,
+        duration_slots=duration_slots,
+        seed=seed,
+        wall_s=wall_s,
+        events=events,
+        events_per_s=events / wall_s if wall_s > 0.0 else float("inf"),
+        deliveries=result.hop_deliveries,
+        losses=result.losses_total,
+        collision_free=result.collision_free,
+    )
+
+
+def format_samples(samples: Sequence[PerfSample]) -> str:
+    """Human-readable table of perf samples."""
+    lines = [
+        f"{'stations':>8s} {'load':>6s} {'slots':>6s} {'wall_s':>8s} "
+        f"{'events':>9s} {'events/s':>9s} {'deliv':>7s} {'losses':>7s}"
+    ]
+    for sample in samples:
+        lines.append(
+            f"{sample.stations:>8d} {sample.load:>6.2f} "
+            f"{sample.duration_slots:>6.0f} {sample.wall_s:>8.3f} "
+            f"{sample.events:>9d} {sample.events_per_s:>9.0f} "
+            f"{sample.deliveries:>7d} {sample.losses:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str,
+    samples: Sequence[PerfSample],
+    notes: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write perf samples as a JSON report (the ``BENCH_medium.json``
+    format: a ``scenarios`` list plus free-form ``notes``)."""
+    payload: Dict[str, object] = {
+        "unit": "events/sec = Environment.events_processed / wall seconds",
+        "workload": (
+            "repro.experiments.simsetup.run_loaded_network(stations, load, "
+            "duration_slots, placement_seed=seed+stations, traffic_seed=seed)"
+        ),
+        "scenarios": [asdict(sample) for sample in samples],
+    }
+    if notes:
+        payload["notes"] = notes
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def _samples_from_json(path: str) -> List[PerfSample]:
+    """Read back a report written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return [PerfSample(**scenario) for scenario in payload["scenarios"]]
+
+
+__all__.append("_samples_from_json")

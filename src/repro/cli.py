@@ -141,6 +141,26 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.perf import (
+        format_samples,
+        run_perf_scenario,
+        write_report,
+    )
+
+    sample = run_perf_scenario(
+        stations=args.stations,
+        load=args.load,
+        duration_slots=args.duration,
+        seed=args.seed,
+    )
+    print(format_samples([sample]))
+    if args.output:
+        write_report(args.output, [sample])
+        print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -193,6 +213,26 @@ def build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--duration-slots", type=float, default=80.0)
     verify_cmd.add_argument("--seed", type=int, default=29)
     verify_cmd.set_defaults(handler=_cmd_verify_determinism)
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help=(
+            "time the seeded loaded-network scenario and report events/sec "
+            "(optionally writing a JSON perf report)"
+        ),
+    )
+    bench_cmd.add_argument("--stations", type=int, default=100)
+    bench_cmd.add_argument("--load", type=float, default=0.1)
+    bench_cmd.add_argument(
+        "--duration", type=float, default=60.0, metavar="SLOTS",
+        help="simulated duration in slots (default 60)",
+    )
+    bench_cmd.add_argument("--seed", type=int, default=29)
+    bench_cmd.add_argument(
+        "--output", metavar="PATH",
+        help="write the sample as a JSON perf report (BENCH_medium.json format)",
+    )
+    bench_cmd.set_defaults(handler=_cmd_bench)
 
     return parser
 

@@ -132,6 +132,80 @@ def _shrunk(windows: Iterator[Interval], guard: float) -> Iterator[Interval]:
             yield (lo + guard, hi - guard)
 
 
+def _bounded_windows(
+    view: ScheduleView,
+    from_global: float,
+    receive: bool,
+    guard: float,
+    horizon: float,
+    offset: float = 0.0,
+) -> Iterator[Interval]:
+    """One schedule view's windows mapped to global time, shifted by
+    ``offset``, shrunk by ``guard``, and terminated at ``horizon``.
+
+    This fuses the ``Schedule.windows -> _windows_global -> _shifted ->
+    _shrunk -> _until`` generator chain of the overlap search into a
+    single frame — same arithmetic in the same order, one generator
+    resume per window instead of five.  The stream ends before the
+    first surviving window that starts at or beyond ``horizon`` (the
+    :func:`_until` rule).
+    """
+    schedule = view.schedule
+    to_global = view.to_global
+    start_local = view.to_local(from_global)
+    # Inlined Schedule.windows run-finding (same floats, no nested
+    # generator): merged maximal runs of the wanted designation.
+    find = schedule._find_designation
+    slot_time = schedule.slot_time
+    want = 1 if receive else 0
+    other = 1 - want
+    double_guard = 2.0 * guard
+    index = schedule.slot_index(start_local)
+    while True:
+        run_start = find(index, want)
+        run_end = find(run_start + 1, other)
+        window_end = run_end * slot_time
+        if window_end > start_local:
+            lo = to_global(max(run_start * slot_time, start_local))
+            hi = to_global(window_end)
+            if offset != 0.0:
+                lo += offset
+                hi += offset
+            if hi - lo > double_guard:
+                lo += guard
+                if lo >= horizon:
+                    return
+                yield (lo, hi - guard)
+        index = run_end + 1
+
+
+def _first_fit_overlap(
+    a: Iterator[Interval],
+    b: Iterator[Interval],
+    duration: float,
+    not_before: float,
+) -> Optional[Interval]:
+    """``first_fitting(intersect(a, b), duration, not_before)`` in one
+    loop — the avoid-free fast path of the overlap search.  Same
+    comparisons in the same order as the generic pipeline, without the
+    intersect generator between the streams and the fit test."""
+    current_a = next(a, None)
+    current_b = next(b, None)
+    while current_a is not None and current_b is not None:
+        start = max(current_a[0], current_b[0])
+        end = min(current_a[1], current_b[1])
+        if start < end:
+            candidate = max(start, not_before)
+            if end - candidate >= duration:
+                return (candidate, candidate + duration)
+        # Advance whichever interval ends first.
+        if current_a[1] <= current_b[1]:
+            current_a = next(a, None)
+        else:
+            current_b = next(b, None)
+    return None
+
+
 def _shifted(windows: Iterator[Interval], offset: float) -> Iterator[Interval]:
     """Translate every window by ``offset`` (order is preserved)."""
     if offset == 0.0:
@@ -213,23 +287,27 @@ def find_transmit_window(
     # Receiver-side windows are shifted back by the propagation delay:
     # a burst transmitted during the shifted window arrives during the
     # published one.
-    receiver_windows = _shifted(
-        receiver.receive_windows(earliest), -propagation_delay
+    sender_stream = _bounded_windows(sender, earliest, False, guard, horizon)
+    receiver_stream = _bounded_windows(
+        receiver, earliest, True, guard, horizon, -propagation_delay
     )
-    candidates: Iterator[Interval] = intersect(
-        _until(_shrunk(sender.transmit_windows(earliest), guard), horizon),
-        _until(_shrunk(receiver_windows, guard), horizon),
-    )
-    for neighbor in avoid:
-        candidates = subtract(
-            candidates,
-            _grown(
-                _shifted(neighbor.receive_windows(earliest), -propagation_delay),
-                guard,
-            ),
+    if avoid:
+        candidates: Iterator[Interval] = intersect(sender_stream, receiver_stream)
+        for neighbor in avoid:
+            candidates = subtract(
+                candidates,
+                _grown(
+                    _shifted(
+                        neighbor.receive_windows(earliest), -propagation_delay
+                    ),
+                    guard,
+                ),
+            )
+        window = first_fitting(candidates, duration, not_before=earliest)
+    else:
+        window = _first_fit_overlap(
+            sender_stream, receiver_stream, duration, earliest
         )
-
-    window = first_fitting(candidates, duration, not_before=earliest)
     if window is None:
         raise NoTransmitWindowError(
             f"no {duration}-long overlap within {search_slots} slots of {earliest}"

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 __all__ = [
     "required_sir",
@@ -30,6 +32,8 @@ __all__ = [
     "shannon_capacity",
     "max_rate",
     "ReceptionTracker",
+    "TrackerBatch",
+    "TrackerRecord",
 ]
 
 
@@ -153,3 +157,202 @@ class ReceptionTracker:
         if current < self.threshold and self._failed_at is None:
             self._failed_at = now
         return self.ok
+
+
+@dataclass(frozen=True)
+class TrackerRecord:
+    """Final state of one tracked reception, returned on removal from a
+    :class:`TrackerBatch`.
+
+    Attributes:
+        min_sir: worst SIR observed over the reception.
+        failed_at: time of the first threshold violation, or ``None``.
+    """
+
+    min_sir: float
+    failed_at: Optional[float]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the criterion held at every update."""
+        return self.failed_at is None
+
+
+class TrackerBatch:
+    """A vectorised bank of in-progress receptions (batch form of
+    :class:`ReceptionTracker`).
+
+    The medium updates *every* in-progress reception whenever the
+    interference environment changes, which makes the per-reception
+    tracker update the simulator's hot path.  This class keeps the
+    tracker state (threshold, wanted-signal power, noise, worst SIR,
+    failure time) in dense parallel arrays so one :meth:`update` call
+    folds the new interference level into all receptions with a handful
+    of numpy operations instead of a Python loop.
+
+    Entries are keyed by an opaque integer ``tag`` (the medium uses the
+    transmission sequence number) and stored densely: removal swaps the
+    last entry into the vacated slot, so arrays never fragment.  Dense
+    order therefore changes on removal; callers must index through
+    :attr:`tags` / the accessors rather than assume insertion order.
+
+    The arithmetic per entry is identical to the scalar tracker's
+    (same Eq. 6 division, same ``inf`` convention for a zero
+    denominator), so a batch and a set of scalar trackers fed the same
+    interference history report identical ``min_sir``/``failed_at``.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._count = 0
+        self._tags: List[int] = []
+        self._position: Dict[int, int] = {}
+        self._receiver = np.zeros(capacity, dtype=np.intp)
+        self._threshold = np.zeros(capacity)
+        self._signal = np.zeros(capacity)
+        self._noise = np.zeros(capacity)
+        self._min_sir = np.zeros(capacity)
+        self._failed_at = np.zeros(capacity)
+        # Scratch buffers reused by :meth:`update` (contents meaningless
+        # between calls) so the hot path allocates nothing.
+        self._scratch_sir = np.zeros(capacity)
+        self._scratch_denominator = np.zeros(capacity)
+        self._scratch_mask = np.zeros(capacity, dtype=bool)
+        self._scratch_newly = np.zeros(capacity, dtype=bool)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def count(self) -> int:
+        """Number of receptions currently tracked."""
+        return self._count
+
+    @property
+    def tags(self) -> Tuple[int, ...]:
+        """Tags of the tracked receptions, in dense storage order."""
+        return tuple(self._tags)
+
+    @property
+    def receivers(self) -> np.ndarray:
+        """Receiver indices in dense order (read-only view)."""
+        return self._receiver[: self._count]
+
+    @property
+    def signals(self) -> np.ndarray:
+        """Wanted-signal powers in dense order (read-only view)."""
+        return self._signal[: self._count]
+
+    def __contains__(self, tag: int) -> bool:
+        return tag in self._position
+
+    def _grow(self) -> None:
+        capacity = max(2 * len(self._receiver), 1)
+        for name in (
+            "_receiver",
+            "_threshold",
+            "_signal",
+            "_noise",
+            "_min_sir",
+            "_failed_at",
+            "_scratch_sir",
+            "_scratch_denominator",
+            "_scratch_mask",
+            "_scratch_newly",
+        ):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: self._count] = old[: self._count]
+            setattr(self, name, new)
+
+    def add(
+        self,
+        tag: int,
+        receiver: int,
+        threshold: float,
+        signal_power_w: float,
+        noise_power_w: float = 0.0,
+    ) -> None:
+        """Start tracking a reception (same validation as the scalar
+        tracker; ``min_sir`` starts at ``inf`` and nothing has failed)."""
+        if tag in self._position:
+            raise ValueError(f"tag {tag} is already tracked")
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        if signal_power_w < 0.0:
+            raise ValueError("signal power must be non-negative")
+        if noise_power_w < 0.0:
+            raise ValueError("noise power must be non-negative")
+        if self._count == len(self._receiver):
+            self._grow()
+        position = self._count
+        self._receiver[position] = receiver
+        self._threshold[position] = threshold
+        self._signal[position] = signal_power_w
+        self._noise[position] = noise_power_w
+        self._min_sir[position] = math.inf
+        self._failed_at[position] = math.nan
+        self._tags.append(tag)
+        self._position[tag] = position
+        self._count += 1
+
+    def update(self, now: float, interference_power_w: np.ndarray) -> Tuple[int, ...]:
+        """Fold one interference level per reception (dense order) into
+        every tracker; returns the tags that failed *at this update*."""
+        count = self._count
+        if count == 0:
+            return ()
+        if interference_power_w.shape != (count,):
+            raise ValueError(f"expected {count} interference powers")
+        signal = self._signal[:count]
+        denominator = self._scratch_denominator[:count]
+        np.add(interference_power_w, self._noise[:count], out=denominator)
+        mask = self._scratch_mask[:count]
+        np.greater(denominator, 0.0, out=mask)
+        current = self._scratch_sir[:count]
+        current.fill(math.inf)
+        np.divide(signal, denominator, out=current, where=mask)
+        np.minimum(self._min_sir[:count], current, out=self._min_sir[:count])
+        newly = self._scratch_newly[:count]
+        np.less(current, self._threshold[:count], out=newly)
+        np.isnan(self._failed_at[:count], out=mask)
+        newly &= mask
+        if not newly.any():
+            return ()
+        self._failed_at[:count][newly] = now
+        return tuple(self._tags[int(i)] for i in np.nonzero(newly)[0])
+
+    def ok(self, tag: int) -> bool:
+        """Whether the criterion has held so far for ``tag``."""
+        return bool(np.isnan(self._failed_at[self._position[tag]]))
+
+    def min_sir(self, tag: int) -> float:
+        """Worst SIR observed so far for ``tag``."""
+        return float(self._min_sir[self._position[tag]])
+
+    def remove(self, tag: int) -> TrackerRecord:
+        """Stop tracking ``tag`` and return its final state."""
+        position = self._position.pop(tag)
+        failed = float(self._failed_at[position])
+        record = TrackerRecord(
+            min_sir=float(self._min_sir[position]),
+            failed_at=None if math.isnan(failed) else failed,
+        )
+        last = self._count - 1
+        if position != last:
+            for array in (
+                self._receiver,
+                self._threshold,
+                self._signal,
+                self._noise,
+                self._min_sir,
+                self._failed_at,
+            ):
+                array[position] = array[last]
+            moved = self._tags[last]
+            self._tags[position] = moved
+            self._position[moved] = position
+        self._tags.pop()
+        self._count -= 1
+        return record

@@ -18,8 +18,10 @@ slots; a station may transmit (or stay idle) during transmit slots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
 
 from repro.core.intervals import Interval
 
@@ -30,6 +32,17 @@ DEFAULT_RECEIVE_FRACTION = 0.3
 
 _MASK64 = (1 << 64) - 1
 
+#: Designations are hashed in vectorised blocks of this many slots and
+#: memoised per Schedule instance; all stations in a network share one
+#: Schedule object, so the cache is shared network-wide.
+_BLOCK_SHIFT = 8
+_BLOCK_SLOTS = 1 << _BLOCK_SHIFT
+_BLOCK_MASK = _BLOCK_SLOTS - 1
+
+#: Beyond this magnitude a block's slot indices no longer fit an int64
+#: ``np.arange``; such indices fall back to the scalar hash (uncached).
+_BLOCK_LIMIT = 1 << 62
+
 
 def _splitmix64(value: int) -> int:
     """SplitMix64 finaliser: a fast, well-mixed 64-bit hash."""
@@ -37,6 +50,15 @@ def _splitmix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (value ^ (value >> 31)) & _MASK64
+
+
+def _splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_splitmix64` over a uint64 array (wraps mod 2^64)."""
+    with np.errstate(over="ignore"):
+        values = values + np.uint64(0x9E3779B97F4A7C15)
+        values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        return values ^ (values >> np.uint64(31))
 
 
 def hash_slot(slot_index: int, key: int = 0) -> float:
@@ -66,6 +88,12 @@ class Schedule:
     slot_time: float = 1.0
     receive_fraction: float = DEFAULT_RECEIVE_FRACTION
     key: int = 0
+    #: Memoised per-block slot designations (``bytes`` of 0/1), keyed by
+    #: ``slot_index >> _BLOCK_SHIFT``.  Pure cache: excluded from
+    #: equality and never observable through the public API.
+    _designation_blocks: Dict[int, bytes] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.slot_time <= 0.0:
@@ -93,9 +121,88 @@ class Schedule:
 
     # -- slot designation ---------------------------------------------
 
+    def _designation_block(self, block_index: int) -> bytes:
+        """Designations (1 = receive) for one block of consecutive slots.
+
+        Computed vectorised with the exact arithmetic of
+        :func:`hash_slot` — uint64-to-float64 conversion followed by an
+        exact power-of-two scaling rounds identically in numpy and pure
+        Python, so the cached designations are bit-identical to the
+        scalar path.
+        """
+        block = self._designation_blocks.get(block_index)
+        if block is None:
+            base = block_index << _BLOCK_SHIFT
+            indices = np.arange(base, base + _BLOCK_SLOTS, dtype=np.int64)
+            mixed = _splitmix64_array(
+                indices.view(np.uint64) ^ np.uint64(self.key & _MASK64)
+            )
+            values = mixed.astype(np.float64) / float(1 << 64)
+            block = (values < self.receive_fraction).tobytes()
+            self._designation_blocks[block_index] = block
+        return block
+
+    def _designation(self, index: int) -> int:
+        """0/1 designation of one slot (1 = receive), via the block cache."""
+        block_index = index >> _BLOCK_SHIFT
+        if not -_BLOCK_LIMIT <= index <= _BLOCK_LIMIT:
+            return 1 if hash_slot(index, self.key) < self.receive_fraction else 0
+        return self._designation_block(block_index)[index & _BLOCK_MASK]
+
     def is_receive_slot(self, index: int) -> bool:
         """Whether slot ``index`` is designated for receiving."""
-        return hash_slot(index, self.key) < self.receive_fraction
+        return self._designation(index) != 0
+
+    def designations(self, first_slot: int, slot_count: int) -> np.ndarray:
+        """Boolean receive-designations for a contiguous slot range.
+
+        The vectorised bulk form of :meth:`is_receive_slot` (True =
+        receive slot); :meth:`raster` and
+        :meth:`empirical_receive_fraction` build on it.
+        """
+        if slot_count < 1:
+            raise ValueError("need at least one slot")
+        last_slot = first_slot + slot_count - 1
+        if not (-_BLOCK_LIMIT <= first_slot and last_slot <= _BLOCK_LIMIT):
+            return np.array(
+                [
+                    hash_slot(i, self.key) < self.receive_fraction
+                    for i in range(first_slot, first_slot + slot_count)
+                ],
+                dtype=bool,
+            )
+        pieces = []
+        index = first_slot
+        remaining = slot_count
+        while remaining > 0:
+            block = self._designation_block(index >> _BLOCK_SHIFT)
+            offset = index & _BLOCK_MASK
+            take = min(remaining, _BLOCK_SLOTS - offset)
+            pieces.append(block[offset : offset + take])
+            index += take
+            remaining -= take
+        return np.frombuffer(b"".join(pieces), dtype=np.uint8).astype(bool)
+
+    def _find_designation(self, index: int, want: int) -> int:
+        """First slot at or after ``index`` whose designation is ``want``.
+
+        Scans the cached designation blocks with ``bytes.find`` (memchr
+        under the hood), so run boundaries are located at C speed
+        instead of one Python hash per slot.  Falls back to the scalar
+        walk outside the block-cache range.
+        """
+        needle = b"\x01" if want else b"\x00"
+        while -_BLOCK_LIMIT <= index <= _BLOCK_LIMIT:
+            block_index = index >> _BLOCK_SHIFT
+            position = self._designation_block(block_index).find(
+                needle, index & _BLOCK_MASK
+            )
+            if position >= 0:
+                return (block_index << _BLOCK_SHIFT) + position
+            index = (block_index + 1) << _BLOCK_SHIFT
+        while self._designation(index) != want:
+            index += 1
+        return index
 
     def is_transmit_slot(self, index: int) -> bool:
         """Whether slot ``index`` is designated for transmitting."""
@@ -118,17 +225,19 @@ class Schedule:
         lets packets span slot boundaries when luck allows.
         """
         index = self.slot_index(start_local)
+        find = self._find_designation
+        slot_time = self.slot_time
+        want = 1 if receive else 0
+        other = 1 - want
         while True:
-            # Find the next slot of the wanted designation.
-            while self.is_receive_slot(index) != receive:
-                index += 1
-            run_start = index
-            while self.is_receive_slot(index + 1) == receive:
-                index += 1
-            window = (self.slot_start(run_start), self.slot_start(index + 1))
-            if window[1] > start_local:
-                yield (max(window[0], start_local), window[1])
-            index += 1
+            # Find the next run of the wanted designation: its first
+            # slot, then the first slot of the other kind after it.
+            run_start = find(index, want)
+            run_end = find(run_start + 1, other)
+            window_end = run_end * slot_time
+            if window_end > start_local:
+                yield (max(run_start * slot_time, start_local), window_end)
+            index = run_end + 1
 
     def receive_windows(self, start_local: float) -> Iterator[Interval]:
         """Merged receive windows from ``start_local`` onward (unbounded)."""
@@ -145,19 +254,12 @@ class Schedule:
         check that the hash achieves the designed duty cycle)."""
         if slot_count < 1:
             raise ValueError("need at least one slot")
-        receive = sum(
-            1 for i in range(first_slot, first_slot + slot_count)
-            if self.is_receive_slot(i)
-        )
+        receive = int(self.designations(first_slot, slot_count).sum())
         return receive / slot_count
 
     def raster(self, first_slot: int, slot_count: int) -> Tuple[bool, ...]:
         """Designations for a slot range (True = receive); Figure 4's rows."""
-        if slot_count < 1:
-            raise ValueError("need at least one slot")
-        return tuple(
-            self.is_receive_slot(i) for i in range(first_slot, first_slot + slot_count)
-        )
+        return tuple(bool(d) for d in self.designations(first_slot, slot_count))
 
     def max_packet_time(self, packet_fraction: float = 0.25) -> float:
         """Packet airtime under the thesis's quarter-slot packing rule.

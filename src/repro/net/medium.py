@@ -20,6 +20,20 @@ The medium is deliberately exact: no slotted approximations, no
 capture heuristics — the power arithmetic *is* the model, so a claim
 like "zero collisions" is checked against the physics the paper
 defines, not against a convenient abstraction.
+
+Performance: the Eq. 2 received-power field ``gains @ powers`` is a
+first-class piece of medium state, maintained *incrementally*.  When a
+transmission starts or ends, one O(M) axpy
+(``field ± gains[:, source] * power``) replaces the O(active × M)
+matrix-vector recomputation, so every power query
+(:meth:`Medium.interference_at`, :meth:`Medium.total_received_power`,
+the per-reception tracker updates) is an O(1) lookup plus the
+self-coupling/wanted-signal corrections.  A drift guard re-derives the
+field from scratch every ``resync_events`` field changes (and whenever
+the channel drains to idle, where the field is exactly zero), bounding
+floating-point accumulation; under the determinism sanitizer the
+resync also *asserts* that the incremental field still matches the
+exact recomputation.
 """
 
 from __future__ import annotations
@@ -31,10 +45,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.collisions import CollisionType, InterferenceSource, classify_loss
-from repro.core.reception import ReceptionTracker
+from repro.core.reception import TrackerBatch
 from repro.net.packet import Packet
 from repro.sim.engine import Environment
 from repro.sim.events import Event
+from repro.sim.sanitizer import SanitizerError
 from repro.sim.trace import TraceRecorder
 
 __all__ = [
@@ -91,14 +106,19 @@ class Transmission:
 class ReceptionAttempt:
     """A reception being tracked by a locked despreading channel.
 
+    The continuous SIR criterion state itself lives in the medium's
+    :class:`~repro.core.reception.TrackerBatch` (keyed by the
+    transmission's ``seq``), so that all in-progress receptions update
+    in one vectorised pass.
+
     Attributes:
         transmission: the wanted transmission.
-        tracker: the continuous SIR criterion state.
         channel: despreader channel index in use.
+        failure_sources: the interferers significant at the moment the
+            criterion first failed, if it did.
     """
 
     transmission: Transmission
-    tracker: ReceptionTracker
     channel: int
     failure_sources: Optional[Tuple[InterferenceSource, ...]] = None
 
@@ -141,6 +161,11 @@ class Medium:
         channel_query: callable ``(station) -> bank``: the station's
             despreader bank.
         trace: optional trace recorder.
+        resync_events: re-derive the incremental interference field from
+            an exact ``gains @ powers`` recompute every this many field
+            changes (drift guard).  ``None`` disables periodic resync;
+            the field is still pinned to exactly zero whenever the
+            channel drains to idle.
     """
 
     def __init__(
@@ -152,6 +177,7 @@ class Medium:
         listen_query: Callable[[int, float], bool],
         channel_query: Callable[[int], object],
         trace: Optional[TraceRecorder] = None,
+        resync_events: Optional[int] = 4096,
     ) -> None:
         gains = np.asarray(gains, dtype=float)
         if gains.ndim != 2 or gains.shape[0] != gains.shape[1]:
@@ -161,6 +187,8 @@ class Medium:
             raise ValueError("need one SIR threshold per station")
         if thermal_noise_w < 0.0:
             raise ValueError("thermal noise must be non-negative")
+        if resync_events is not None and resync_events < 1:
+            raise ValueError("resync cadence must be at least 1 event")
         self.env = env
         self.gains = gains
         self.thermal_noise_w = thermal_noise_w
@@ -174,12 +202,33 @@ class Medium:
         # one vectorised dot product instead of a loop over the active
         # set (the simulator's hot path).
         self._powers = np.zeros(gains.shape[0])
+        # The Eq. 2 received-power field ``gains @ _powers``, maintained
+        # incrementally: one O(M) axpy per transmission start/end.
+        # Column views of the gain matrix feed the axpy; a transposed
+        # contiguous copy keeps each column a cache-friendly row.
+        self._gains_columns = np.ascontiguousarray(gains.T)
+        self._interference = np.zeros(gains.shape[0])
+        # Per-station count of in-flight transmissions (always 0 or 1
+        # for well-behaved MACs); makes is_station_transmitting O(1).
+        self._tx_count = np.zeros(gains.shape[0], dtype=np.int64)
+        self._resync_events = resync_events
+        self._field_changes = 0
+        # Scratch buffers for the hot path (axpy temporary and the
+        # per-attempt gathers); contents meaningless between calls.
+        self._axpy = np.zeros(gains.shape[0])
+        self._gather = np.zeros(16)
+        self._gather_own = np.zeros(16)
         self._attempts: Dict[int, ReceptionAttempt] = {}
+        self._trackers = TrackerBatch()
         self._lock_failures: Dict[int, str] = {}
         self.losses: List[LossRecord] = []
         self.deliveries: int = 0
         self._delivery_callbacks: Dict[int, Callable[[Transmission], None]] = {}
         self._overhear_callbacks: Dict[int, Callable[[Transmission], None]] = {}
+        # Dense registration-order mirrors of _overhear_callbacks, for
+        # the vectorised eligibility pass in _notify_overhearers.
+        self._overhear_stations = np.zeros(0, dtype=np.intp)
+        self._overhear_handlers: List[Callable[[Transmission], None]] = []
 
     @property
     def station_count(self) -> int:
@@ -211,10 +260,16 @@ class Medium:
         baselines, keeping the comparison conservative.
         """
         self._overhear_callbacks[station] = callback
+        self._overhear_stations = np.fromiter(
+            self._overhear_callbacks.keys(),
+            dtype=np.intp,
+            count=len(self._overhear_callbacks),
+        )
+        self._overhear_handlers = list(self._overhear_callbacks.values())
 
     def is_station_transmitting(self, station: int) -> bool:
         """Whether ``station`` currently has a transmission in flight."""
-        return any(tx.source == station for tx in self._active.values())
+        return bool(self._tx_count[station])
 
     def total_received_power(self, station: int) -> float:
         """Total signal power arriving at a station right now.
@@ -230,9 +285,9 @@ class Medium:
         wanted transmission; the receiver's own transmitter couples in
         at :data:`SELF_COUPLING_GAIN` (the Type 3 mechanism)."""
         # The gain matrix's zero diagonal drops the receiver's own
-        # radiation from the dot product; add it back at the coupling
-        # gain.
-        total = float(self.gains[receiver] @ self._powers)
+        # radiation from the incremental field; add it back at the
+        # coupling gain.
+        total = float(self._interference[receiver])
         total += self._powers[receiver] * SELF_COUPLING_GAIN
         if exclude_seq is not None:
             excluded = self._active.get(exclude_seq)
@@ -310,9 +365,49 @@ class Medium:
         end_timer.subscribe(lambda _event: done.succeed(self._end(tx)))
         return done
 
+    # -- incremental field maintenance --------------------------------
+
+    def _field_changed(self) -> None:
+        """Drift guard: bound floating-point accumulation in the
+        incremental field.
+
+        Periodically (every ``resync_events`` field changes) the field
+        is re-derived from the exact Eq. 2 product; under the
+        determinism sanitizer the resync also asserts the incremental
+        value had not drifted.  Whenever the channel drains to idle the
+        field is pinned to exactly zero, mirroring the snap-to-zero
+        applied to ``_powers``.
+        """
+        self._field_changes += 1
+        if (
+            self._resync_events is not None
+            and self._field_changes >= self._resync_events
+        ):
+            self._resync_field()
+        elif not self._active:
+            self._interference[:] = 0.0
+
+    def _resync_field(self) -> None:
+        exact = self.gains @ self._powers
+        if self.env.sanitizing:
+            scale = float(np.max(exact)) + self.thermal_noise_w + 1.0
+            if not np.allclose(self._interference, exact, rtol=1e-6, atol=1e-9 * scale):
+                worst = float(np.max(np.abs(self._interference - exact)))
+                raise SanitizerError(
+                    "incremental interference field drifted from the exact "
+                    f"gains @ powers recompute (max abs error {worst:.3e} W "
+                    f"after {self._field_changes} field changes)"
+                )
+        self._interference = exact
+        self._field_changes = 0
+
     def _begin(self, tx: Transmission) -> None:
         self._active[tx.seq] = tx
+        self._tx_count[tx.source] += 1
         self._powers[tx.source] += tx.power_w
+        np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
+        self._interference += self._axpy
+        self._field_changed()
         self.trace.record(
             self.env.now,
             "tx_start",
@@ -338,12 +433,14 @@ class Medium:
             self._lock_failures[tx.seq] = "no_channel"
             return
         signal_power = tx.power_w * self.gains[receiver, tx.source]
-        tracker = ReceptionTracker(
+        self._trackers.add(
+            tag=tx.seq,
+            receiver=receiver,
             threshold=float(self.sir_thresholds[receiver]),
             signal_power_w=signal_power,
             noise_power_w=self.thermal_noise_w,
         )
-        self._attempts[tx.seq] = ReceptionAttempt(tx, tracker, channel)
+        self._attempts[tx.seq] = ReceptionAttempt(tx, channel)
         self.trace.record(
             self.env.now,
             "rx_lock",
@@ -353,74 +450,93 @@ class Medium:
         )
 
     def _update_attempts(self) -> None:
-        if not self._attempts:
+        batch = self._trackers
+        count = batch.count
+        if count == 0:
             return
-        now = self.env.now
-        items = list(self._attempts.items())
-        receivers = np.fromiter(
-            (attempt.transmission.destination for _, attempt in items),
-            dtype=int,
-            count=len(items),
-        )
-        # One matrix-vector product covers every in-progress reception.
-        base = self.gains[receivers] @ self._powers
-        for (seq, attempt), row_total in zip(items, base):
-            tx = attempt.transmission
-            receiver = tx.destination
-            interference = float(row_total)
-            interference += self._powers[receiver] * SELF_COUPLING_GAIN
-            interference -= tx.power_w * self.gains[receiver, tx.source]
-            interference = max(interference, 0.0)
-            was_ok = attempt.tracker.ok
-            attempt.tracker.update(now, interference)
-            if was_ok and not attempt.tracker.ok:
-                attempt.failure_sources = self._significant_sources(receiver, seq)
+        # Gather the incremental field at each attempt's receiver, then
+        # apply the two per-attempt corrections: the receiver's own
+        # transmitter couples in, and the wanted signal (stored as the
+        # tracker's signal power at lock time) is not interference.
+        if self._gather.size < count:
+            size = max(count, 2 * self._gather.size)
+            self._gather = np.zeros(size)
+            self._gather_own = np.zeros(size)
+        receivers = batch.receivers
+        interference = self._gather[:count]
+        np.take(self._interference, receivers, out=interference)
+        own = self._gather_own[:count]
+        np.take(self._powers, receivers, out=own)
+        own *= SELF_COUPLING_GAIN
+        interference += own
+        interference -= batch.signals
+        np.maximum(interference, 0.0, out=interference)
+        for seq in batch.update(self.env.now, interference):
+            attempt = self._attempts[seq]
+            attempt.failure_sources = self._significant_sources(
+                attempt.transmission.destination, seq
+            )
 
     def _notify_overhearers(self, tx: Transmission) -> None:
-        if not self._overhear_callbacks:
+        """One vectorised eligibility pass over all registered overhearers.
+
+        Called from :meth:`_end` *after* the ended transmission left
+        ``_active``/``_powers``/``_interference``, so the field already
+        excludes it and no ``exclude_seq`` correction is needed.
+        """
+        stations = self._overhear_stations
+        if stations.size == 0:
             return
-        for station, callback in self._overhear_callbacks.items():
-            if station in (tx.source, tx.destination):
-                continue
-            if self.is_station_transmitting(station):
-                continue
-            signal = tx.power_w * self.gains[station, tx.source]
-            if signal <= 0.0:
-                continue
-            interference = self.interference_at(station, exclude_seq=tx.seq)
-            if signal >= self.sir_thresholds[station] * (
-                interference + self.thermal_noise_w
-            ):
-                callback(tx)
+        signals = tx.power_w * self._gains_columns[tx.source][stations]
+        interference = self._interference[stations]
+        interference += self._powers[stations] * SELF_COUPLING_GAIN
+        np.maximum(interference, 0.0, out=interference)
+        eligible = (
+            (self._tx_count[stations] == 0)
+            & (signals > 0.0)
+            & (signals >= self.sir_thresholds[stations] * (interference + self.thermal_noise_w))
+            & (stations != tx.source)
+            & (stations != tx.destination)
+        )
+        if not eligible.any():
+            return
+        handlers = self._overhear_handlers
+        for position in np.nonzero(eligible)[0]:
+            handlers[int(position)](tx)
 
     def _end(self, tx: Transmission) -> bool:
         del self._active[tx.seq]
+        self._tx_count[tx.source] -= 1
         self._powers[tx.source] -= tx.power_w
         if abs(self._powers[tx.source]) < 1e-18:
             self._powers[tx.source] = 0.0
+        np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
+        self._interference -= self._axpy
+        self._field_changed()
         self.trace.record(
             self.env.now, "tx_end", source=tx.source, destination=tx.destination
         )
         attempt = self._attempts.pop(tx.seq, None)
+        record = self._trackers.remove(tx.seq) if attempt is not None else None
         # Interference at the remaining receivers drops; fold that in
         # after removing the ended transmission.
         self._update_attempts()
         self._notify_overhearers(tx)
 
-        if attempt is None:
+        if attempt is None or record is None:
             self._record_unlocked_loss(tx)
             return False
 
         bank = self._channel_query(tx.destination)
         bank.release(tx.seq)
-        if attempt.tracker.ok:
+        if record.ok:
             self.deliveries += 1
             self.trace.record(
                 self.env.now,
                 "rx_ok",
                 receiver=tx.destination,
                 source=tx.source,
-                min_sir=attempt.tracker.min_sir,
+                min_sir=record.min_sir,
                 packet=tx.packet.packet_id,
             )
             callback = self._delivery_callbacks.get(tx.destination)
@@ -430,7 +546,7 @@ class Medium:
 
         sources = attempt.failure_sources or ()
         types = classify_loss(tx.destination, sources) if sources else frozenset()
-        self._record_loss(tx, "sir", types, attempt.tracker.min_sir)
+        self._record_loss(tx, "sir", types, record.min_sir)
         return False
 
     def _record_unlocked_loss(self, tx: Transmission) -> None:

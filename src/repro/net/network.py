@@ -125,6 +125,10 @@ class NetworkConfig:
             readings with every hearable neighbour each this-many slots
             *during* the run, feeding the rolling clock-model fit —
             the online version of Section 7's "occasionally rendezvous".
+        medium_resync_events: drift-guard cadence for the medium's
+            incremental interference field (exact recompute every this
+            many transmission starts/ends; ``None`` disables periodic
+            resync).
         seed: master seed for clocks and any stochastic pieces.
     """
 
@@ -151,6 +155,7 @@ class NetworkConfig:
     calibrate_all_links: bool = False
     model_propagation_delay: bool = False
     rendezvous_refresh_slots: Optional[float] = None
+    medium_resync_events: Optional[int] = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -187,6 +192,8 @@ class NetworkConfig:
             and self.rendezvous_refresh_slots <= 0.0
         ):
             raise ValueError("rendezvous refresh interval must be positive")
+        if self.medium_resync_events is not None and self.medium_resync_events < 1:
+            raise ValueError("medium resync cadence must be at least 1 event")
 
 
 @dataclass(frozen=True)
@@ -490,6 +497,7 @@ def build_network(
         listen_query=lambda index, now: stations[index].mac.is_listening(now),
         channel_query=lambda index: stations[index].bank,
         trace=recorder,
+        resync_events=config.medium_resync_events,
     )
 
     guard = config.guard_fraction * budget.slot_time

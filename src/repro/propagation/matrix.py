@@ -13,7 +13,7 @@ noisy, threshold-censored estimate such as real stations would have.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -34,6 +34,11 @@ class PropagationMatrix:
     """
 
     gains: np.ndarray
+    #: Lazily built transposed contiguous copy backing :meth:`column`;
+    #: pure cache, excluded from equality.
+    _columns: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         gains = np.asarray(self.gains, dtype=float)
@@ -79,6 +84,24 @@ class PropagationMatrix:
         if np.any(powers < 0.0):
             raise ValueError("transmit powers must be non-negative")
         return self.gains @ powers
+
+    def column(self, transmitter: int) -> np.ndarray:
+        """Gain from ``transmitter`` into every receiver: ``gains[:, j]``.
+
+        This is the axpy vector of the incremental interference field
+        (one transmission's contribution to every receiver).  Columns
+        of a C-contiguous matrix stride across rows, so the first call
+        caches a transposed contiguous copy and returns its rows —
+        contiguous views, no per-call allocation.
+        """
+        if not 0 <= transmitter < self.count:
+            raise ValueError("transmitter index out of range")
+        if self._columns is None:
+            object.__setattr__(
+                self, "_columns", np.ascontiguousarray(self.gains.T)
+            )
+        assert self._columns is not None
+        return self._columns[transmitter]
 
     def usable_links(self, min_gain: float) -> np.ndarray:
         """Boolean adjacency of links with gain at least ``min_gain``.

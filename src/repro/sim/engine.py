@@ -45,6 +45,7 @@ class Environment:
         self._now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._sequence = count()
+        self._events_processed = 0
         self._active_process: Optional[Process] = None
         if sanitize is None:
             sanitize = sanitize_default()
@@ -66,6 +67,11 @@ class Environment:
     def sanitizing(self) -> bool:
         """Whether the determinism sanitizer is enabled."""
         return self._sanitizer is not None
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (the perf harness's work unit)."""
+        return self._events_processed
 
     def replay_digest(self) -> str:
         """Hex digest of the processed event stream so far.
@@ -107,6 +113,7 @@ class Environment:
             self._sanitizer.check_step(event, when, self._now)
             self._sanitizer.record(when, priority, event)
         self._now = when
+        self._events_processed += 1
         event._run_callbacks()
         if event._ok is False and not event._defused:
             raise event._value

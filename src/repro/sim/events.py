@@ -37,7 +37,13 @@ class Event:
     *processed* (callbacks ran).  Events succeed with a value or fail
     with an exception; a failed event re-raises inside any process that
     waits on it.
+
+    Events are the engine's highest-churn allocation (every timeout,
+    condition, and process resume makes one), so the hierarchy uses
+    ``__slots__`` to keep them dict-free.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -121,6 +127,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0.0:
             raise ValueError("timeout delay must be non-negative")
@@ -138,6 +146,8 @@ class Condition(Event):
     (a Timeout is triggered from creation, so `triggered` would wrongly
     include pending timers).
     """
+
+    __slots__ = ("_events", "_evaluate", "_done")
 
     def __init__(
         self,
@@ -174,12 +184,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Triggers as soon as any child event has triggered."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, events, lambda _events, done: done >= 1)
 
 
 class AllOf(Condition):
     """Triggers when every child event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         super().__init__(env, events, lambda events, done: done == len(events))

@@ -29,6 +29,8 @@ class Process(Event):
     does).
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError("a process must wrap a generator")

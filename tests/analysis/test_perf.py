@@ -1,0 +1,57 @@
+"""Tests for the perf-measurement harness."""
+
+import json
+
+from repro.analysis.perf import (
+    PerfSample,
+    _samples_from_json,
+    format_samples,
+    run_perf_scenario,
+    write_report,
+)
+
+
+class TestRunPerfScenario:
+    def test_small_scenario_measures_throughput(self):
+        sample = run_perf_scenario(stations=20, load=0.05, duration_slots=30.0)
+        assert sample.stations == 20
+        assert sample.events > 0
+        assert sample.wall_s > 0.0
+        assert sample.events_per_s > 0.0
+        assert sample.deliveries >= 0
+        assert sample.losses >= 0
+
+    def test_same_seed_runs_do_identical_work(self):
+        # Wall time varies; the simulated work must not.
+        first = run_perf_scenario(stations=20, load=0.05, duration_slots=30.0)
+        second = run_perf_scenario(stations=20, load=0.05, duration_slots=30.0)
+        assert first.events == second.events
+        assert first.deliveries == second.deliveries
+        assert first.losses == second.losses
+        assert first.collision_free == second.collision_free
+
+
+class TestReport:
+    def test_write_and_read_round_trip(self, tmp_path):
+        sample = PerfSample(
+            stations=10, load=0.1, duration_slots=30.0, seed=29,
+            wall_s=0.5, events=1000, events_per_s=2000.0,
+            deliveries=42, losses=0, collision_free=True,
+        )
+        path = tmp_path / "report.json"
+        write_report(str(path), [sample], notes={"rounds": 3})
+        payload = json.loads(path.read_text())
+        assert payload["scenarios"][0]["events_per_s"] == 2000.0
+        assert payload["notes"]["rounds"] == 3
+        assert "events/sec" in payload["unit"]
+        assert _samples_from_json(str(path)) == [sample]
+
+    def test_format_is_tabular(self):
+        sample = PerfSample(
+            stations=10, load=0.1, duration_slots=30.0, seed=29,
+            wall_s=0.5, events=1000, events_per_s=2000.0,
+            deliveries=42, losses=0, collision_free=True,
+        )
+        text = format_samples([sample])
+        assert "events/s" in text.splitlines()[0]
+        assert "2000" in text.splitlines()[1]

@@ -104,3 +104,104 @@ class TestReceptionTracker:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError):
             ReceptionTracker(threshold=0.0, signal_power_w=1.0)
+
+
+class TestTrackerBatch:
+    def _batch(self):
+        from repro.core.reception import TrackerBatch
+
+        return TrackerBatch(capacity=2)
+
+    def test_matches_scalar_trackers(self):
+        # The batch must report bit-identical min_sir/failed_at to a set
+        # of scalar trackers fed the same interference history.
+        import numpy as np
+
+        from repro.core.reception import TrackerBatch
+
+        rng = np.random.default_rng(7)
+        batch = TrackerBatch(capacity=1)  # force growth
+        scalars = {}
+        for tag in range(9):
+            threshold = float(rng.uniform(0.01, 0.5))
+            signal = float(rng.uniform(0.0, 2.0))
+            noise = float(rng.uniform(0.0, 1e-3))
+            batch.add(
+                tag=tag,
+                receiver=tag % 4,
+                threshold=threshold,
+                signal_power_w=signal,
+                noise_power_w=noise,
+            )
+            scalars[tag] = ReceptionTracker(
+                threshold=threshold, signal_power_w=signal, noise_power_w=noise
+            )
+        for step in range(20):
+            interference = rng.uniform(0.0, 5.0, batch.count)
+            now = float(step)
+            failed = set(batch.update(now, interference))
+            newly_scalar = set()
+            for position, tag in enumerate(batch.tags):
+                tracker = scalars[tag]
+                was_ok = tracker.ok
+                tracker.update(now, float(interference[position]))
+                if was_ok and not tracker.ok:
+                    newly_scalar.add(tag)
+            assert failed == newly_scalar
+            if step == 9:  # mid-history removal exercises swap-remove
+                record = batch.remove(4)
+                scalar = scalars.pop(4)
+                assert record.ok == scalar.ok
+                assert record.min_sir == scalar.min_sir
+                assert record.failed_at == scalar.failed_at
+        for tag, scalar in scalars.items():
+            record = batch.remove(tag)
+            assert record.ok == scalar.ok
+            assert record.min_sir == scalar.min_sir
+            assert record.failed_at == scalar.failed_at
+        assert batch.count == 0
+
+    def test_zero_denominator_gives_infinite_sir(self):
+        import numpy as np
+
+        batch = self._batch()
+        batch.add(tag=1, receiver=0, threshold=0.5, signal_power_w=1.0)
+        batch.update(0.0, np.zeros(1))
+        assert batch.ok(1)
+        assert batch.min_sir(1) == math.inf
+
+    def test_swap_remove_keeps_dense_order_consistent(self):
+        import numpy as np
+
+        batch = self._batch()
+        for tag in (10, 11, 12):
+            batch.add(
+                tag=tag,
+                receiver=tag - 10,
+                threshold=0.1,
+                signal_power_w=float(tag),
+            )
+        batch.remove(10)  # last entry (12) swaps into slot 0
+        assert set(batch.tags) == {11, 12}
+        position = batch.tags.index(12)
+        assert batch.signals[position] == 12.0
+        assert batch.receivers[position] == 2
+        assert 10 not in batch
+
+    def test_rejects_duplicate_tag(self):
+        batch = self._batch()
+        batch.add(tag=5, receiver=0, threshold=0.1, signal_power_w=1.0)
+        with pytest.raises(ValueError):
+            batch.add(tag=5, receiver=1, threshold=0.1, signal_power_w=1.0)
+
+    def test_rejects_bad_parameters(self):
+        batch = self._batch()
+        with pytest.raises(ValueError):
+            batch.add(tag=1, receiver=0, threshold=0.0, signal_power_w=1.0)
+        with pytest.raises(ValueError):
+            batch.add(tag=2, receiver=0, threshold=0.1, signal_power_w=-1.0)
+        with pytest.raises(ValueError):
+            batch.add(
+                tag=3, receiver=0, threshold=0.1, signal_power_w=1.0,
+                noise_power_w=-1.0,
+            )

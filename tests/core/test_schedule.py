@@ -133,3 +133,54 @@ class TestHelpers:
     def test_max_packet_time_bounds(self):
         with pytest.raises(ValueError):
             Schedule().max_packet_time(0.0)
+
+
+class TestDesignationCache:
+    def test_block_cache_matches_scalar_hash(self):
+        schedule = Schedule(slot_time=1.0, key=11)
+        for index in list(range(-300, 300)) + [10_000, -10_000]:
+            expected = hash_slot(index, key=11) < schedule.receive_fraction
+            assert schedule.is_receive_slot(index) == expected
+
+    def test_designations_bulk_matches_scalar(self):
+        schedule = Schedule(slot_time=1.0, key=5)
+        bulk = schedule.designations(-130, 400)
+        for offset, value in enumerate(bulk):
+            assert bool(value) == schedule.is_receive_slot(-130 + offset)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        start=st.integers(min_value=-1000, max_value=1000),
+        want=st.integers(min_value=0, max_value=1),
+        key=st.integers(min_value=0, max_value=5),
+    )
+    def test_find_designation_is_first_match(self, start, want, key):
+        schedule = Schedule(slot_time=1.0, key=key)
+        found = schedule._find_designation(start, want)
+        assert found >= start
+        # Nothing before it matches, and it matches.
+        assert schedule._designation(found) == want
+        for index in range(start, min(found, start + 600)):
+            assert schedule._designation(index) != want
+
+    def test_find_designation_beyond_block_limit_falls_back(self):
+        from repro.core.schedule import _BLOCK_LIMIT
+
+        schedule = Schedule(slot_time=1.0, key=3)
+        start = _BLOCK_LIMIT - 2
+        found = schedule._find_designation(start, 1)
+        assert found >= start
+        assert schedule._designation(found) == 1
+
+    def test_windows_agree_with_slot_scan(self):
+        schedule = Schedule(slot_time=0.5, key=7)
+        windows = schedule.windows(3.25, receive=True)
+        first_windows = [next(windows) for _ in range(10)]
+        # Every yielded window covers exactly receive slots; boundary
+        # slots on each side are transmit slots.
+        for lo, hi in first_windows:
+            first_slot = schedule.slot_index(lo)
+            last_slot = schedule.slot_index(hi - 1e-9)
+            for index in range(first_slot, last_slot + 1):
+                assert schedule.is_receive_slot(index)
+            assert not schedule.is_receive_slot(last_slot + 1)

@@ -1,0 +1,191 @@
+"""Property tests for the incremental interference field.
+
+The medium maintains the Eq. 2 received-power field ``gains @ powers``
+incrementally (one axpy per transmission begin/end).  These tests pin
+the invariant that makes that safe: after *any* sequence of begins and
+ends, the incremental field matches the exact matrix-vector recompute
+to floating-point accumulation tolerance, and snaps back to exactly
+zero when the channel drains.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.medium import Medium, Transmission
+from repro.net.packet import Packet
+from repro.radio.spreadspectrum import DespreaderBank
+from repro.sim.engine import Environment
+from repro.sim.sanitizer import SanitizerError
+
+STATIONS = 6
+
+
+class World:
+    def __init__(self, count, channels=2):
+        self.banks = [DespreaderBank(capacity=channels) for _ in range(count)]
+
+    def listen(self, station, now):
+        return True
+
+    def bank(self, station):
+        return self.banks[station]
+
+
+def build_medium(seed=0, resync_events=4096, sanitize=False):
+    rng = np.random.default_rng(seed)
+    gains = rng.uniform(1e-8, 1e-3, (STATIONS, STATIONS))
+    gains = (gains + gains.T) / 2.0
+    np.fill_diagonal(gains, 0.0)
+    env = Environment(sanitize=sanitize)
+    world = World(STATIONS)
+    medium = Medium(
+        env=env,
+        gains=gains,
+        thermal_noise_w=1e-12,
+        sir_thresholds=np.full(STATIONS, 0.05),
+        listen_query=world.listen,
+        channel_query=world.bank,
+        resync_events=resync_events,
+    )
+    return env, medium
+
+
+def packet(source, destination):
+    return Packet(
+        source=source, destination=destination, size_bits=100.0, created_at=0.0
+    )
+
+
+def apply_ops(medium, ops):
+    """Drive an arbitrary begin/end interleaving through the medium.
+
+    ``ops`` is a list of (station, power, end_index) actions: begin a
+    burst from ``station`` (skipped while it is already transmitting),
+    then end one active transmission chosen by ``end_index`` (no-op
+    when negative).  Returns the exact-field error bound check count.
+    """
+    seq = 0
+    active = []
+    checks = 0
+    for station, power, end_index in ops:
+        if not medium.is_station_transmitting(station):
+            destination = (station + 1) % STATIONS
+            tx = Transmission(
+                seq=seq,
+                source=station,
+                destination=destination,
+                packet=packet(station, destination),
+                power_w=power,
+                start=medium.env.now,
+                duration=1.0,
+            )
+            seq += 1
+            medium._begin(tx)
+            active.append(tx)
+            checks += assert_field_matches(medium)
+        if active and end_index >= 0:
+            tx = active.pop(end_index % len(active))
+            medium._end(tx)
+            checks += assert_field_matches(medium)
+    for tx in active:
+        medium._end(tx)
+        checks += assert_field_matches(medium)
+    return checks
+
+
+def assert_field_matches(medium):
+    exact = medium.gains @ medium._powers
+    scale = float(np.max(exact)) if exact.size else 0.0
+    assert np.allclose(
+        medium._interference, exact, rtol=1e-9, atol=1e-12 * (scale + 1e-30)
+    ), "incremental field diverged from gains @ powers"
+    return 1
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=STATIONS - 1),
+        st.floats(min_value=1e-3, max_value=100.0),
+        st.integers(min_value=-1, max_value=8),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestIncrementalField:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=7))
+    def test_matches_exact_recompute(self, ops, seed):
+        env, medium = build_medium(seed=seed)
+        checks = apply_ops(medium, ops)
+        assert checks > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=ops_strategy)
+    def test_idle_field_is_exactly_zero(self, ops):
+        env, medium = build_medium()
+        apply_ops(medium, ops)
+        # Everything ended: powers snapped to zero, field pinned to the
+        # exact-zero idle state (not merely close to it).
+        assert not medium.active_transmissions
+        assert np.all(medium._powers == 0.0)
+        assert np.all(medium._interference == 0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=ops_strategy)
+    def test_aggressive_resync_is_transparent(self, ops):
+        # Resyncing after every field change must agree with the lazy
+        # cadence on every intermediate state.
+        env, medium = build_medium(resync_events=1)
+        apply_ops(medium, ops)
+        assert np.all(medium._interference == 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=ops_strategy)
+    def test_sanitizer_resync_accepts_honest_field(self, ops):
+        # Under the sanitizer every resync asserts closeness; a correct
+        # incremental update must never trip it.
+        env, medium = build_medium(resync_events=2, sanitize=True)
+        apply_ops(medium, ops)
+
+    def test_sanitizer_resync_detects_corruption(self):
+        env, medium = build_medium(resync_events=1, sanitize=True)
+        tx = Transmission(
+            seq=0,
+            source=0,
+            destination=1,
+            packet=packet(0, 1),
+            power_w=1.0,
+            start=0.0,
+            duration=1.0,
+        )
+        medium._begin(tx)
+        # Corrupt the field behind the incremental bookkeeping's back.
+        medium._interference[2] += 1.0
+        with pytest.raises(SanitizerError, match="drifted"):
+            medium._end(tx)
+
+    def test_transmit_counter_tracks_activity(self):
+        env, medium = build_medium()
+        tx = Transmission(
+            seq=0,
+            source=3,
+            destination=4,
+            packet=packet(3, 4),
+            power_w=2.0,
+            start=0.0,
+            duration=1.0,
+        )
+        assert not medium.is_station_transmitting(3)
+        medium._begin(tx)
+        assert medium.is_station_transmitting(3)
+        assert not medium.is_station_transmitting(4)
+        medium._end(tx)
+        assert not medium.is_station_transmitting(3)
+
+    def test_rejects_bad_resync_cadence(self):
+        with pytest.raises(ValueError):
+            build_medium(resync_events=0)

@@ -65,6 +65,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "raw_rate_mbps" in out
 
+    def test_bench_command(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--stations", "20",
+                "--load", "0.05",
+                "--duration", "30",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out
+        payload = json.loads(output.read_text())
+        scenario = payload["scenarios"][0]
+        assert scenario["stations"] == 20
+        assert scenario["events"] > 0
+        assert scenario["events_per_s"] > 0
+
+    def test_bench_command_is_sanitizer_clean(self, capsys):
+        from repro.sim.sanitizer import sanitized
+
+        with sanitized(True):
+            assert main(["bench", "--stations", "15", "--duration", "20"]) == 0
+        assert "events/s" in capsys.readouterr().out
+
     def test_verify_determinism_command(self, capsys):
         code = main(
             [

@@ -68,6 +68,19 @@ class TestWallClockRule:
         # Only clock *reads* are flagged, not the module itself.
         assert "REP002" not in codes("__all__ = []\nimport time\n")
 
+    def test_exempts_perf_harness(self):
+        # The perf harness exists to time finished runs; it is the one
+        # documented exemption under src/.
+        assert "REP002" not in codes(
+            "import time\nstart = time.perf_counter()\n",
+            path="src/repro/analysis/perf.py",
+        )
+        # The exemption is exact — sibling modules stay covered.
+        assert "REP002" in codes(
+            "import time\nstart = time.perf_counter()\n",
+            path="src/repro/analysis/metro.py",
+        )
+
 
 class TestSimTimeEqualityRule:
     def test_fires_on_env_now_equality(self):

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Generate the tracked perf report (``BENCH_medium.json``).
+
+Runs the seeded loaded-network scenario family through the perf harness
+(:mod:`repro.analysis.perf`) and writes a JSON report of events/sec per
+scenario.  Each scenario is run several times and the best (minimum
+wall-clock) run is reported, which is the standard defence against
+scheduler noise on shared hosts.
+
+Usage::
+
+    python tools/perfreport.py --quick --output BENCH_medium.json
+    python tools/perfreport.py --baseline old_report.json
+
+``--baseline`` points at a previous report (same format); matching
+scenarios gain a ``speedup`` ratio in the notes.  Absolute numbers are
+host-dependent; the ratios are the comparable quantity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.perf import (  # noqa: E402  (path setup above)
+    PerfSample,
+    format_samples,
+    run_perf_scenario,
+    write_report,
+)
+
+#: (stations, load) pairs; 60 simulated slots, seed 29 throughout.
+QUICK_SCENARIOS: Tuple[Tuple[int, float], ...] = ((100, 0.1),)
+FULL_SCENARIOS: Tuple[Tuple[int, float], ...] = (
+    (100, 0.1),
+    (500, 0.1),
+    (500, 0.5),
+    (500, 1.0),
+)
+
+
+def best_of(stations: int, load: float, rounds: int, seed: int) -> PerfSample:
+    """Best (minimum wall-clock) of ``rounds`` runs of one scenario."""
+    samples = [
+        run_perf_scenario(stations=stations, load=load, seed=seed)
+        for _ in range(rounds)
+    ]
+    return min(samples, key=lambda sample: sample.wall_s)
+
+
+def speedups(
+    samples: List[PerfSample], baseline_path: str
+) -> Dict[str, float]:
+    """Events/sec ratios vs a previous report, per matching scenario."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    before = {
+        (scenario["stations"], scenario["load"]): scenario["events_per_s"]
+        for scenario in payload.get("scenarios", [])
+    }
+    ratios: Dict[str, float] = {}
+    for sample in samples:
+        old = before.get((sample.stations, sample.load))
+        if old:
+            ratios[f"{sample.stations}@{sample.load}"] = round(
+                sample.events_per_s / old, 3
+            )
+    return ratios
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the 100-station scenario (the CI perf-smoke set)",
+    )
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="runs per scenario; the best is reported")
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument("--output", default="BENCH_medium.json")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="previous report to compute speedups against")
+    args = parser.parse_args(argv)
+
+    scenarios = QUICK_SCENARIOS if args.quick else FULL_SCENARIOS
+    samples = [
+        best_of(stations, load, args.rounds, args.seed)
+        for stations, load in scenarios
+    ]
+    print(format_samples(samples))
+
+    notes: Dict[str, object] = {
+        "rounds": args.rounds,
+        "selection": "minimum wall-clock run per scenario",
+    }
+    if args.baseline:
+        notes["speedup_vs_baseline"] = speedups(samples, args.baseline)
+    write_report(args.output, samples, notes=notes)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
