@@ -5,11 +5,18 @@ Usage::
     python -m repro list
     python -m repro run T4
     python -m repro run T4 --set station_counts='(100,)' --set duration_slots=200
+    python -m repro run-all --jobs 4 --quick --output suite.json
+    python -m repro sweep --experiment T7 --jobs 4 --replications 5
+    python -m repro bench --rounds 5
+    python -m repro bench --suite --jobs 1,2,4 --output BENCH_suite.json
     python -m repro design --stations 1e9 --duty 0.5
     python -m repro metro --stations 1e6 --bandwidth 1e9
 
 ``--set`` values are parsed as Python literals (falling back to plain
-strings), so tuples, floats, and booleans all work.
+strings), so tuples, floats, and booleans all work.  ``run-all`` and
+``sweep`` fan tasks over a multiprocess pool; results are bit-identical
+at any ``--jobs`` because per-task seeds come from the seed tree, never
+from scheduling order.
 """
 
 from __future__ import annotations
@@ -142,23 +149,141 @@ def _cmd_verify_determinism(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite:
+        return _cmd_bench_suite(args)
     from repro.analysis.perf import (
         format_samples,
         run_perf_scenario,
         write_report,
     )
 
-    sample = run_perf_scenario(
-        stations=args.stations,
-        load=args.load,
-        duration_slots=args.duration,
-        seed=args.seed,
-    )
-    print(format_samples([sample]))
+    if args.rounds < 1:
+        print("--rounds must be >= 1", file=sys.stderr)
+        return 2
+    samples = [
+        run_perf_scenario(
+            stations=args.stations,
+            load=args.load,
+            duration_slots=args.duration,
+            seed=args.seed,
+        )
+        for _ in range(args.rounds)
+    ]
+    best = min(samples, key=lambda sample: sample.wall_s)
+    print(format_samples([best]))
+    if args.rounds > 1:
+        print(f"(best of {args.rounds} rounds by wall-clock)")
     if args.output:
-        write_report(args.output, [sample])
+        write_report(
+            args.output,
+            [best],
+            notes={
+                "rounds": args.rounds,
+                "selection": "minimum wall-clock run",
+            },
+        )
         print(f"wrote {args.output}")
     return 0
+
+
+def _parse_jobs_list(raw: str) -> List[int]:
+    jobs_counts = [int(part) for part in raw.split(",") if part.strip()]
+    if not jobs_counts or any(jobs < 1 for jobs in jobs_counts):
+        raise ValueError(f"bad worker-count list {raw!r}; want e.g. 1,2,4")
+    return jobs_counts
+
+
+def _cmd_bench_suite(args: argparse.Namespace) -> int:
+    from repro.parallel.bench import bench_suite, write_suite_report
+
+    try:
+        jobs_counts = _parse_jobs_list(args.jobs)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    payload = bench_suite(
+        jobs_counts=jobs_counts,
+        quick=not args.full,
+        rounds=args.rounds,
+    )
+    for entry in payload["measurements"]:
+        print(
+            f"jobs={entry['jobs']}: {entry['wall_s']:.3f}s "
+            f"(speedup {entry['speedup_vs_jobs_%d' % jobs_counts[0]]}x, "
+            f"digest {entry['suite_digest']})"
+        )
+    if args.output:
+        write_suite_report(args.output, payload)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.suite import run_suite
+
+    def progress(done: int, total: int, result) -> None:
+        status = "ok" if result.ok else "FAILED"
+        print(f"[{done}/{total}] {result.task_id}: {status}", file=sys.stderr)
+
+    suite = run_suite(
+        jobs=args.jobs,
+        quick=args.quick,
+        timeout_s=args.timeout_s,
+        retries=args.retries,
+        progress=progress if not args.no_progress else None,
+    )
+    print(suite.format())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(suite.to_payload(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 1 if suite.errors else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.sweep import (
+        SweepPlan,
+        default_sweep_values,
+        run_sweep,
+        sweep_parameter,
+    )
+
+    try:
+        parameter = sweep_parameter(args.experiment, args.parameter)
+        if args.values:
+            values = tuple(
+                ast.literal_eval(part) for part in args.values.split(",") if part
+            )
+        else:
+            values = default_sweep_values(args.experiment, parameter)
+        base_params = parse_overrides(args.set or [])
+        plan = SweepPlan(
+            experiment_id=args.experiment,
+            parameter=parameter,
+            values=values,
+            replications=args.replications,
+            root_seed=args.root_seed,
+            base_params=base_params,
+            timeout_s=args.timeout_s,
+            retries=args.retries,
+        )
+    except (KeyError, ValueError, SyntaxError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(message, file=sys.stderr)
+        return 2
+    outcome = run_sweep(plan, jobs=args.jobs)
+    print(outcome.format())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(outcome.to_payload(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 1 if outcome.errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -184,6 +309,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="override an experiment parameter (repeatable)",
     )
     run_cmd.set_defaults(handler=_cmd_run)
+
+    run_all_cmd = commands.add_parser(
+        "run-all",
+        help=(
+            "run every registered experiment over a worker pool "
+            "(bit-identical results at any --jobs)"
+        ),
+    )
+    run_all_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = inline serial)",
+    )
+    run_all_cmd.add_argument(
+        "--quick", action="store_true",
+        help="seconds-scale parameterisations (the CI smoke set)",
+    )
+    run_all_cmd.add_argument(
+        "--timeout-s", type=float, default=None, metavar="SECONDS",
+        help="per-experiment timeout enforced by the pool",
+    )
+    run_all_cmd.add_argument(
+        "--retries", type=int, default=1,
+        help="crash/timeout retries per experiment (default 1)",
+    )
+    run_all_cmd.add_argument(
+        "--output", metavar="PATH",
+        help="write every report plus the suite digest as JSON",
+    )
+    run_all_cmd.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress the per-experiment progress lines on stderr",
+    )
+    run_all_cmd.set_defaults(handler=_cmd_run_all)
+
+    sweep_cmd = commands.add_parser(
+        "sweep",
+        help=(
+            "sweep one experiment's natural parameter over a worker "
+            "pool, with seeded replications per point"
+        ),
+    )
+    sweep_cmd.add_argument(
+        "--experiment", required=True, metavar="ID",
+        help="experiment id, e.g. T7",
+    )
+    sweep_cmd.add_argument(
+        "--parameter", metavar="NAME",
+        help="sweep parameter (defaults to the experiment's natural one)",
+    )
+    sweep_cmd.add_argument(
+        "--values", metavar="V1,V2,...",
+        help=(
+            "comma-separated Python literals; defaults to the "
+            "experiment's own default sequence"
+        ),
+    )
+    sweep_cmd.add_argument(
+        "--replications", type=int, default=1, metavar="R",
+        help="independently seeded runs per sweep point",
+    )
+    sweep_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = inline serial)",
+    )
+    sweep_cmd.add_argument(
+        "--root-seed", type=int, default=0,
+        help="seed-tree root; per-task seeds derive from it",
+    )
+    sweep_cmd.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra experiment parameter applied to every task",
+    )
+    sweep_cmd.add_argument(
+        "--timeout-s", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout enforced by the pool",
+    )
+    sweep_cmd.add_argument(
+        "--retries", type=int, default=1,
+        help="crash/timeout retries per task (default 1)",
+    )
+    sweep_cmd.add_argument(
+        "--output", metavar="PATH",
+        help="write rows, summaries, and digests as JSON",
+    )
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
 
     design_cmd = commands.add_parser(
         "design", help="print the Section 6 link budget for a scale"
@@ -228,6 +440,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated duration in slots (default 60)",
     )
     bench_cmd.add_argument("--seed", type=int, default=29)
+    bench_cmd.add_argument(
+        "--rounds", type=int, default=1, metavar="N",
+        help="timed rounds; the minimum wall-clock run is reported",
+    )
+    bench_cmd.add_argument(
+        "--suite", action="store_true",
+        help=(
+            "benchmark the full experiment registry at several worker "
+            "counts instead of the single scenario (BENCH_suite.json)"
+        ),
+    )
+    bench_cmd.add_argument(
+        "--jobs", default="1,2,4", metavar="N1,N2,...",
+        help="suite mode: comma-separated worker counts (default 1,2,4)",
+    )
+    bench_cmd.add_argument(
+        "--full", action="store_true",
+        help="suite mode: full parameterisations instead of quick",
+    )
     bench_cmd.add_argument(
         "--output", metavar="PATH",
         help="write the sample as a JSON perf report (BENCH_medium.json format)",

@@ -10,9 +10,15 @@ EXPERIMENTS.md summarises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentReport", "register", "get_experiment", "all_experiments"]
+__all__ = [
+    "ExperimentReport",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_many",
+]
 
 
 @dataclass
@@ -108,3 +114,22 @@ def get_experiment(experiment_id: str) -> Callable[..., ExperimentReport]:
 def all_experiments() -> Dict[str, Callable[..., ExperimentReport]]:
     """All registered experiments, keyed by id."""
     return dict(_REGISTRY)
+
+
+def run_many(
+    task_specs: Sequence[Any],
+    jobs: int = 1,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+) -> List[Any]:
+    """Execute a list of :class:`repro.parallel.task.TaskSpec` over the
+    worker pool, preserving spec order in the returned results.
+
+    This is the single funnel experiment modules use for their inner
+    fan-out (per-load, per-replication, ...): at ``jobs=1`` the specs
+    run inline through the exact same task layer, so pooled and serial
+    results are bit-identical by construction.  Imported lazily so the
+    experiment registry has no import-time dependency on the pool.
+    """
+    from repro.parallel.pool import run_tasks
+
+    return run_tasks(task_specs, jobs=jobs, progress=progress)

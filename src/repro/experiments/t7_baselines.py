@@ -15,9 +15,9 @@ cost of deferrals; MACA pays two control bursts per data packet.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentReport, register
+from repro.experiments.runner import ExperimentReport, register, run_many
 from repro.experiments.simsetup import run_loaded_network
 from repro.mac.aloha import AlohaMac
 from repro.mac.csma import CsmaMac
@@ -25,7 +25,7 @@ from repro.mac.maca import MacaMac
 from repro.net.network import NetworkConfig
 from repro.sim.streams import RandomStreams
 
-__all__ = ["run", "mac_suite"]
+__all__ = ["run", "mac_suite", "run_load_point"]
 
 
 def mac_suite(seed: int) -> Dict[str, Optional[Callable]]:
@@ -46,14 +46,79 @@ def mac_suite(seed: int) -> Dict[str, Optional[Callable]]:
     }
 
 
+def run_load_point(
+    load: float,
+    station_count: int = 40,
+    duration_slots: float = 500.0,
+    seed: int = 47,
+) -> Dict[str, Any]:
+    """One offered-load point of the shootout: all five MACs at ``load``.
+
+    The importable unit of work the parallel task layer fans out
+    (``kind="function"``, target ``repro.experiments.t7_baselines:
+    run_load_point``); ``run`` merges the returned row groups in load
+    order.  Returns the report rows plus the loss tallies the summary
+    claims accumulate.
+    """
+    rows: List[Tuple[Any, ...]] = []
+    shepard_losses = 0
+    baseline_losses = 0
+    for name, factory in mac_suite(seed).items():
+        network, result = run_loaded_network(
+            station_count,
+            load,
+            duration_slots,
+            placement_seed=seed,
+            traffic_seed=seed + 1,
+            config=NetworkConfig(seed=seed),
+            mac_factory=factory,
+        )
+        loss_ratio = (
+            result.losses_total / result.transmissions
+            if result.transmissions
+            else 0.0
+        )
+        control = _control_overhead(network)
+        slot = network.budget.slot_time
+        rows.append(
+            (
+                name,
+                load,
+                result.delivered_end_to_end,
+                loss_ratio,
+                control,
+                result.mean_delay / slot
+                if result.mean_delay == result.mean_delay
+                else float("nan"),
+            )
+        )
+        if name == "shepard":
+            shepard_losses += result.losses_total
+        else:
+            baseline_losses += result.losses_total
+    return {
+        "rows": rows,
+        "shepard_losses": shepard_losses,
+        "baseline_losses": baseline_losses,
+    }
+
+
 @register("T7")
 def run(
     loads_packets_per_slot: Sequence[float] = (0.02, 0.05, 0.1),
     station_count: int = 40,
     duration_slots: float = 500.0,
     seed: int = 47,
+    jobs: int = 1,
 ) -> ExperimentReport:
-    """Throughput/loss/overhead versus offered load, per MAC."""
+    """Throughput/loss/overhead versus offered load, per MAC.
+
+    Each offered load is an independent task (:func:`run_load_point`)
+    fanned over ``jobs`` workers; results merge in load order, so the
+    report is identical at any worker count.
+    """
+    from repro.parallel.task import TaskSpec
+
     report = ExperimentReport(
         experiment_id="T7",
         title="Channel access shootout under the physical model",
@@ -66,38 +131,31 @@ def run(
             "mean delay (slots)",
         ),
     )
+    specs = [
+        TaskSpec(
+            task_id=f"T7[load={load!r}]",
+            kind="function",
+            target="repro.experiments.t7_baselines:run_load_point",
+            params={
+                "load": load,
+                "station_count": station_count,
+                "duration_slots": duration_slots,
+                "seed": seed,
+            },
+        )
+        for load in loads_packets_per_slot
+    ]
     shepard_losses = 0
     baseline_losses = 0
-    for load in loads_packets_per_slot:
-        for name, factory in mac_suite(seed).items():
-            network, result = run_loaded_network(
-                station_count,
-                load,
-                duration_slots,
-                placement_seed=seed,
-                traffic_seed=seed + 1,
-                config=NetworkConfig(seed=seed),
-                mac_factory=factory,
+    for outcome in run_many(specs, jobs=jobs):
+        if not outcome.ok or outcome.payload is None:
+            raise RuntimeError(
+                f"load point {outcome.task_id} failed: {outcome.error}"
             )
-            loss_ratio = (
-                result.losses_total / result.transmissions
-                if result.transmissions
-                else 0.0
-            )
-            control = _control_overhead(network)
-            slot = network.budget.slot_time
-            report.add_row(
-                name,
-                load,
-                result.delivered_end_to_end,
-                loss_ratio,
-                control,
-                result.mean_delay / slot if result.mean_delay == result.mean_delay else float("nan"),
-            )
-            if name == "shepard":
-                shepard_losses += result.losses_total
-            else:
-                baseline_losses += result.losses_total
+        for row in outcome.payload["rows"]:
+            report.add_row(*row)
+        shepard_losses += outcome.payload["shepard_losses"]
+        baseline_losses += outcome.payload["baseline_losses"]
     report.claim("scheme losses across all loads", 0, shepard_losses)
     report.claim("baseline losses across all loads", "> 0", baseline_losses)
     report.notes.append(

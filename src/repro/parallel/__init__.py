@@ -1,0 +1,66 @@
+"""Parallel execution subsystem: multiprocess fan-out with bit-exact
+determinism.
+
+The pieces, bottom-up:
+
+* :mod:`repro.parallel.seedtree` — SplitMix64-style seed derivation:
+  per-task seeds from a root seed and the task's path, independent of
+  worker count and scheduling order.
+* :mod:`repro.parallel.task` — :class:`TaskSpec` / :class:`TaskResult`:
+  picklable descriptions of one seeded run and its structured outcome.
+* :mod:`repro.parallel.pool` — spawn-safe worker pool with per-task
+  timeout, crash capture, and bounded retry.
+* :mod:`repro.parallel.aggregate` — deterministic merging and
+  replication summaries (mean/stddev/min/max per metric).
+* :mod:`repro.parallel.sweep` — sweep points × replication seeds for
+  one experiment (``repro sweep``).
+* :mod:`repro.parallel.suite` — the full F/T/A registry as one task
+  list (``repro run-all``).
+* :mod:`repro.parallel.bench` — full-suite scaling benchmark
+  (``BENCH_suite.json``).
+
+The invariant everything here preserves: for a fixed root seed, report
+rows and replay digests are identical at any worker count.
+"""
+
+from repro.parallel.aggregate import MetricSummary, summarize, summarize_rows
+from repro.parallel.bench import bench_suite, write_suite_report
+from repro.parallel.pool import run_tasks
+from repro.parallel.seedtree import SeedTree, derive_seed
+from repro.parallel.suite import QUICK_PARAMS, SuiteResult, run_suite
+from repro.parallel.sweep import (
+    SWEEPABLE_PARAMS,
+    SweepPlan,
+    SweepResult,
+    run_sweep,
+)
+from repro.parallel.task import (
+    TaskResult,
+    TaskSpec,
+    execute_task,
+    payload_digest,
+    results_digest,
+)
+
+__all__ = [
+    "MetricSummary",
+    "QUICK_PARAMS",
+    "SWEEPABLE_PARAMS",
+    "SeedTree",
+    "SuiteResult",
+    "SweepPlan",
+    "SweepResult",
+    "TaskResult",
+    "TaskSpec",
+    "bench_suite",
+    "derive_seed",
+    "execute_task",
+    "payload_digest",
+    "results_digest",
+    "run_suite",
+    "run_sweep",
+    "run_tasks",
+    "summarize",
+    "summarize_rows",
+    "write_suite_report",
+]

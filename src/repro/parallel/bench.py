@@ -1,0 +1,119 @@
+"""Full-suite scaling benchmark: wall-clock at 1/2/4 workers.
+
+Times :func:`repro.parallel.suite.run_suite` at each requested worker
+count and writes ``BENCH_suite.json`` — the tracked record of
+across-run scaling, companion to ``BENCH_medium.json`` (which tracks
+the single-run hot path).  Methodology matches ``tools/perfreport.py``:
+best-of-N minimum wall-clock per configuration, and every timed run
+must produce the identical suite digest — the timing comparison is
+meaningless (and the run is a determinism violation) otherwise.
+
+Like :mod:`repro.analysis.perf`, this module is exempt from the REP002
+wall-clock lint: its entire purpose is timing completed suite runs,
+and no wall-clock value feeds back into simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.parallel.pool import ProgressCallback
+from repro.parallel.suite import run_suite
+
+__all__ = ["bench_suite", "write_suite_report"]
+
+
+def bench_suite(
+    jobs_counts: Sequence[int] = (1, 2, 4),
+    quick: bool = True,
+    rounds: int = 1,
+    timeout_s: Optional[float] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[str, Any]:
+    """Time the full suite at each worker count; return the report.
+
+    Args:
+        jobs_counts: worker counts to measure (first is the baseline
+            for the speedup column; include 1 for serial reference).
+        quick: use the quick parameter set (the tracked configuration).
+        rounds: timed runs per worker count; the minimum wall-clock is
+            reported (scheduler-noise defence, as in perfreport).
+        timeout_s: per-task timeout passed through to the pool.
+        progress: forwarded to each suite run.
+
+    Raises:
+        RuntimeError: if any two runs disagree on the suite digest —
+            pooled execution must be bit-identical to serial.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    if not jobs_counts:
+        raise ValueError("need at least one worker count")
+    measurements: List[Dict[str, Any]] = []
+    reference_digest: Optional[str] = None
+    for jobs in jobs_counts:
+        best_wall: Optional[float] = None
+        digest: Optional[str] = None
+        errors = 0
+        for _ in range(rounds):
+            began = time.perf_counter()
+            outcome = run_suite(
+                jobs=jobs, quick=quick, timeout_s=timeout_s, progress=progress
+            )
+            wall_s = time.perf_counter() - began
+            digest = outcome.digest()
+            errors = len(outcome.errors)
+            if reference_digest is None:
+                reference_digest = digest
+            elif digest != reference_digest:
+                raise RuntimeError(
+                    f"suite digest diverged at jobs={jobs}: {digest} != "
+                    f"{reference_digest} — pooled execution must be "
+                    "bit-identical to serial"
+                )
+            if best_wall is None or wall_s < best_wall:
+                best_wall = wall_s
+        measurements.append(
+            {
+                "jobs": jobs,
+                "wall_s": round(best_wall or 0.0, 3),
+                "suite_digest": digest,
+                "errors": errors,
+            }
+        )
+    baseline = measurements[0]["wall_s"]
+    for entry in measurements:
+        entry["speedup_vs_jobs_%d" % measurements[0]["jobs"]] = (
+            round(baseline / entry["wall_s"], 3) if entry["wall_s"] else None
+        )
+    return {
+        "unit": "wall seconds for one full F/T/A registry run (run_suite)",
+        "workload": (
+            "repro.parallel.suite.run_suite(jobs=N, quick=%r): every "
+            "registered experiment as one pool task" % quick
+        ),
+        "methodology": (
+            "best (minimum wall-clock) of %d round(s) per worker count; "
+            "identical suite digests required across all runs — pooled "
+            "results are bit-identical to serial by construction "
+            "(seed-tree task seeds, spec-order aggregation)" % rounds
+        ),
+        "host_cpus": os.cpu_count(),
+        "quick": quick,
+        "measurements": measurements,
+    }
+
+
+def write_suite_report(
+    path: str, payload: Dict[str, Any], notes: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write a :func:`bench_suite` report (``BENCH_suite.json``)."""
+    if notes:
+        payload = dict(payload)
+        payload["notes"] = notes
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -1,0 +1,264 @@
+"""Spawn-safe multiprocess fan-out with timeouts, crash capture, retry.
+
+:func:`run_tasks` executes a list of :class:`~repro.parallel.task.TaskSpec`
+over a pool of worker processes and returns one
+:class:`~repro.parallel.task.TaskResult` per spec, **in spec order**,
+whatever the completion order was.  The contract:
+
+* **Bit-exact determinism.**  Workers run the same
+  :func:`~repro.parallel.task.execute_task` as inline execution, on
+  specs whose seeds were derived *before* scheduling (the seed tree),
+  so payloads are independent of worker count and scheduling order.
+  ``run_tasks(specs, jobs=4)`` equals ``run_tasks(specs, jobs=1)``
+  row for row.
+* **No silent losses.**  A worker that dies (segfault, ``os._exit``,
+  OOM kill) or exceeds its task's ``timeout_s`` yields a structured
+  ``TaskResult(ok=False, error=...)`` after bounded retry — never a
+  hung parent or a missing row.  Deterministic Python exceptions are
+  captured by ``execute_task`` itself and are *not* retried.
+* **Spawn start method.**  Workers are fresh interpreters (no
+  inherited module state, fork-unsafe libraries, or copied RNG state),
+  which is also the only portable choice.
+
+This module is exempt from the REP002 wall-clock lint for one purpose
+only: enforcing per-task timeouts on *host* execution.  No wall-clock
+value ever reaches simulation state — a timed-out task is discarded
+wholesale, so replay determinism is untouched (same argument as the
+perf harness).  REP008 makes this file the single sanctioned home of
+``multiprocessing`` under ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import Connection, wait as _connection_wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.parallel.task import TaskResult, TaskSpec, execute_task
+
+__all__ = ["ProgressCallback", "run_tasks"]
+
+#: ``progress(done, total, result)`` after each task completes.
+ProgressCallback = Callable[[int, int, TaskResult], None]
+
+#: Upper bound on one poll interval, so worker deaths that somehow do
+#: not wake the connection wait are still noticed promptly.
+_POLL_CAP_S = 0.25
+
+#: How long to wait for a worker to exit after its shutdown sentinel.
+_JOIN_GRACE_S = 2.0
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive a spec, execute, send the result back.
+
+    Runs in a spawned interpreter; exits on the ``None`` sentinel or a
+    closed pipe.  Everything task-related is already exception-safe via
+    ``execute_task``.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, spec = message
+        conn.send((index, execute_task(spec)))
+    conn.close()
+
+
+class _Worker:
+    """One spawned worker process and its duplex pipe."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.task_index: Optional[int] = None
+        self.deadline: Optional[float] = None
+
+    def assign(self, index: int, spec: TaskSpec) -> None:
+        self.task_index = index
+        self.deadline = (
+            time.monotonic() + spec.timeout_s
+            if spec.timeout_s is not None
+            else None
+        )
+        self.conn.send((index, spec))
+
+    def clear(self) -> None:
+        self.task_index = None
+        self.deadline = None
+
+    def shutdown(self) -> None:
+        """Best-effort graceful stop, then force."""
+        try:
+            self.conn.send(None)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        self.process.join(timeout=_JOIN_GRACE_S)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=_JOIN_GRACE_S)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        """Hard stop (timeout/crash path)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=_JOIN_GRACE_S)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def run_tasks(
+    specs: Sequence[TaskSpec],
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[TaskResult]:
+    """Execute tasks, returning one result per spec in spec order.
+
+    Args:
+        specs: the tasks; ``task_id`` values must be unique.
+        jobs: worker processes.  ``jobs <= 1`` executes inline in this
+            process (same code path per task; no timeout enforcement).
+        progress: optional per-completion callback.
+
+    Pooled execution is bit-identical to inline execution: only wall
+    clock and the ``attempts`` counter of crashed-and-retried tasks can
+    differ.
+    """
+    specs = list(specs)
+    seen = set()
+    for spec in specs:
+        if spec.task_id in seen:
+            raise ValueError(f"duplicate task_id {spec.task_id!r}")
+        seen.add(spec.task_id)
+    total = len(specs)
+    if total == 0:
+        return []
+    if jobs <= 1 or total == 1:
+        results: List[TaskResult] = []
+        for spec in specs:
+            result = execute_task(spec)
+            results.append(result)
+            if progress is not None:
+                progress(len(results), total, result)
+        return results
+    return _run_pooled(specs, min(jobs, total), progress)
+
+
+def _run_pooled(
+    specs: List[TaskSpec],
+    jobs: int,
+    progress: Optional[ProgressCallback],
+) -> List[TaskResult]:
+    context = multiprocessing.get_context("spawn")
+    total = len(specs)
+    results: Dict[int, TaskResult] = {}
+    attempts = [0] * total
+    pending = deque(range(total))
+    workers: List[_Worker] = []
+
+    def record(index: int, result: TaskResult) -> None:
+        result.attempts = attempts[index]
+        results[index] = result
+        if progress is not None:
+            progress(len(results), total, result)
+
+    def fail_or_retry(index: int, reason: str) -> None:
+        spec = specs[index]
+        if attempts[index] <= spec.retries:
+            pending.append(index)
+        else:
+            record(
+                index,
+                TaskResult(task_id=spec.task_id, ok=False, error=reason),
+            )
+
+    try:
+        while len(results) < total:
+            # Keep exactly as many live workers as there is work for.
+            live = [w for w in workers if w.process.is_alive()]
+            wanted = min(jobs, len(pending) + sum(
+                1 for w in live if w.task_index is not None
+            ))
+            while len(live) < wanted:
+                worker = _Worker(context)
+                workers.append(worker)
+                live.append(worker)
+            for worker in live:
+                if worker.task_index is None and pending:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    worker.assign(index, specs[index])
+
+            busy = [w for w in live if w.task_index is not None]
+            if not busy:
+                continue  # everything pending was just assigned above
+
+            timeout = _POLL_CAP_S
+            reference = time.monotonic()
+            for worker in busy:
+                if worker.deadline is not None:
+                    timeout = min(timeout, max(worker.deadline - reference, 0.0))
+            ready = _connection_wait([w.conn for w in busy], timeout=timeout)
+
+            for worker in busy:
+                if worker.conn in ready:
+                    index = worker.task_index
+                    assert index is not None
+                    try:
+                        received_index, result = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died mid-task.
+                        worker.clear()
+                        worker.kill()
+                        workers.remove(worker)
+                        fail_or_retry(
+                            index,
+                            f"worker process died while running task "
+                            f"{specs[index].task_id!r} "
+                            f"(attempt {attempts[index]})",
+                        )
+                        continue
+                    worker.clear()
+                    record(received_index, result)
+
+            now = time.monotonic()
+            for worker in list(workers):
+                index = worker.task_index
+                if (
+                    index is None
+                    or worker.deadline is None
+                    or now < worker.deadline
+                    or not worker.process.is_alive()
+                ):
+                    continue
+                # Deadline passed; prefer a result that just landed.
+                if worker.conn.poll():
+                    continue  # picked up on the next wait round
+                worker.clear()
+                worker.kill()
+                workers.remove(worker)
+                fail_or_retry(
+                    index,
+                    f"task {specs[index].task_id!r} timed out after "
+                    f"{specs[index].timeout_s}s (attempt {attempts[index]})",
+                )
+    finally:
+        for worker in workers:
+            worker.shutdown()
+
+    return [results[index] for index in range(total)]

@@ -69,6 +69,7 @@ def apply_ops(medium, ops):
     seq = 0
     active = []
     checks = 0
+    peak_scale = 0.0
     for station, power, end_index in ops:
         if not medium.is_station_transmitting(station):
             destination = (station + 1) % STATIONS
@@ -84,24 +85,41 @@ def apply_ops(medium, ops):
             seq += 1
             medium._begin(tx)
             active.append(tx)
-            checks += assert_field_matches(medium)
+            checks, peak_scale = _checked(medium, checks, peak_scale)
         if active and end_index >= 0:
             tx = active.pop(end_index % len(active))
             medium._end(tx)
-            checks += assert_field_matches(medium)
+            checks, peak_scale = _checked(medium, checks, peak_scale)
     for tx in active:
         medium._end(tx)
-        checks += assert_field_matches(medium)
+        checks, peak_scale = _checked(medium, checks, peak_scale)
     return checks
 
 
-def assert_field_matches(medium):
+def _checked(medium, checks, peak_scale):
+    peak_scale = assert_field_matches(medium, peak_scale)
+    return checks + 1, peak_scale
+
+
+def assert_field_matches(medium, peak_scale=0.0):
+    """Check the incremental field against the exact recompute.
+
+    The absolute tolerance scales with the *peak* field magnitude seen
+    so far, not the current one: each begin/end is one axpy, so the
+    residual it can leave behind is a few ulps of the field at that
+    moment, and ending a dominant transmission shrinks the field but
+    not the residual.  Returns the updated peak for chained checks.
+    """
     exact = medium.gains @ medium._powers
     scale = float(np.max(exact)) if exact.size else 0.0
+    peak_scale = max(peak_scale, scale)
     assert np.allclose(
-        medium._interference, exact, rtol=1e-9, atol=1e-12 * (scale + 1e-30)
+        medium._interference,
+        exact,
+        rtol=1e-9,
+        atol=1e-12 * (peak_scale + 1e-30),
     ), "incremental field diverged from gains @ powers"
-    return 1
+    return peak_scale
 
 
 ops_strategy = st.lists(

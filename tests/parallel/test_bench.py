@@ -1,0 +1,66 @@
+"""Suite benchmark: digest checking, speedup columns, report writing."""
+
+import json
+
+import pytest
+
+import repro.parallel.bench as bench_module
+from repro.parallel.bench import bench_suite, write_suite_report
+
+
+class _FakeSuite:
+    def __init__(self, digest):
+        self._digest = digest
+        self.errors = {}
+
+    def digest(self):
+        return self._digest
+
+
+class TestBenchSuite:
+    def test_measurements_and_speedups(self, monkeypatch):
+        calls = []
+
+        def fake_run_suite(jobs, quick, timeout_s, progress):
+            calls.append(jobs)
+            return _FakeSuite("abc123")
+
+        monkeypatch.setattr(bench_module, "run_suite", fake_run_suite)
+        payload = bench_suite(jobs_counts=(1, 2), rounds=2)
+        assert calls == [1, 1, 2, 2]
+        assert [m["jobs"] for m in payload["measurements"]] == [1, 2]
+        for entry in payload["measurements"]:
+            assert entry["suite_digest"] == "abc123"
+            assert entry["errors"] == 0
+            assert "speedup_vs_jobs_1" in entry
+        assert payload["host_cpus"] is not None
+        assert "best (minimum wall-clock)" in payload["methodology"]
+
+    def test_digest_divergence_raises(self, monkeypatch):
+        digests = iter(["one", "two"])
+
+        def fake_run_suite(jobs, quick, timeout_s, progress):
+            return _FakeSuite(next(digests))
+
+        monkeypatch.setattr(bench_module, "run_suite", fake_run_suite)
+        with pytest.raises(RuntimeError, match="digest diverged"):
+            bench_suite(jobs_counts=(1, 2), rounds=1)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            bench_suite(jobs_counts=(), rounds=1)
+        with pytest.raises(ValueError):
+            bench_suite(jobs_counts=(1,), rounds=0)
+
+    def test_write_suite_report(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            bench_module,
+            "run_suite",
+            lambda jobs, quick, timeout_s, progress: _FakeSuite("d"),
+        )
+        payload = bench_suite(jobs_counts=(1,), rounds=1)
+        path = tmp_path / "BENCH_suite.json"
+        write_suite_report(str(path), payload, notes={"context": "test"})
+        loaded = json.loads(path.read_text())
+        assert loaded["notes"] == {"context": "test"}
+        assert loaded["measurements"][0]["jobs"] == 1

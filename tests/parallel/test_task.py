@@ -1,0 +1,199 @@
+"""TaskSpec/TaskResult: validation, execution, digests, round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import ExperimentReport
+from repro.parallel.task import (
+    TaskSpec,
+    canonicalize,
+    execute_task,
+    payload_digest,
+    payload_to_report,
+    report_to_payload,
+    resolve_function,
+    results_digest,
+)
+
+WORKERS = "tests.parallel.workers"
+
+
+class TestTaskSpecValidation:
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="", kind="function", target=f"{WORKERS}:echo")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="t", kind="mystery", target="x:y")
+
+    def test_rejects_missing_target(self):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="t", kind="experiment")
+
+    def test_rejects_bad_timeout_and_retries(self):
+        with pytest.raises(ValueError):
+            TaskSpec(
+                task_id="t", kind="scenario", timeout_s=0.0
+            )
+        with pytest.raises(ValueError):
+            TaskSpec(task_id="t", kind="scenario", retries=-1)
+
+    def test_kwargs_merges_seed(self):
+        spec = TaskSpec(
+            task_id="t",
+            kind="function",
+            target=f"{WORKERS}:seed_probe",
+            params={"tag": "x"},
+            seed=99,
+        )
+        assert spec.kwargs() == {"tag": "x", "seed": 99}
+
+
+class TestExecuteTask:
+    def test_function_mapping_payload(self):
+        spec = TaskSpec(
+            task_id="t",
+            kind="function",
+            target=f"{WORKERS}:echo",
+            params={"a": 1},
+        )
+        result = execute_task(spec)
+        assert result.ok and result.payload == {"a": 1}
+        assert result.payload_digest is not None
+
+    def test_function_scalar_payload_wrapped(self):
+        spec = TaskSpec(
+            task_id="t",
+            kind="function",
+            target=f"{WORKERS}:double",
+            params={"value": 21},
+        )
+        assert execute_task(spec).payload == {"value": 42}
+
+    def test_seed_injection(self):
+        spec = TaskSpec(
+            task_id="t",
+            kind="function",
+            target=f"{WORKERS}:seed_probe",
+            seed=31337,
+        )
+        assert execute_task(spec).payload["seed"] == 31337
+
+    def test_exception_becomes_structured_error(self):
+        spec = TaskSpec(
+            task_id="t", kind="function", target=f"{WORKERS}:explode"
+        )
+        result = execute_task(spec)
+        assert not result.ok
+        assert result.payload is None
+        assert "ValueError: boom" in result.error
+
+    def test_bad_target_becomes_structured_error(self):
+        spec = TaskSpec(
+            task_id="t", kind="function", target="no.such.module:f"
+        )
+        result = execute_task(spec)
+        assert not result.ok and "ModuleNotFoundError" in result.error
+
+    def test_scenario_reports_replay_digest(self):
+        spec = TaskSpec(
+            task_id="s",
+            kind="scenario",
+            params={"stations": 12, "load": 0.05, "duration_slots": 30.0},
+            seed=29,
+        )
+        result = execute_task(spec)
+        assert result.ok
+        assert result.replay_digest
+        assert result.payload["replay_digest"] == result.replay_digest
+        # Identical spec, identical everything.
+        again = execute_task(spec)
+        assert again.payload_digest == result.payload_digest
+        assert again.replay_digest == result.replay_digest
+
+    def test_scenario_rejects_unknown_parameters(self):
+        spec = TaskSpec(
+            task_id="s",
+            kind="scenario",
+            params={
+                "stations": 12,
+                "load": 0.05,
+                "duration_slots": 30.0,
+                "bogus": 1,
+            },
+        )
+        result = execute_task(spec)
+        assert not result.ok and "bogus" in result.error
+
+    def test_experiment_kind_runs_registry(self):
+        spec = TaskSpec(
+            task_id="T8", kind="experiment", target="T8", params={}
+        )
+        result = execute_task(spec)
+        assert result.ok
+        assert result.payload["experiment_id"] == "T8"
+        assert result.payload["rows"]
+
+
+class TestResolveFunction:
+    def test_resolves(self):
+        assert resolve_function(f"{WORKERS}:double")(value=2) == 4
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            resolve_function("not_a_dotted_name")
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(AttributeError):
+            resolve_function(f"{WORKERS}:nonexistent")
+
+
+class TestDigests:
+    def test_payload_digest_canonicalises_numpy_and_tuples(self):
+        plain = {"rows": [[1, 2.5]], "n": 3}
+        fancy = {"rows": ((np.int64(1), np.float64(2.5)),), "n": np.int32(3)}
+        assert payload_digest(plain) == payload_digest(fancy)
+
+    def test_payload_digest_sensitive_to_values(self):
+        assert payload_digest({"a": 1}) != payload_digest({"a": 2})
+
+    def test_canonicalize_is_json_safe(self):
+        value = canonicalize({"x": (np.float64(1.5), np.int64(2))})
+        assert value == {"x": [1.5, 2]}
+
+    def test_results_digest_marks_errors(self):
+        ok = execute_task(
+            TaskSpec(
+                task_id="a",
+                kind="function",
+                target=f"{WORKERS}:echo",
+                params={"v": 1},
+            )
+        )
+        bad = execute_task(
+            TaskSpec(task_id="b", kind="function", target=f"{WORKERS}:explode")
+        )
+        with_error = results_digest([ok, bad])
+        without = results_digest([ok])
+        assert with_error != without
+        assert results_digest([ok, bad]) == with_error
+
+
+class TestReportRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        report = ExperimentReport(
+            experiment_id="T0",
+            title="round trip",
+            columns=("a", "b"),
+            rows=[(1, 2.5), ("x", float("inf"))],
+            claims={"c": (0, 0.1)},
+            notes=["note"],
+        )
+        rebuilt = payload_to_report(report_to_payload(report))
+        assert rebuilt.experiment_id == report.experiment_id
+        assert rebuilt.title == report.title
+        assert tuple(rebuilt.columns) == tuple(report.columns)
+        assert rebuilt.rows == [(1, 2.5), ("x", float("inf"))]
+        assert rebuilt.claims == {"c": (0, 0.1)}
+        assert rebuilt.notes == ["note"]

@@ -1,0 +1,40 @@
+"""Importable task targets for the pool tests.
+
+These must live in a real module (not a test function) because
+``kind="function"`` tasks resolve their target by dotted name inside
+spawned workers, which re-import it from scratch.
+"""
+
+import os
+import time
+
+
+def echo(**kwargs):
+    """Return the keyword arguments as the payload."""
+    return dict(kwargs)
+
+
+def double(value):
+    """A non-mapping result, to exercise the ``{"value": ...}`` wrap."""
+    return 2 * value
+
+
+def seed_probe(seed=None, tag=""):
+    """Report the seed the task layer injected."""
+    return {"seed": seed, "tag": tag}
+
+
+def explode(message="boom"):
+    """A deterministic Python failure (captured, never retried)."""
+    raise ValueError(message)
+
+
+def crash(code=13):
+    """Kill the worker process outright — no exception, no result."""
+    os._exit(code)
+
+
+def sleep_forever():
+    """Outlive any per-task timeout the tests set."""
+    while True:
+        time.sleep(0.1)

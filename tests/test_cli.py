@@ -109,3 +109,80 @@ class TestCommands:
             line.split()[-1] for line in out.splitlines() if "replay digest" in line
         ]
         assert len(digests) == 2 and digests[0] == digests[1]
+
+
+class TestParallelCommands:
+    TINY_T2 = [
+        "--set", "station_count=10",
+        "--set", "duration_slots=60.0",
+        "--set", "load_packets_per_slot=0.2",
+    ]
+
+    def test_bench_rounds_reports_best(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--stations", "15",
+                "--duration", "20",
+                "--rounds", "2",
+            ]
+        )
+        assert code == 0
+        assert "best of 2 rounds" in capsys.readouterr().out
+
+    def test_bench_rejects_nonpositive_rounds(self, capsys):
+        assert main(["bench", "--rounds", "0"]) == 2
+        assert "--rounds" in capsys.readouterr().err
+
+    def test_bench_suite_rejects_bad_jobs_list(self, capsys):
+        assert main(["bench", "--suite", "--jobs", "0"]) == 2
+        assert "worker-count" in capsys.readouterr().err
+
+    def test_sweep_command_writes_report(self, capsys, tmp_path):
+        import json
+
+        output = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--experiment", "T2",
+                "--values", "0.2,0.3",
+                "--output", str(output),
+                *self.TINY_T2,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep T2 over receive_fractions" in out
+        payload = json.loads(output.read_text())
+        assert payload["experiment_id"] == "T2"
+        assert payload["values"] == [0.2, 0.3]
+        assert len(payload["tasks"]) == 2
+        assert all(task["ok"] for task in payload["tasks"])
+
+    def test_sweep_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["sweep", "--experiment", "Z9"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_unknown_parameter_fails_cleanly(self, capsys):
+        code = main(
+            ["sweep", "--experiment", "T2", "--parameter", "bogus"]
+        )
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_run_all_parser_accepts_the_ci_invocation(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "run-all",
+                "--jobs", "2",
+                "--quick",
+                "--no-progress",
+                "--output", "suite-report.json",
+            ]
+        )
+        assert args.jobs == 2
+        assert args.quick and args.no_progress
+        assert args.output == "suite-report.json"

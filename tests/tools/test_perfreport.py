@@ -1,0 +1,48 @@
+"""The perf-report generator: scenario parsing and report writing."""
+
+import json
+
+import pytest
+
+from tools.perfreport import main, parse_scenarios
+
+
+class TestParseScenarios:
+    def test_single_pair(self):
+        assert parse_scenarios("100x0.1") == ((100, 0.1),)
+
+    def test_multiple_pairs_with_spaces(self):
+        assert parse_scenarios("100x0.1, 500x0.5") == ((100, 0.1), (500, 0.5))
+
+    def test_trailing_comma_tolerated(self):
+        assert parse_scenarios("100x0.1,") == ((100, 0.1),)
+
+    def test_rejects_malformed_pair(self):
+        with pytest.raises(ValueError):
+            parse_scenarios("100@0.1")
+        with pytest.raises(ValueError):
+            parse_scenarios("abcx0.1")
+        with pytest.raises(ValueError):
+            parse_scenarios("100x")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_scenarios(",")
+
+
+class TestMain:
+    def test_scenarios_flag_overrides_sets(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        code = main(
+            ["--scenarios", "20x0.05", "--rounds", "1", "--output", str(output)]
+        )
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert len(payload["scenarios"]) == 1
+        assert payload["scenarios"][0]["stations"] == 20
+        assert payload["scenarios"][0]["load"] == 0.05
+        assert "events_per_s" in payload["scenarios"][0]
+
+    def test_bad_scenarios_flag_fails_cleanly(self, capsys):
+        assert main(["--scenarios", "nope"]) == 2
+        assert "bad scenario" in capsys.readouterr().err

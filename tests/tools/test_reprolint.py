@@ -241,6 +241,46 @@ class TestYieldEventRule:
         assert "REP007" not in codes(clean)
 
 
+class TestParallelSeedRule:
+    def test_fires_on_multiprocessing_import(self):
+        assert "REP008" in codes("import multiprocessing\n")
+
+    def test_fires_on_multiprocessing_submodule_import(self):
+        assert "REP008" in codes("import multiprocessing.pool\n")
+
+    def test_fires_on_from_multiprocessing_import(self):
+        assert "REP008" in codes("from multiprocessing import Process\n")
+
+    def test_fires_on_concurrent_futures(self):
+        assert "REP008" in codes(
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+
+    def test_fires_on_os_fork_call(self):
+        assert "REP008" in codes("import os\n__all__ = []\npid = os.fork()\n")
+
+    def test_exempts_the_pool_module(self):
+        assert "REP008" not in codes(
+            "import multiprocessing\n",
+            path="src/repro/parallel/pool.py",
+        )
+
+    def test_scoped_to_src_repro(self):
+        assert "REP008" not in codes("import multiprocessing\n", path=TEST)
+        assert "REP008" not in codes(
+            "import multiprocessing\n", path="tools/perfreport.py"
+        )
+
+    def test_allows_the_task_layer(self):
+        clean = """
+        __all__ = ["fan_out"]
+        def fan_out(specs, jobs):
+            from repro.parallel.pool import run_tasks
+            return run_tasks(specs, jobs=jobs)
+        """
+        assert "REP008" not in codes(clean)
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert (

@@ -11,10 +11,13 @@ Usage::
 
     python tools/perfreport.py --quick --output BENCH_medium.json
     python tools/perfreport.py --baseline old_report.json
+    python tools/perfreport.py --scenarios 100x0.1,500x0.5
 
 ``--baseline`` points at a previous report (same format); matching
 scenarios gain a ``speedup`` ratio in the notes.  Absolute numbers are
-host-dependent; the ratios are the comparable quantity.
+host-dependent; the ratios are the comparable quantity.  ``--scenarios``
+names explicit ``STATIONSxLOAD`` pairs and overrides the quick/full
+sets.
 """
 
 from __future__ import annotations
@@ -43,6 +46,28 @@ FULL_SCENARIOS: Tuple[Tuple[int, float], ...] = (
     (500, 0.5),
     (500, 1.0),
 )
+
+
+def parse_scenarios(raw: str) -> Tuple[Tuple[int, float], ...]:
+    """Parse ``STATIONSxLOAD`` pairs: ``"100x0.1,500x0.5"`` →
+    ``((100, 0.1), (500, 0.5))``."""
+    scenarios = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        stations_text, separator, load_text = part.partition("x")
+        try:
+            if not separator:
+                raise ValueError(part)
+            scenarios.append((int(stations_text), float(load_text)))
+        except ValueError:
+            raise ValueError(
+                f"bad scenario {part!r}; want STATIONSxLOAD, e.g. 100x0.1"
+            ) from None
+    if not scenarios:
+        raise ValueError(f"no scenarios in {raw!r}")
+    return tuple(scenarios)
 
 
 def best_of(stations: int, load: float, rounds: int, seed: int) -> PerfSample:
@@ -86,9 +111,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output", default="BENCH_medium.json")
     parser.add_argument("--baseline", metavar="PATH",
                         help="previous report to compute speedups against")
+    parser.add_argument(
+        "--scenarios", metavar="STATIONSxLOAD,...",
+        help=(
+            "explicit scenario list (e.g. 100x0.1,500x0.5); overrides "
+            "--quick/full"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    scenarios = QUICK_SCENARIOS if args.quick else FULL_SCENARIOS
+    if args.scenarios:
+        try:
+            scenarios = parse_scenarios(args.scenarios)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    else:
+        scenarios = QUICK_SCENARIOS if args.quick else FULL_SCENARIOS
     samples = [
         best_of(stations, load, args.rounds, args.seed)
         for stations, load in scenarios

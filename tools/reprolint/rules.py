@@ -26,6 +26,7 @@ __all__ = [
     "BareExceptRule",
     "DunderAllRule",
     "YieldEventRule",
+    "ParallelSeedRule",
 ]
 
 
@@ -183,18 +184,25 @@ class WallClockRule(Rule):
     outcomes to machine speed and breaks replay.  Scoped to ``src/``
     (benchmarks and tests may legitimately time things).
 
-    Exemption: :data:`EXEMPT_PATHS` lists the perf-measurement harness,
-    whose entire purpose is timing completed simulation runs.  It only
-    *observes* a finished run (events processed / wall seconds); no
-    wall-clock value ever feeds back into simulation state, so replay
-    determinism is unaffected.  Any new exemption needs the same
-    property: measurement of, never input to, the simulation.
+    Exemption: :data:`EXEMPT_PATHS` lists the perf-measurement harness
+    and the two parallel-execution modules that time *host* execution,
+    whose entire purpose is timing completed simulation runs.  They
+    only *observe* finished runs (events processed / wall seconds) or
+    bound them from outside (the pool's per-task timeout discards a
+    run wholesale); no wall-clock value ever feeds back into
+    simulation state, so replay determinism is unaffected.  Any new
+    exemption needs the same property: measurement of, never input to,
+    the simulation.
     """
 
     CODE = "REP002"
     SUMMARY = "no wall-clock reads (time.time, datetime.now, ...) under src/"
 
-    EXEMPT_PATHS = ("repro/analysis/perf.py",)
+    EXEMPT_PATHS = (
+        "repro/analysis/perf.py",
+        "repro/parallel/pool.py",
+        "repro/parallel/bench.py",
+    )
 
     FORBIDDEN_SUFFIXES = (
         "time.time",
@@ -626,6 +634,83 @@ class YieldEventRule(Rule):
         return violations
 
 
+class ParallelSeedRule(Rule):
+    """REP008: parallelism in ``src/repro`` must use the seed-tree API.
+
+    Direct ``multiprocessing`` / ``concurrent.futures`` / ``os.fork``
+    usage bypasses the :mod:`repro.parallel` task layer — worker
+    functions would draw seeds (or worse, share RNG state) in ways
+    that depend on worker count and scheduling order, breaking the
+    bit-exact jobs-invariance guarantee.  All fan-out must go through
+    :func:`repro.parallel.pool.run_tasks` over seed-tree-derived
+    :class:`~repro.parallel.task.TaskSpec` objects;
+    ``repro/parallel/pool.py`` is the single sanctioned wrapper.
+    """
+
+    CODE = "REP008"
+    SUMMARY = (
+        "no direct multiprocessing/concurrent.futures in src/repro; "
+        "use repro.parallel (seed-tree tasks + pool)"
+    )
+
+    EXEMPT_PATHS = ("repro/parallel/pool.py",)
+
+    FORBIDDEN_MODULES = ("multiprocessing", "concurrent.futures", "concurrent")
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if any(normalized.endswith(exempt) for exempt in self.EXEMPT_PATHS):
+            return False
+        return _under_src(path) and "/repro/" in "/" + normalized
+
+    def _forbidden_module(self, name: Optional[str]) -> bool:
+        if not name:
+            return False
+        return any(
+            name == module or name.startswith(module + ".")
+            for module in self.FORBIDDEN_MODULES
+        )
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._forbidden_module(alias.name):
+                        violations.append(
+                            self._violation(
+                                path,
+                                node,
+                                f"import of {alias.name} bypasses the "
+                                "seed-tree parallel API; fan out through "
+                                "repro.parallel.pool.run_tasks",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if self._forbidden_module(node.module):
+                    violations.append(
+                        self._violation(
+                            path,
+                            node,
+                            f"import from {node.module} bypasses the "
+                            "seed-tree parallel API; fan out through "
+                            "repro.parallel.pool.run_tasks",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted == "os.fork":
+                    violations.append(
+                        self._violation(
+                            path,
+                            node,
+                            "os.fork() duplicates RNG and engine state; "
+                            "fan out through repro.parallel.pool.run_tasks",
+                        )
+                    )
+        return violations
+
+
 #: The full suite, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -635,4 +720,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     DunderAllRule(),
     YieldEventRule(),
+    ParallelSeedRule(),
 )
