@@ -1,0 +1,27 @@
+"""Bench T12: delivery recovery under deterministic station churn."""
+
+import math
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t12_resilience(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T12")(
+            churn_rates=(0.01, 0.03),
+            station_count=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    # The scheme's post-churn delivery ratio recovers to within 5% of
+    # its pre-fault steady state at every churn rate.
+    recovered = report.claims[
+        "scheme post-churn delivery vs pre-fault steady state"
+    ][1]
+    assert recovered >= 0.95
+    # Churn actually happened and rerouting engaged at every point.
+    assert all(row[2] > 0 for row in report.rows)
+    shepard_rows = [r for r in report.rows if r[0] == "shepard"]
+    assert all(not math.isnan(row[7]) for row in shepard_rows)

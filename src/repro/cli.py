@@ -233,6 +233,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         timeout_s=args.timeout_s,
         retries=args.retries,
         progress=progress if not args.no_progress else None,
+        checkpoint=args.checkpoint,
+        watchdog_s=args.watchdog_s,
     )
     print(suite.format())
     if args.output:
@@ -276,7 +278,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(message, file=sys.stderr)
         return 2
-    outcome = run_sweep(plan, jobs=args.jobs)
+    try:
+        outcome = run_sweep(
+            plan,
+            jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            watchdog_s=args.watchdog_s,
+        )
+    except ValueError as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
     print(outcome.format())
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -338,6 +349,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write every report plus the suite digest as JSON",
     )
     run_all_cmd.add_argument(
+        "--checkpoint", metavar="PATH",
+        help=(
+            "journal completed experiments to PATH; a killed run "
+            "resumes from it with bit-identical final digests"
+        ),
+    )
+    run_all_cmd.add_argument(
+        "--watchdog-s", type=float, default=None, metavar="SECONDS",
+        help=(
+            "fallback wall-clock limit for experiments without "
+            "--timeout-s (converts a hung worker into a timeout)"
+        ),
+    )
+    run_all_cmd.add_argument(
         "--no-progress", action="store_true",
         help="suppress the per-experiment progress lines on stderr",
     )
@@ -394,6 +419,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument(
         "--output", metavar="PATH",
         help="write rows, summaries, and digests as JSON",
+    )
+    sweep_cmd.add_argument(
+        "--checkpoint", metavar="PATH",
+        help=(
+            "journal completed tasks to PATH; a killed sweep resumes "
+            "from it with bit-identical final digests"
+        ),
+    )
+    sweep_cmd.add_argument(
+        "--watchdog-s", type=float, default=None, metavar="SECONDS",
+        help=(
+            "fallback wall-clock limit for tasks without --timeout-s "
+            "(converts a hung worker into a timeout)"
+        ),
     )
     sweep_cmd.set_defaults(handler=_cmd_sweep)
 

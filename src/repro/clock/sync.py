@@ -67,6 +67,17 @@ class NeighborClockModel:
             self._samples.pop(0)
         self._fit = None
 
+    def reset(self) -> None:
+        """Discard every sample and the fit.
+
+        Used after a clock fault: samples taken of the pre-fault clock
+        describe an affine relation that no longer holds, so the next
+        rendezvous must start the fit from scratch rather than average
+        stale history in.
+        """
+        self._samples.clear()
+        self._fit = None
+
     def _fitted(self) -> Tuple[float, float]:
         if self._fit is not None:
             return self._fit

@@ -29,6 +29,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     t9_connectivity,
     t10_routing_tradeoff,
     t11_clock_offsets,
+    t12_resilience,
 )
 from repro.experiments.runner import (
     ExperimentReport,

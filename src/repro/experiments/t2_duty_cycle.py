@@ -50,6 +50,8 @@ def run_duty_point(
         "e2e_deliveries": result.delivered_end_to_end,
         "hop_rate": hop_rate,
         "mean_duty": result.mean_duty_cycle,
+        "unreachable_drops": result.unreachable_drops,
+        "no_route_drops": result.no_route_drops,
     }
 
 
@@ -90,6 +92,8 @@ def run(
             "e2e deliveries",
             "hop throughput /slot",
             "mean duty",
+            "unreachable drops",
+            "no-route drops",
         ),
     )
     tree = SeedTree(seed, "T2")
@@ -136,6 +140,8 @@ def run(
             point["e2e_deliveries"],
             point["hop_rate"],
             point["mean_duty"],
+            point.get("unreachable_drops", 0),
+            point.get("no_route_drops", 0),
         )
     throughputs = {p: total / replications for p, total in throughputs.items()}
     best = max(throughputs, key=throughputs.get)

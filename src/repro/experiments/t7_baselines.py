@@ -90,6 +90,8 @@ def run_load_point(
                 result.mean_delay / slot
                 if result.mean_delay == result.mean_delay
                 else float("nan"),
+                result.unreachable_drops,
+                result.no_route_drops,
             )
         )
         if name == "shepard":
@@ -129,6 +131,8 @@ def run(
             "hop loss ratio",
             "ctrl per data",
             "mean delay (slots)",
+            "unreachable drops",
+            "no-route drops",
         ),
     )
     specs = [

@@ -1,0 +1,143 @@
+"""Resilience bookkeeping: what the faults did and how the network coped.
+
+The :class:`ResilienceLog` is the injector's journal — every applied
+event is recorded with its simulation time, so experiments can pair a
+crash with the routing re-derivation that followed it and report the
+*time to reroute*.  :class:`ResilienceReport` condenses a finished run
+into a small, canonical-JSON-friendly summary (plain ints/floats only)
+suitable for experiment payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["FAULT_LOSS_REASONS", "ResilienceLog", "ResilienceReport"]
+
+
+@dataclass
+class ResilienceLog:
+    """Chronological record of applied fault events.
+
+    Times are global simulation seconds (the injector's clock), not
+    slots; experiments convert with the link budget's slot time when
+    reporting.
+
+    Attributes:
+        crashes: ``(time, station)`` per station-down event.
+        recoveries: ``(time, station)`` per station-up event.
+        reroutes: times at which routing tables were re-derived.
+        clock_steps: ``(time, station)`` per clock-step fault.
+        refits: ``(time, station)`` per neighbour-model re-fit.
+        fades: ``(time, receiver, source, factor)`` per fade change.
+    """
+
+    crashes: List[Tuple[float, int]] = field(default_factory=list)
+    recoveries: List[Tuple[float, int]] = field(default_factory=list)
+    reroutes: List[float] = field(default_factory=list)
+    clock_steps: List[Tuple[float, int]] = field(default_factory=list)
+    refits: List[Tuple[float, int]] = field(default_factory=list)
+    fades: List[Tuple[float, int, int, float]] = field(default_factory=list)
+
+    def reroute_latencies(self) -> List[float]:
+        """Delay from each lifecycle event to the next reroute.
+
+        Pairs every crash and recovery with the first routing
+        re-derivation at or after it; events the run ended before
+        rerouting around are omitted.
+        """
+        triggers = sorted(
+            [time for time, _station in self.crashes]
+            + [time for time, _station in self.recoveries]
+        )
+        latencies: List[float] = []
+        for trigger in triggers:
+            for reroute in self.reroutes:
+                if reroute >= trigger:
+                    latencies.append(reroute - trigger)
+                    break
+        return latencies
+
+    def mean_time_to_reroute(self) -> float:
+        """Mean reroute latency, or NaN when nothing was paired."""
+        latencies = self.reroute_latencies()
+        if not latencies:
+            return math.nan
+        return sum(latencies) / len(latencies)
+
+
+#: Loss reasons attributable to injected faults rather than SIR physics.
+FAULT_LOSS_REASONS = frozenset(
+    {"receiver_down", "source_down", "corrupted"}
+)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Summary of a fault run for experiment payloads.
+
+    Attributes:
+        crash_count: stations taken down (churn samples included).
+        recovery_count: stations brought back up.
+        reroute_count: routing re-derivations performed.
+        mean_time_to_reroute: mean lifecycle-to-reroute delay in
+            global seconds (NaN when nothing rerouted).
+        fault_losses: in-flight deliveries lost to injected faults
+            (dead endpoint or corruption).
+        sir_losses: deliveries lost to ordinary channel physics.
+        fault_queue_drops: packets discarded from queues by crashes
+            or rejected while a station was down.
+    """
+
+    crash_count: int
+    recovery_count: int
+    reroute_count: int
+    mean_time_to_reroute: float
+    fault_losses: int
+    sir_losses: int
+    fault_queue_drops: int
+
+    @classmethod
+    def from_run(
+        cls, log: ResilienceLog, losses_by_reason: Dict[str, int], fault_queue_drops: int
+    ) -> "ResilienceReport":
+        """Build the report from the injector log and medium loss counters.
+
+        Args:
+            log: the injector's :class:`ResilienceLog`.
+            losses_by_reason: the medium's per-reason loss counts.
+            fault_queue_drops: summed ``StationStats.fault_drops``.
+        """
+        fault_losses = sum(
+            count
+            for reason, count in losses_by_reason.items()
+            if reason in FAULT_LOSS_REASONS
+        )
+        sir_losses = sum(
+            count
+            for reason, count in losses_by_reason.items()
+            if reason not in FAULT_LOSS_REASONS
+        )
+        return cls(
+            crash_count=len(log.crashes),
+            recovery_count=len(log.recoveries),
+            reroute_count=len(log.reroutes),
+            mean_time_to_reroute=log.mean_time_to_reroute(),
+            fault_losses=fault_losses,
+            sir_losses=sir_losses,
+            fault_queue_drops=fault_queue_drops,
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        """Plain-dict form for canonical JSON experiment payloads."""
+        return {
+            "crash_count": self.crash_count,
+            "recovery_count": self.recovery_count,
+            "reroute_count": self.reroute_count,
+            "mean_time_to_reroute": self.mean_time_to_reroute,
+            "fault_losses": self.fault_losses,
+            "sir_losses": self.sir_losses,
+            "fault_queue_drops": self.fault_queue_drops,
+        }

@@ -221,6 +221,14 @@ class Medium:
         self._attempts: Dict[int, ReceptionAttempt] = {}
         self._trackers = TrackerBatch()
         self._lock_failures: Dict[int, str] = {}
+        # Fault support: stations currently down (never lock receptions),
+        # the nominal gains to restore faded links to, and an optional
+        # per-reception corruption predicate.  All stay inert — no array
+        # copies, no extra branches taken — until a fault actually uses
+        # them.
+        self._down = np.zeros(gains.shape[0], dtype=bool)
+        self._nominal_gains: Optional[np.ndarray] = None
+        self._corruption: Optional[Callable[[Transmission], bool]] = None
         self.losses: List[LossRecord] = []
         self.deliveries: int = 0
         self._delivery_callbacks: Dict[int, Callable[[Transmission], None]] = {}
@@ -421,6 +429,9 @@ class Medium:
 
     def _try_lock(self, tx: Transmission) -> None:
         receiver = tx.destination
+        if self._down[receiver]:
+            self._lock_failures[tx.seq] = "receiver_down"
+            return
         if self.is_station_transmitting(receiver):
             self._lock_failures[tx.seq] = "self_transmitting"
             return
@@ -505,6 +516,11 @@ class Medium:
             handlers[int(position)](tx)
 
     def _end(self, tx: Transmission) -> bool:
+        if tx.seq not in self._active:
+            # The transmission was aborted mid-flight (source crashed);
+            # its loss is already recorded and its power already removed
+            # from the field — the stale end timer has nothing to do.
+            return False
         del self._active[tx.seq]
         self._tx_count[tx.source] -= 1
         self._powers[tx.source] -= tx.power_w
@@ -529,6 +545,9 @@ class Medium:
 
         bank = self._channel_query(tx.destination)
         bank.release(tx.seq)
+        if record.ok and self._corruption is not None and self._corruption(tx):
+            self._record_loss(tx, "corrupted", frozenset(), record.min_sir)
+            return False
         if record.ok:
             self.deliveries += 1
             self.trace.record(
@@ -598,3 +617,103 @@ class Medium:
         for record in self.losses:
             counts[record.reason] = counts.get(record.reason, 0) + 1
         return counts
+
+    # -- fault handling -------------------------------------------------
+
+    def set_station_down(self, station: int, down: bool) -> None:
+        """Mark a station dead (or alive again) for reception locking.
+
+        A dead station never locks onto a transmission, so packets sent
+        to it are lost with reason ``"receiver_down"``.  The caller is
+        responsible for the rest of the lifecycle
+        (:meth:`fail_receptions_at`, :meth:`abort_transmissions_from`).
+        """
+        if not 0 <= station < self.station_count:
+            raise ValueError("station index out of range")
+        self._down[station] = down
+
+    def fail_receptions_at(self, station: int, reason: str = "receiver_down") -> None:
+        """Unlock every reception in progress at a (newly dead) station.
+
+        The wanted transmissions stay on the air — the sender has no
+        way to know — but their outcome is now a loss with ``reason``,
+        recorded when each burst ends.
+        """
+        for seq, attempt in list(self._attempts.items()):
+            if attempt.transmission.destination != station:
+                continue
+            del self._attempts[seq]
+            self._trackers.remove(seq)
+            self._channel_query(station).release(seq)
+            self._lock_failures[seq] = reason
+
+    def abort_transmissions_from(
+        self, station: int, reason: str = "source_down"
+    ) -> None:
+        """Cut short every in-flight transmission from a dead station.
+
+        The radiated power leaves the field immediately (interference
+        at every other receiver drops), the packet is recorded lost
+        with ``reason``, and the stale end timer becomes a no-op via
+        the :meth:`_end` guard.
+        """
+        aborted = [tx for tx in self._active.values() if tx.source == station]
+        for tx in aborted:
+            del self._active[tx.seq]
+            self._tx_count[tx.source] -= 1
+            self._powers[tx.source] -= tx.power_w
+            if abs(self._powers[tx.source]) < 1e-18:
+                self._powers[tx.source] = 0.0
+            np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
+            self._interference -= self._axpy
+            self._field_changed()
+            attempt = self._attempts.pop(tx.seq, None)
+            if attempt is not None:
+                self._trackers.remove(tx.seq)
+                self._channel_query(tx.destination).release(tx.seq)
+            self._lock_failures.pop(tx.seq, None)
+            self._record_loss(tx, reason, frozenset(), float("nan"))
+            self.trace.record(
+                self.env.now, "tx_abort", source=tx.source, destination=tx.destination
+            )
+        if aborted:
+            self._update_attempts()
+
+    def scale_link(self, receiver: int, source: int, factor: float) -> None:
+        """Fade (or restore) one link: gain becomes ``nominal * factor``.
+
+        The first fade privatises the medium's gain matrix so power
+        control — which closes over the *builder's* matrix — keeps
+        aiming at nominal gains: a faded link degrades delivered SIR
+        instead of being silently compensated.  The incremental
+        interference field is adjusted in the same step, so in-progress
+        receptions immediately feel the change.
+        """
+        if receiver == source:
+            raise ValueError("a link needs two distinct stations")
+        if factor <= 0.0:
+            raise ValueError("gain factor must be positive")
+        if self._nominal_gains is None:
+            self._nominal_gains = self.gains
+            self.gains = self.gains.copy()
+        new_gain = self._nominal_gains[receiver, source] * factor
+        delta = new_gain - self.gains[receiver, source]
+        if delta == 0.0:
+            return
+        self.gains[receiver, source] = new_gain
+        self._gains_columns[source][receiver] = new_gain
+        self._interference[receiver] += self._powers[source] * delta
+        self._field_changed()
+        self._update_attempts()
+
+    def set_corruption(
+        self, predicate: Optional[Callable[[Transmission], bool]]
+    ) -> None:
+        """Install (or clear, with ``None``) a corruption predicate.
+
+        During an episode, each reception that would otherwise succeed
+        is consulted against the predicate; ``True`` converts it into a
+        loss with reason ``"corrupted"`` — decoder-level damage the SIR
+        criterion cannot see.
+        """
+        self._corruption = predicate

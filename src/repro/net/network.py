@@ -53,7 +53,8 @@ from repro.routing.min_hop import min_hop_tables
 from repro.routing.min_energy import min_energy_tables
 from repro.routing.table import RoutingTable
 from repro.sim.engine import Environment
-from repro.sim.process import ProcessGenerator
+from repro.sim.events import Interrupt
+from repro.sim.process import Process, ProcessGenerator
 from repro.sim.stats import Welford
 from repro.sim.streams import RandomStreams
 from repro.sim.trace import TraceRecorder
@@ -125,6 +126,9 @@ class NetworkConfig:
             readings with every hearable neighbour each this-many slots
             *during* the run, feeding the rolling clock-model fit —
             the online version of Section 7's "occasionally rendezvous".
+        queue_capacity: bound on each station's total transmit backlog;
+            ``None`` (the default) keeps queues unbounded, leaving seed
+            outputs unchanged.  Overflow drops are counted per station.
         medium_resync_events: drift-guard cadence for the medium's
             incremental interference field (exact recompute every this
             many transmission starts/ends; ``None`` disables periodic
@@ -155,6 +159,7 @@ class NetworkConfig:
     calibrate_all_links: bool = False
     model_propagation_delay: bool = False
     rendezvous_refresh_slots: Optional[float] = None
+    queue_capacity: Optional[int] = None
     medium_resync_events: Optional[int] = 4096
     seed: int = 0
 
@@ -192,6 +197,8 @@ class NetworkConfig:
             and self.rendezvous_refresh_slots <= 0.0
         ):
             raise ValueError("rendezvous refresh interval must be positive")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
         if self.medium_resync_events is not None and self.medium_resync_events < 1:
             raise ValueError("medium resync cadence must be at least 1 event")
 
@@ -247,6 +254,8 @@ class NetworkResult:
     despreader_rejections: int
     unreachable_drops: int
     no_route_drops: int
+    fault_drops: int = 0
+    overflow_drops: int = 0
 
     @property
     def collision_free(self) -> bool:
@@ -288,6 +297,14 @@ class Network:
         self._sources: List[TrafficSource] = []
         self._maintenance: List = []  # generator factories run at start
         self._started = False
+        # Fault-lifecycle state.  The builder fills in schedule, clocks
+        # and clock_models; a standalone-constructed Network simply
+        # cannot service clock-step faults (apply_clock_step raises).
+        self._mac_processes: Dict[int, Process] = {}
+        self.schedule = None
+        self.clocks: Optional[List[Clock]] = None
+        self.clock_models: Optional[Dict] = None
+        self.resilience = None
 
     @property
     def station_count(self) -> int:
@@ -300,18 +317,32 @@ class Network:
             raise ValueError("traffic origin out of range")
         self._sources.append(source)
 
+    def add_maintenance(self, factory: Callable[[], ProcessGenerator]) -> None:
+        """Register a maintenance process factory (spawned at start)."""
+        if self._started:
+            raise RuntimeError("maintenance must be added before start")
+        self._maintenance.append(factory)
+
     def start(self) -> None:
         """Launch every station's MAC process and every traffic source."""
         if self._started:
             raise RuntimeError("network already started")
         self._started = True
         for station in self.stations:
-            self.env.process(station.mac.run())
+            self._spawn_mac(station.index)
         for source in self._sources:
             origin = self.stations[source.origin]
             self.env.process(source.run(self.env, origin.submit))
         for factory in self._maintenance:
             self.env.process(factory())
+
+    def _spawn_mac(self, index: int) -> None:
+        """Run a station's MAC under a supervisor that absorbs the
+        Interrupt thrown when the station is crashed by a fault."""
+        station = self.stations[index]
+        self._mac_processes[index] = self.env.process(
+            _supervised_mac(station.mac)
+        )
 
     def run(self, duration: float) -> NetworkResult:
         """Start (if needed) and simulate for ``duration``; report."""
@@ -330,6 +361,7 @@ class Network:
         duty = Welford()
         originated = forwarded = delivered = 0
         unreachable = no_route = 0
+        fault_drops = overflow_drops = 0
         peak_busy = 0
         rejections = 0
         for station in self.stations:
@@ -339,6 +371,8 @@ class Network:
             delivered += stats.delivered_to_me
             unreachable += stats.unreachable_drops
             no_route += stats.no_route_drops
+            fault_drops += stats.fault_drops
+            overflow_drops += stats.overflow_drops
             delays.extend(stats.delivery_delays)
             duty.add(station.duty_cycle(elapsed) if elapsed > 0 else 0.0)
             peak_busy = max(peak_busy, station.bank.peak_busy)
@@ -368,11 +402,148 @@ class Network:
             despreader_rejections=rejections,
             unreachable_drops=unreachable,
             no_route_drops=no_route,
+            fault_drops=fault_drops,
+            overflow_drops=overflow_drops,
         )
 
     def routing_neighbor_counts(self) -> List[int]:
         """Routing neighbours per station (the paper saw at most 8)."""
         return [len(table.neighbors_in_use()) for table in self.tables.values()]
+
+    # -- fault lifecycle ------------------------------------------------
+
+    def station_down(self, index: int) -> bool:
+        """Crash a station: abort its traffic, stop its MAC, drop its
+        queues, and stop the medium charging the field for it.
+
+        Returns whether anything happened (``False`` if already down).
+        """
+        station = self.stations[index]
+        if not station.alive:
+            return False
+        # Order matters: first unhook the physics (receptions at the
+        # dead station fail, its in-flight bursts leave the air), then
+        # stop the behaviour (MAC process, keyed transmitter), then the
+        # bookkeeping (queue drain, liveness flag).
+        self.medium.fail_receptions_at(index)
+        self.medium.abort_transmissions_from(index)
+        self.medium.set_station_down(index, True)
+        process = self._mac_processes.pop(index, None)
+        if process is not None and process.is_alive:
+            process.interrupt("station_down")
+        if station.transmitter.is_transmitting:
+            station.transmitter.end(self.env.now)
+        station.fail()
+        return True
+
+    def station_up(self, index: int) -> bool:
+        """Recover a crashed station (empty queues, fresh MAC process).
+
+        Returns whether anything happened (``False`` if already up).
+        """
+        station = self.stations[index]
+        if station.alive:
+            return False
+        self.medium.set_station_down(index, False)
+        station.revive()
+        if self._started:
+            self._spawn_mac(index)
+        return True
+
+    def reroute(self) -> None:
+        """Re-derive every routing table around the currently-dead
+        stations, in place (Section 6.2's hop-by-hop routing state).
+
+        In-place mutation keeps every ``Station.table`` reference
+        valid.  Dead stations keep their (stale) tables; they are
+        unreachable either way and will be routed around.
+        """
+        censored = self.matrix.observed(min_gain=self.budget.min_gain)
+        gains = censored.gains
+        dead = [
+            station.index for station in self.stations if not station.alive
+        ]
+        if dead:
+            gains = gains.copy()
+            gains[dead, :] = 0.0
+            gains[:, dead] = 0.0
+        derive = min_hop_tables if self.config.min_hop_routing else min_energy_tables
+        fresh = derive(PropagationMatrix(gains), self.budget.min_gain)
+        for index, table in self.tables.items():
+            table.next_hops.clear()
+            table.costs.clear()
+            table.next_hops.update(fresh[index].next_hops)
+            table.costs.update(fresh[index].costs)
+
+    def apply_clock_step(
+        self, index: int, offset_slots: float, rate_error_delta_ppm: float
+    ) -> None:
+        """Fault a station's clock: step its offset and/or its rate.
+
+        The station's own schedule views are rebuilt immediately (it
+        lives by its own clock), but every *model* of the old clock —
+        its neighbours' and its own of them — is now stale; see
+        :meth:`refit_clock_models` for the recovery half.
+        """
+        if self.clocks is None:
+            raise RuntimeError(
+                "this network was constructed without clock state; "
+                "clock faults need a build_network-assembled network"
+            )
+        old = self.clocks[index]
+        new = Clock(
+            offset=old.offset + offset_slots * self.budget.slot_time,
+            rate_error=old.rate_error + rate_error_delta_ppm * 1e-6,
+        )
+        # In-place list update keeps the rendezvous refresher (which
+        # closed over this list) sampling the post-fault clock.
+        self.clocks[index] = new
+        self.stations[index].replace_clock(new)
+        # Kick the MAC so its pending candidate windows (computed with
+        # the old clock) are re-derived — unless it is mid-burst, where
+        # it re-plans after the burst anyway and an interrupt would
+        # orphan the keyed transmitter.
+        process = self._mac_processes.get(index)
+        if (
+            process is not None
+            and process.is_alive
+            and not self.medium.is_station_transmitting(index)
+        ):
+            process.interrupt("clock_step")
+            self._spawn_mac(index)
+
+    def refit_clock_models(self, index: int, rng) -> None:
+        """Re-fit every neighbour clock model involving ``index``.
+
+        The Section 7 recovery: after a clock fault the affected pairs
+        rendezvous afresh.  Each involved model is reset (pre-fault
+        samples describe a dead affine relation) and refilled with
+        ``rendezvous_count`` exchanges over the recent past.
+        """
+        if self.clocks is None or self.clock_models is None:
+            raise RuntimeError(
+                "this network was constructed without clock state; "
+                "clock faults need a build_network-assembled network"
+            )
+        now = self.env.now
+        sample_times = [
+            now - k * 0.5 * self.budget.slot_time
+            for k in range(self.config.rendezvous_count)
+        ]
+        for (a, b), model in self.clock_models.items():
+            if a != index and b != index:
+                continue
+            model.reset()
+            for when in sample_times:
+                model.add_sample(
+                    exchange_readings(
+                        self.clocks[a],
+                        self.clocks[b],
+                        when,
+                        jitter=self.config.rendezvous_jitter,
+                        rng=rng,
+                    )
+                )
 
 
 def _calibrate(
@@ -522,7 +693,11 @@ def build_network(
         delay_lookup = None
         if delays is not None:
             delay_lookup = _make_delay_lookup(delays, index)
-        queue: TransmitQueue = FifoQueue() if config.fifo_queues else NeighborQueues()
+        queue: TransmitQueue = (
+            FifoQueue(capacity=config.queue_capacity)
+            if config.fifo_queues
+            else NeighborQueues(capacity=config.queue_capacity)
+        )
         stations.append(
             Station(
                 env=env,
@@ -560,6 +735,11 @@ def build_network(
         config=config,
         trace=recorder,
     )
+    # Retain the clock state the fault machinery needs: clock faults
+    # replace entries of ``clocks`` in place and re-fit ``models``.
+    network.schedule = schedule
+    network.clocks = clocks
+    network.clock_models = models
     if config.rendezvous_refresh_slots is not None:
         interval = config.rendezvous_refresh_slots * budget.slot_time
         jitter_rng = streams.stream("rendezvous-online")
@@ -571,6 +751,19 @@ def build_network(
 
         network._maintenance.append(refresher)
     return network
+
+
+def _supervised_mac(mac: MacProtocol) -> ProcessGenerator:
+    """Run a MAC under fault supervision.
+
+    Nobody waits on MAC processes, so an uncaught :class:`Interrupt`
+    (thrown when a fault crashes the station) would abort the whole
+    simulation; the supervisor absorbs it and lets the process end.
+    """
+    try:
+        yield from mac.run()
+    except Interrupt:
+        return
 
 
 def _rendezvous_refresher(env, models, clocks, jitter, rng, interval):
@@ -672,12 +865,13 @@ def _install_avoid_views(
             possible_hops = station.table.neighbors_in_use()
         for next_hop in possible_hops:
             power = station.power_for(next_hop)
-            views = []
+            protected = []
             for neighbor in np.nonzero(censored.gains[:, sender] > 0.0)[0]:
                 neighbor = int(neighbor)
                 if neighbor == next_hop:
                     continue
                 contribution = power * matrix.gains[neighbor, sender]
                 if contribution > config.avoid_fraction * raw_bounds[neighbor]:
-                    views.append(station.neighbor_view(neighbor))
-            station.set_avoid_views(next_hop, views)
+                    station.neighbor_view(neighbor)  # must have a model
+                    protected.append(neighbor)
+            station.set_avoid_neighbors(next_hop, protected)

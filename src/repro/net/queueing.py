@@ -14,7 +14,7 @@ packet, whatever its next hop (experiment T3).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Iterator, List, Tuple
+from typing import Deque, Iterator, List, Optional, Tuple
 
 from repro.net.packet import Packet
 
@@ -22,10 +22,21 @@ __all__ = ["NeighborQueues", "FifoQueue", "TransmitQueue"]
 
 
 class TransmitQueue:
-    """Interface shared by the two queue disciplines."""
+    """Interface shared by the two queue disciplines.
 
-    def enqueue(self, next_hop: int, packet: Packet) -> None:
-        """Add a packet destined (this hop) to ``next_hop``."""
+    Queues are unbounded by default; a ``capacity`` bounds the *total*
+    backlog (across all next hops), after which :meth:`enqueue` refuses
+    the packet and counts an overflow drop.  Real stations have finite
+    buffers, and a fault-stressed network must shed load somewhere
+    visible rather than queue without limit.
+    """
+
+    def enqueue(self, next_hop: int, packet: Packet) -> bool:
+        """Add a packet destined (this hop) to ``next_hop``.
+
+        Returns ``True`` if accepted, ``False`` on overflow (bounded
+        queues only; unbounded queues always accept).
+        """
         raise NotImplementedError
 
     def heads(self) -> List[Tuple[int, Packet]]:
@@ -52,17 +63,25 @@ class NeighborQueues(TransmitQueue):
     next hops, which keeps simulations deterministic.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self._capacity = capacity
         self._queues: "OrderedDict[int, Deque[Packet]]" = OrderedDict()
         self._size = 0
         self._peak_size = 0
         self._total_enqueued = 0
+        self._overflow_drops = 0
 
-    def enqueue(self, next_hop: int, packet: Packet) -> None:
+    def enqueue(self, next_hop: int, packet: Packet) -> bool:
+        if self._capacity is not None and self._size >= self._capacity:
+            self._overflow_drops += 1
+            return False
         self._queues.setdefault(next_hop, deque()).append(packet)
         self._size += 1
         self._total_enqueued += 1
         self._peak_size = max(self._peak_size, self._size)
+        return True
 
     def heads(self) -> List[Tuple[int, Packet]]:
         return [
@@ -96,6 +115,11 @@ class NeighborQueues(TransmitQueue):
         """All packets ever enqueued."""
         return self._total_enqueued
 
+    @property
+    def overflow_drops(self) -> int:
+        """Packets refused because the bounded backlog was full."""
+        return self._overflow_drops
+
     def next_hops(self) -> Iterator[int]:
         """Next hops with at least one queued packet."""
         return (hop for hop, queue in self._queues.items() if queue)
@@ -108,15 +132,23 @@ class FifoQueue(TransmitQueue):
     oldest packet's next hop has no usable window, everything waits.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be at least 1")
+        self._capacity = capacity
         self._queue: Deque[Tuple[int, Packet]] = deque()
         self._peak_size = 0
         self._total_enqueued = 0
+        self._overflow_drops = 0
 
-    def enqueue(self, next_hop: int, packet: Packet) -> None:
+    def enqueue(self, next_hop: int, packet: Packet) -> bool:
+        if self._capacity is not None and len(self._queue) >= self._capacity:
+            self._overflow_drops += 1
+            return False
         self._queue.append((next_hop, packet))
         self._total_enqueued += 1
         self._peak_size = max(self._peak_size, len(self._queue))
+        return True
 
     def heads(self) -> List[Tuple[int, Packet]]:
         return [self._queue[0]] if self._queue else []
@@ -145,3 +177,8 @@ class FifoQueue(TransmitQueue):
     def total_enqueued(self) -> int:
         """All packets ever enqueued."""
         return self._total_enqueued
+
+    @property
+    def overflow_drops(self) -> int:
+        """Packets refused because the bounded backlog was full."""
+        return self._overflow_drops

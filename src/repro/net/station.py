@@ -47,6 +47,8 @@ class StationStats:
     delivery_delays: List[float] = field(default_factory=list)
     unreachable_drops: int = 0
     no_route_drops: int = 0
+    fault_drops: int = 0
+    overflow_drops: int = 0
 
 
 class Station:
@@ -106,9 +108,12 @@ class Station:
         self._delay_lookup = delay_lookup
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.stats = StationStats()
+        self.alive = True
         self.own_view = ScheduleView.own(schedule, clock)
         self._neighbor_views: Dict[int, ScheduleView] = {}
-        self._avoid_views: Dict[int, Tuple[ScheduleView, ...]] = {}
+        self._neighbor_models: Dict[int, NeighborClockModel] = {}
+        self._avoid_neighbors: Dict[int, Tuple[int, ...]] = {}
+        self._avoid_cache: Dict[int, Tuple[ScheduleView, ...]] = {}
         self._arrival_event: Optional[Event] = None
         self._control_handlers: Dict[str, Callable[[Transmission], None]] = {}
         medium.on_delivery(index, self._on_delivery)
@@ -120,16 +125,24 @@ class Station:
         self, neighbor: int, schedule: Schedule, model: NeighborClockModel
     ) -> None:
         """Install the fitted clock model for a neighbour's schedule."""
+        self._neighbor_models[neighbor] = model
         self._neighbor_views[neighbor] = ScheduleView.of_neighbor(
             schedule, self.clock, model
         )
+        self._avoid_cache.clear()
 
-    def set_avoid_views(
-        self, next_hop: int, views: Sequence[ScheduleView]
+    def set_avoid_neighbors(
+        self, next_hop: int, neighbors: Sequence[int]
     ) -> None:
         """Install the Section 7.3 courtesy set for transmissions toward
-        ``next_hop``: receive windows to stay out of."""
-        self._avoid_views[next_hop] = tuple(views)
+        ``next_hop``: neighbours whose receive windows to stay out of.
+
+        Stored by index (not by view) so a clock replacement after a
+        fault invalidates every derived view at once; the views are
+        resolved lazily and cached for the MAC's hot path.
+        """
+        self._avoid_neighbors[next_hop] = tuple(neighbors)
+        self._avoid_cache.pop(next_hop, None)
 
     def neighbor_view(self, neighbor: int) -> ScheduleView:
         """The sender's-eye view of a neighbour's schedule."""
@@ -143,7 +156,26 @@ class Station:
 
     def avoid_views(self, next_hop: int) -> Tuple[ScheduleView, ...]:
         """Receive windows to respect when transmitting to ``next_hop``."""
-        return self._avoid_views.get(next_hop, ())
+        cached = self._avoid_cache.get(next_hop)
+        if cached is not None:
+            return cached
+        views = tuple(
+            self._neighbor_views[neighbor]
+            for neighbor in self._avoid_neighbors.get(next_hop, ())
+        )
+        self._avoid_cache[next_hop] = views
+        return views
+
+    def replace_clock(self, clock: Clock) -> None:
+        """Swap in a new clock (a step/rate fault) and rebuild every
+        schedule view derived from the old one."""
+        self.clock = clock
+        self.own_view = ScheduleView.own(self.schedule, clock)
+        for neighbor, model in self._neighbor_models.items():
+            self._neighbor_views[neighbor] = ScheduleView.of_neighbor(
+                self.schedule, clock, model
+            )
+        self._avoid_cache.clear()
 
     def power_for(self, next_hop: int) -> float:
         """Transmit power toward a neighbour (policy applied to the link)."""
@@ -171,6 +203,15 @@ class Station:
         """
         if packet.destination == self.index:
             raise ValueError("a packet for this station should not be submitted")
+        if not self.alive:
+            self.stats.fault_drops += 1
+            self.trace.record(
+                self.env.now,
+                "drop_station_down",
+                station=self.index,
+                destination=packet.destination,
+            )
+            return
         try:
             next_hop = self.table.next_hop(packet.destination)
         except RouteError:
@@ -182,11 +223,19 @@ class Station:
                 destination=packet.destination,
             )
             return
+        if not self.queue.enqueue(next_hop, packet):
+            self.stats.overflow_drops += 1
+            self.trace.record(
+                self.env.now,
+                "drop_overflow",
+                station=self.index,
+                next_hop=next_hop,
+            )
+            return
         if not packet.hops:
             self.stats.originated += 1
         else:
             self.stats.forwarded += 1
-        self.queue.enqueue(next_hop, packet)
         self._wake()
 
     def _wake(self) -> None:
@@ -241,7 +290,12 @@ class Station:
         """Queue a control frame for one specific neighbour."""
         if not packet.is_control:
             raise ValueError("send_control is for control frames")
-        self.queue.enqueue(next_hop, packet)
+        if not self.alive:
+            self.stats.fault_drops += 1
+            return
+        if not self.queue.enqueue(next_hop, packet):
+            self.stats.overflow_drops += 1
+            return
         self._wake()
 
     def _on_delivery(self, tx: Transmission) -> None:
@@ -286,14 +340,40 @@ class Station:
             self.env.now, "unreachable", station=self.index, next_hop=next_hop
         )
 
-    def drop_all_queued(self) -> None:
-        """Discard every queued packet (all next hops unreachable)."""
-        for next_hop, _packet in list(self.queue.heads()):
-            while True:
-                try:
-                    self.queue.pop(next_hop)
-                except LookupError:
-                    break
+    def drop_all_queued(self) -> int:
+        """Discard every queued packet (all next hops unreachable, or
+        the station itself failed); returns how many were dropped."""
+        dropped = 0
+        while True:
+            heads = self.queue.heads()
+            if not heads:
+                break
+            for next_hop, _packet in heads:
+                while True:
+                    try:
+                        self.queue.pop(next_hop)
+                    except LookupError:
+                        break
+                    dropped += 1
+        return dropped
+
+    # -- fault lifecycle --------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the station down: it stops queueing, transmitting, and
+        receiving until :meth:`revive`; the backlog is discarded."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats.fault_drops += self.drop_all_queued()
+        self.trace.record(self.env.now, "station_down", station=self.index)
+
+    def revive(self) -> None:
+        """Bring a failed station back up (empty queues, same clock)."""
+        if self.alive:
+            return
+        self.alive = True
+        self.trace.record(self.env.now, "station_up", station=self.index)
 
     # -- reporting --------------------------------------------------------------
 

@@ -34,9 +34,12 @@ import multiprocessing
 import time
 from collections import deque
 from multiprocessing.connection import Connection, wait as _connection_wait
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.parallel.task import TaskResult, TaskSpec, execute_task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.checkpoint import ResultJournal
 
 __all__ = ["ProgressCallback", "run_tasks"]
 
@@ -66,7 +69,11 @@ def _worker_main(conn: Connection) -> None:
         if message is None:
             break
         index, spec = message
-        conn.send((index, execute_task(spec)))
+        result = execute_task(spec)
+        try:
+            conn.send((index, result))
+        except (BrokenPipeError, OSError):
+            break  # the parent is gone (killed); exit quietly
     conn.close()
 
 
@@ -83,13 +90,12 @@ class _Worker:
         self.task_index: Optional[int] = None
         self.deadline: Optional[float] = None
 
-    def assign(self, index: int, spec: TaskSpec) -> None:
+    def assign(
+        self, index: int, spec: TaskSpec, watchdog_s: Optional[float] = None
+    ) -> None:
+        limit = spec.timeout_s if spec.timeout_s is not None else watchdog_s
         self.task_index = index
-        self.deadline = (
-            time.monotonic() + spec.timeout_s
-            if spec.timeout_s is not None
-            else None
-        )
+        self.deadline = time.monotonic() + limit if limit is not None else None
         self.conn.send((index, spec))
 
     def clear(self) -> None:
@@ -126,6 +132,8 @@ def run_tasks(
     specs: Sequence[TaskSpec],
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    journal: Optional["ResultJournal"] = None,
+    watchdog_s: Optional[float] = None,
 ) -> List[TaskResult]:
     """Execute tasks, returning one result per spec in spec order.
 
@@ -134,11 +142,22 @@ def run_tasks(
         jobs: worker processes.  ``jobs <= 1`` executes inline in this
             process (same code path per task; no timeout enforcement).
         progress: optional per-completion callback.
+        journal: checkpoint journal.  Tasks already completed in the
+            journal are replayed without re-execution (reported through
+            ``progress`` first, in spec order); fresh completions are
+            appended as they land, so a killed run resumes where it
+            stopped with bit-identical final results.
+        watchdog_s: fallback wall-clock limit applied (pooled execution
+            only) to tasks whose spec sets no ``timeout_s``, converting
+            a hung worker into a structured timeout instead of stalling
+            the run forever.
 
     Pooled execution is bit-identical to inline execution: only wall
     clock and the ``attempts`` counter of crashed-and-retried tasks can
     differ.
     """
+    if watchdog_s is not None and watchdog_s <= 0.0:
+        raise ValueError("watchdog must be positive")
     specs = list(specs)
     seen = set()
     for spec in specs:
@@ -148,21 +167,53 @@ def run_tasks(
     total = len(specs)
     if total == 0:
         return []
-    if jobs <= 1 or total == 1:
-        results: List[TaskResult] = []
-        for spec in specs:
+
+    reused: Dict[int, TaskResult] = {}
+    if journal is not None:
+        for index, spec in enumerate(specs):
+            cached = journal.completed.get(spec.task_id)
+            if cached is not None:
+                reused[index] = cached
+    done = 0
+    if progress is not None:
+        for index in sorted(reused):
+            done += 1
+            progress(done, total, reused[index])
+    remaining = [
+        (index, spec) for index, spec in enumerate(specs) if index not in reused
+    ]
+    if not remaining:
+        return [reused[index] for index in range(total)]
+
+    def on_fresh(result: TaskResult) -> None:
+        nonlocal done
+        if journal is not None:
+            journal.record(result)
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    fresh_specs = [spec for _index, spec in remaining]
+    if jobs <= 1 or len(fresh_specs) == 1:
+        fresh: List[TaskResult] = []
+        for spec in fresh_specs:
             result = execute_task(spec)
-            results.append(result)
-            if progress is not None:
-                progress(len(results), total, result)
-        return results
-    return _run_pooled(specs, min(jobs, total), progress)
+            fresh.append(result)
+            on_fresh(result)
+    else:
+        fresh = _run_pooled(
+            fresh_specs, min(jobs, len(fresh_specs)), on_fresh, watchdog_s
+        )
+    for (index, _spec), result in zip(remaining, fresh):
+        reused[index] = result
+    return [reused[index] for index in range(total)]
 
 
 def _run_pooled(
     specs: List[TaskSpec],
     jobs: int,
-    progress: Optional[ProgressCallback],
+    completion: Optional[Callable[[TaskResult], None]],
+    watchdog_s: Optional[float] = None,
 ) -> List[TaskResult]:
     context = multiprocessing.get_context("spawn")
     total = len(specs)
@@ -174,8 +225,8 @@ def _run_pooled(
     def record(index: int, result: TaskResult) -> None:
         result.attempts = attempts[index]
         results[index] = result
-        if progress is not None:
-            progress(len(results), total, result)
+        if completion is not None:
+            completion(result)
 
     def fail_or_retry(index: int, reason: str) -> None:
         spec = specs[index]
@@ -202,7 +253,7 @@ def _run_pooled(
                 if worker.task_index is None and pending:
                     index = pending.popleft()
                     attempts[index] += 1
-                    worker.assign(index, specs[index])
+                    worker.assign(index, specs[index], watchdog_s)
 
             busy = [w for w in live if w.task_index is not None]
             if not busy:
@@ -252,11 +303,17 @@ def _run_pooled(
                 worker.clear()
                 worker.kill()
                 workers.remove(worker)
-                fail_or_retry(
-                    index,
-                    f"task {specs[index].task_id!r} timed out after "
-                    f"{specs[index].timeout_s}s (attempt {attempts[index]})",
-                )
+                if specs[index].timeout_s is not None:
+                    reason = (
+                        f"task {specs[index].task_id!r} timed out after "
+                        f"{specs[index].timeout_s}s (attempt {attempts[index]})"
+                    )
+                else:
+                    reason = (
+                        f"task {specs[index].task_id!r} exceeded the pool "
+                        f"watchdog of {watchdog_s}s (attempt {attempts[index]})"
+                    )
+                fail_or_retry(index, reason)
     finally:
         for worker in workers:
             worker.shutdown()

@@ -64,6 +64,14 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
     "T9": {"station_count": 120, "reach_factors": (1.0, 2.0), "placements": 2},
     "T10": {"station_count": 24, "duration_slots": 150},
     "T11": {"trials": 20_000},
+    "T12": {
+        "churn_rates": (0.02,),
+        "station_count": 16,
+        "warmup_slots": 100,
+        "churn_slots": 100,
+        "recovery_slots": 200,
+        "macs": ("shepard", "aloha"),
+    },
     "A1": {
         "rendezvous_counts": (2, 8),
         "guard_fractions": (0.0, 0.1),
@@ -212,10 +220,31 @@ def run_suite(
     timeout_s: Optional[float] = None,
     retries: int = 1,
     progress: Optional[ProgressCallback] = None,
+    checkpoint: Optional[str] = None,
+    watchdog_s: Optional[float] = None,
 ) -> SuiteResult:
-    """Run the whole experiment registry over ``jobs`` workers."""
+    """Run the whole experiment registry over ``jobs`` workers.
+
+    With ``checkpoint``, completed results are journaled to that path
+    so a killed run resumes where it stopped, with final digests
+    bit-identical to an uninterrupted run.
+    """
     specs = build_suite_tasks(
         quick=quick, overrides=overrides, timeout_s=timeout_s, retries=retries
     )
-    results = run_tasks(specs, jobs=jobs, progress=progress)
+    if checkpoint is not None:
+        from repro.parallel.checkpoint import ResultJournal
+
+        with ResultJournal(checkpoint, specs) as journal:
+            results = run_tasks(
+                specs,
+                jobs=jobs,
+                progress=progress,
+                journal=journal,
+                watchdog_s=watchdog_s,
+            )
+    else:
+        results = run_tasks(
+            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s
+        )
     return SuiteResult(specs=specs, results=results, jobs=jobs, quick=quick)

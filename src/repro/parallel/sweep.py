@@ -49,6 +49,7 @@ SWEEPABLE_PARAMS: Dict[str, str] = {
     "T6": "density_factors",
     "T7": "loads_packets_per_slot",
     "T8": "station_counts",
+    "T12": "churn_rates",
     "T9": "reach_factors",
     "A1": "rendezvous_counts",
     "A2": "channel_counts",
@@ -328,8 +329,29 @@ def run_sweep(
     plan: SweepPlan,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    checkpoint: Optional[str] = None,
+    watchdog_s: Optional[float] = None,
 ) -> SweepResult:
-    """Build the task list, execute it, and wrap the ordered results."""
+    """Build the task list, execute it, and wrap the ordered results.
+
+    With ``checkpoint``, completed results are journaled to that path
+    so a killed sweep resumes where it stopped, with final digests
+    bit-identical to an uninterrupted run.
+    """
     specs = build_sweep_tasks(plan)
-    results = run_tasks(specs, jobs=jobs, progress=progress)
+    if checkpoint is not None:
+        from repro.parallel.checkpoint import ResultJournal
+
+        with ResultJournal(checkpoint, specs) as journal:
+            results = run_tasks(
+                specs,
+                jobs=jobs,
+                progress=progress,
+                journal=journal,
+                watchdog_s=watchdog_s,
+            )
+    else:
+        results = run_tasks(
+            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s
+        )
     return SweepResult(plan=plan, specs=specs, results=results)

@@ -1,0 +1,59 @@
+"""T12 resilience experiment: fast parameterisation."""
+
+import math
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestT12Resilience:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T12")(
+            churn_rates=(0.02,),
+            station_count=16,
+            warmup_slots=100,
+            churn_slots=100,
+            recovery_slots=200,
+            macs=("shepard", "aloha"),
+        )
+
+    def test_requested_macs_ran(self, report):
+        assert {row[0] for row in report.rows} == {"shepard", "aloha"}
+
+    def test_churn_actually_crashed_stations(self, report):
+        assert all(row[2] > 0 for row in report.rows)
+
+    def test_scheme_recovers_delivery_ratio(self, report):
+        recovered = report.claims[
+            "scheme post-churn delivery vs pre-fault steady state"
+        ][1]
+        assert recovered >= 0.95
+
+    def test_rerouting_engaged(self, report):
+        assert all(not math.isnan(row[7]) for row in report.rows)
+
+    def test_jobs_invariant(self, report):
+        two = get_experiment("T12")(
+            churn_rates=(0.02,),
+            station_count=16,
+            warmup_slots=100,
+            churn_slots=100,
+            recovery_slots=200,
+            macs=("shepard", "aloha"),
+            jobs=2,
+        )
+        assert two.rows == report.rows
+        assert two.claims == report.claims
+
+    def test_rejects_unknown_mac(self):
+        with pytest.raises((ValueError, RuntimeError)):
+            get_experiment("T12")(
+                churn_rates=(0.02,),
+                station_count=12,
+                warmup_slots=60,
+                churn_slots=60,
+                recovery_slots=60,
+                macs=("carrier-pigeon",),
+            )

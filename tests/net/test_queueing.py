@@ -103,3 +103,35 @@ class TestFifoQueue:
         assert queue.peak_size == 2
         assert queue.total_enqueued == 2
         assert len(queue) == 1
+
+
+class TestBoundedQueues:
+    def test_default_is_unbounded(self):
+        queues = NeighborQueues()
+        for _ in range(1000):
+            assert queues.enqueue(1, packet())
+        assert queues.overflow_drops == 0
+
+    def test_capacity_bounds_total_backlog(self):
+        queues = NeighborQueues(capacity=3)
+        assert queues.enqueue(1, packet())
+        assert queues.enqueue(2, packet())
+        assert queues.enqueue(1, packet())
+        assert not queues.enqueue(3, packet())
+        assert queues.overflow_drops == 1
+        # Draining frees capacity again.
+        queues.pop(1)
+        assert queues.enqueue(3, packet())
+
+    def test_fifo_capacity(self):
+        queue = FifoQueue(capacity=2)
+        assert queue.enqueue(1, packet())
+        assert queue.enqueue(2, packet())
+        assert not queue.enqueue(1, packet())
+        assert queue.overflow_drops == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NeighborQueues(capacity=0)
+        with pytest.raises(ValueError):
+            FifoQueue(capacity=0)

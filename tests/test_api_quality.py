@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.routing",
     "repro.sim",
     "repro.experiments",
+    "repro.faults",
+    "repro.parallel",
 ]
 
 

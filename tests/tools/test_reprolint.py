@@ -281,6 +281,67 @@ class TestParallelSeedRule:
         assert "REP008" not in codes(clean)
 
 
+class TestFaultSeedRule:
+    FAULTS = "src/repro/faults/fake.py"
+
+    def test_fires_on_stdlib_random_import(self):
+        assert "REP009" in codes("import random\n__all__ = []\n", path=self.FAULTS)
+
+    def test_fires_on_secrets_import(self):
+        assert "REP009" in codes(
+            "from secrets import token_bytes\n__all__ = []\n", path=self.FAULTS
+        )
+
+    def test_fires_on_os_urandom(self):
+        assert "REP009" in codes(
+            "import os\n__all__ = []\nx = os.urandom(8)\n", path=self.FAULTS
+        )
+
+    def test_fires_on_unseeded_default_rng(self):
+        assert "REP009" in codes(
+            "import numpy as np\n__all__ = []\nrng = np.random.default_rng()\n",
+            path=self.FAULTS,
+        )
+
+    def test_fires_on_random_state(self):
+        assert "REP009" in codes(
+            "import numpy as np\n__all__ = []\nrng = np.random.RandomState(3)\n",
+            path=self.FAULTS,
+        )
+
+    def test_fires_on_non_derived_seed(self):
+        assert "REP009" in codes(
+            "import numpy as np\n__all__ = []\nrng = np.random.default_rng(42)\n",
+            path=self.FAULTS,
+        )
+
+    def test_allows_derive_seed(self):
+        clean = """
+        import numpy as np
+        from repro.parallel.seedtree import derive_seed
+        __all__ = ["make"]
+        def make(seed):
+            \"\"\"Docstring.\"\"\"
+            return np.random.default_rng(derive_seed(seed, "churn", 0))
+        """
+        assert "REP009" not in codes(clean, path=self.FAULTS)
+
+    def test_allows_seed_attribute(self):
+        clean = """
+        import numpy as np
+        __all__ = ["make"]
+        def make(event):
+            \"\"\"Docstring.\"\"\"
+            return np.random.default_rng(event.seed)
+        """
+        assert "REP009" not in codes(clean, path=self.FAULTS)
+
+    def test_scoped_to_fault_modules(self):
+        source = "import numpy as np\n__all__ = []\nrng = np.random.default_rng(42)\n"
+        assert "REP009" not in codes(source)
+        assert "REP009" not in codes(source, path=TEST)
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert (

@@ -27,6 +27,7 @@ __all__ = [
     "DunderAllRule",
     "YieldEventRule",
     "ParallelSeedRule",
+    "FaultSeedRule",
 ]
 
 
@@ -711,6 +712,131 @@ class ParallelSeedRule(Rule):
         return violations
 
 
+class FaultSeedRule(Rule):
+    """REP009: fault modules must draw randomness from the seed tree.
+
+    Everything under ``src/repro/faults`` exists to make failure
+    scenarios bit-reproducible and jobs-invariant: fault schedules are
+    compiled ahead of execution from seeds derived via
+    :func:`repro.parallel.seedtree.derive_seed`.  A fault module that
+    reaches for ambient entropy (``random``, ``secrets``,
+    ``os.urandom``) or constructs an unseeded / non-derived generator
+    (``default_rng()`` with no argument, ``RandomState``) silently
+    breaks that guarantee, so any such draw is flagged — the mirror of
+    REP008's rule for parallelism.
+    """
+
+    CODE = "REP009"
+    SUMMARY = (
+        "fault modules (src/repro/faults) must derive all randomness "
+        "from the seed tree (repro.parallel.seedtree)"
+    )
+
+    FORBIDDEN_MODULES = ("random", "secrets")
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return _under_src(path) and "/repro/faults/" in "/" + normalized
+
+    def _forbidden_module(self, name: Optional[str]) -> bool:
+        if not name:
+            return False
+        return any(
+            name == module or name.startswith(module + ".")
+            for module in self.FORBIDDEN_MODULES
+        )
+
+    @staticmethod
+    def _seed_derived(node: ast.AST) -> bool:
+        """Whether an argument expression plausibly carries a derived
+        seed: a ``derive_seed``/``seed`` call, a ``.seed`` attribute, or
+        a name mentioning "seed"."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                dotted = _dotted_name(child.func)
+                if dotted and dotted.split(".")[-1] in ("derive_seed", "seed"):
+                    return True
+            elif isinstance(child, ast.Attribute) and "seed" in child.attr.lower():
+                return True
+            elif isinstance(child, ast.Name) and "seed" in child.id.lower():
+                return True
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._forbidden_module(alias.name):
+                        violations.append(
+                            self._violation(
+                                path,
+                                node,
+                                f"import of {alias.name} in a fault module; "
+                                "derive fault randomness via "
+                                "repro.parallel.seedtree.derive_seed",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if self._forbidden_module(node.module):
+                    violations.append(
+                        self._violation(
+                            path,
+                            node,
+                            f"import from {node.module} in a fault module; "
+                            "derive fault randomness via "
+                            "repro.parallel.seedtree.derive_seed",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is None:
+                    continue
+                name = dotted.split(".")[-1]
+                if dotted == "os.urandom":
+                    violations.append(
+                        self._violation(
+                            path,
+                            node,
+                            "os.urandom() is ambient entropy; derive fault "
+                            "randomness via repro.parallel.seedtree",
+                        )
+                    )
+                elif name == "RandomState":
+                    violations.append(
+                        self._violation(
+                            path,
+                            node,
+                            "RandomState is legacy global-style RNG; use "
+                            "default_rng(derive_seed(...)) instead",
+                        )
+                    )
+                elif name == "default_rng":
+                    arguments = list(node.args) + [
+                        keyword.value for keyword in node.keywords
+                    ]
+                    if not arguments:
+                        violations.append(
+                            self._violation(
+                                path,
+                                node,
+                                "default_rng() without a seed draws OS "
+                                "entropy; pass derive_seed(...)",
+                            )
+                        )
+                    elif not any(self._seed_derived(arg) for arg in arguments):
+                        violations.append(
+                            self._violation(
+                                path,
+                                node,
+                                "default_rng() seed is not derived from the "
+                                "seed tree; pass derive_seed(...) or a "
+                                "*seed-named value",
+                            )
+                        )
+        return violations
+
+
 #: The full suite, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -721,4 +847,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     DunderAllRule(),
     YieldEventRule(),
     ParallelSeedRule(),
+    FaultSeedRule(),
 )
