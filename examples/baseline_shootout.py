@@ -11,14 +11,19 @@ offered loads, and prints the comparison the paper's Section 2 implies:
 * MACA (RTS/CTS control traffic per packet),
 * the paper's schedule-based collision-free scheme.
 
+Each run streams its typed events into a
+:class:`~repro.obs.MetricTimelines` sink, which is where every printed
+number comes from — losses, control overhead, delay.
+
 Run::
 
     python examples/baseline_shootout.py
 """
 
+import repro
 from repro.experiments.t7_baselines import mac_suite
-from repro.experiments.simsetup import run_loaded_network
 from repro.net import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
 
 
 def main() -> None:
@@ -37,27 +42,31 @@ def main() -> None:
 
     for load in loads:
         for name, factory in mac_suite(seed).items():
-            network, result = run_loaded_network(
-                station_count,
-                load,
-                duration_slots,
-                placement_seed=seed,
-                traffic_seed=seed + 1,
-                config=NetworkConfig(seed=seed),
-                mac_factory=factory,
+            timelines = MetricTimelines(station_count=station_count)
+            outcome = repro.simulate(
+                repro.Scenario(
+                    station_count=station_count,
+                    load_packets_per_slot=load,
+                    duration_slots=duration_slots,
+                    config=NetworkConfig(seed=seed),
+                    mac_factory=factory,
+                ),
+                seed=seed,
+                instrumentation=Instrumentation((timelines,)),
             )
             loss_pct = (
-                100.0 * result.losses_total / result.transmissions
-                if result.transmissions
+                100.0 * timelines.losses_total / timelines.transmissions
+                if timelines.transmissions
                 else 0.0
             )
-            rts = sum(getattr(s.mac, "rts_sent", 0) for s in network.stations)
-            cts = sum(getattr(s.mac, "cts_sent", 0) for s in network.stations)
-            control = (rts + cts) / max(network.medium.deliveries, 1)
-            delay = result.mean_delay / network.budget.slot_time
+            delay_slots = (
+                timelines.mean_delay() / outcome.network.budget.slot_time
+            )
             print(
-                f"{name:>14s} {load:>9.2f} {result.delivered_end_to_end:>6d} "
-                f"{loss_pct:>6.2f}% {control:>9.2f} {delay:>14.1f}"
+                f"{name:>14s} {load:>9.2f} "
+                f"{timelines.end_to_end_deliveries:>6d} "
+                f"{loss_pct:>6.2f}% {timelines.control_overhead():>9.2f} "
+                f"{delay_slots:>14.1f}"
             )
         print()
 

@@ -21,8 +21,10 @@ Run::
     python examples/long_haul_operation.py
 """
 
-from repro.experiments.simsetup import run_loaded_network, standard_network
+import repro
+from repro.experiments.simsetup import standard_network
 from repro.net import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
 
 
 def run_variant(label, slot, refresh, model_delay):
@@ -35,15 +37,23 @@ def run_variant(label, slot, refresh, model_delay):
         rendezvous_refresh_slots=refresh,
         model_propagation_delay=model_delay,
     )
-    _network, result = run_loaded_network(
-        15, 0.04, 1500, placement_seed=7, traffic_seed=8, config=config
+    timelines = MetricTimelines(station_count=15)
+    outcome = repro.simulate(
+        repro.Scenario(
+            station_count=15,
+            load_packets_per_slot=0.04,
+            duration_slots=1500,
+            config=config,
+        ),
+        seed=7,
+        instrumentation=Instrumentation((timelines,)),
     )
-    missed = result.losses_by_reason.get("not_listening", 0)
+    missed = timelines.losses_by_reason().get("not_listening", 0)
     print(
-        f"  {label:<38s} losses {result.losses_total:4d} "
-        f"(missed windows {missed:4d}), hop deliveries {result.hop_deliveries}"
+        f"  {label:<38s} losses {timelines.losses_total:4d} "
+        f"(missed windows {missed:4d}), hop deliveries {timelines.hop_deliveries}"
     )
-    return result
+    return outcome.result
 
 
 def main() -> None:

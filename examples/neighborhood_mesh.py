@@ -23,7 +23,8 @@ Run::
 
 import numpy as np
 
-from repro.net import HotspotTraffic, NetworkConfig, build_network
+import repro
+from repro.net import HotspotTraffic, NetworkConfig
 from repro.propagation import Placement, ObstructedUrban, jittered_grid
 from repro.routing import trace_route
 from repro.sim import RandomStreams
@@ -59,35 +60,43 @@ def main() -> None:
         # The gateway needs headroom: many stations converge on it.
         despreader_channels=12,
     )
-    network = build_network(
-        placement,
-        config,
-        model=ObstructedUrban(shadowing_db=6.0, seed=3, near_field_clamp=1e-6),
+    def hotspot_traffic(network, _seed):
+        rng = RandomStreams(13).stream("traffic")
+        budget = network.budget
+        for origin in range(count):
+            if origin == gateway:
+                continue
+            network.add_traffic(
+                HotspotTraffic(
+                    origin=origin,
+                    rate=0.03 / budget.slot_time,
+                    hotspot=gateway,
+                    hotspot_fraction=0.7,
+                    destinations=list(range(count)),
+                    size_bits=config.packet_size_bits,
+                    rng=rng,
+                )
+            )
+
+    outcome = repro.simulate(
+        repro.Scenario(
+            placement=placement,
+            duration_slots=800.0,
+            config=config,
+            model=ObstructedUrban(
+                shadowing_db=6.0, seed=3, near_field_clamp=1e-6
+            ),
+            traffic=hotspot_traffic,
+        ),
+        seed=11,
         trace=True,
     )
+    network, result = outcome.network, outcome.result
     budget = network.budget
 
     print(f"Neighbourhood mesh: {count} stations, gateway at index {gateway}")
     print(f"  processing gain  : {budget.processing_gain_db:.1f} dB")
     print(f"  raw data rate    : {budget.data_rate_bps:,.0f} bit/s")
-
-    rng = RandomStreams(13).stream("traffic")
-    for origin in range(count):
-        if origin == gateway:
-            continue
-        network.add_traffic(
-            HotspotTraffic(
-                origin=origin,
-                rate=0.03 / budget.slot_time,
-                hotspot=gateway,
-                hotspot_fraction=0.7,
-                destinations=list(range(count)),
-                size_bits=config.packet_size_bits,
-                rng=rng,
-            )
-        )
-
-    result = network.run(800 * budget.slot_time)
 
     print("\nTraffic outcome")
     print(f"  originated          : {result.originated}")

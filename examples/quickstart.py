@@ -3,29 +3,32 @@
 paper's headline claim — collision-free transfer with a single
 transmission per hop.
 
+The whole pipeline is one call: :func:`repro.simulate` places the
+stations, applies the Section 6 design strategy (minimum-energy routes,
+constant-delivered-power control, a data rate calibrated so the SIR
+criterion holds under any concurrency the schedules permit, and the
+Section 7 pseudo-random schedules), loads every station with Poisson
+traffic, and runs.
+
 Run::
 
     python examples/quickstart.py
 """
 
-from repro.net import NetworkConfig, PoissonTraffic, build_network
-from repro.propagation import uniform_disk
-from repro.sim import RandomStreams
+import repro
 
 
 def main() -> None:
-    # 1. Place 100 stations uniformly in a 2 km-diameter neighbourhood
-    #    (the paper's simulation scale).
-    placement = uniform_disk(100, radius=1000.0, seed=42)
-
-    # 2. Build the network.  This applies the whole Section 6 design
-    #    strategy automatically: minimum-energy routes over the
-    #    observed propagation matrix, constant-delivered-power control,
-    #    a system data rate calibrated so the SIR criterion holds under
-    #    any concurrency the schedules permit, and the Section 7
-    #    pseudo-random schedules with per-neighbour clock models.
-    config = NetworkConfig(seed=42)
-    network = build_network(placement, config, trace=True)
+    # One call: a 2 km-diameter neighbourhood (the paper's simulation
+    # scale) under uniform Poisson load, run for 500 slots.
+    scenario = repro.Scenario(
+        station_count=100,
+        radius_m=1000.0,
+        load_packets_per_slot=0.05,
+        duration_slots=500.0,
+    )
+    outcome = repro.simulate(scenario, seed=42, trace=True)
+    network, result = outcome.network, outcome.result
 
     budget = network.budget
     print("Calibrated design point")
@@ -38,23 +41,6 @@ def main() -> None:
     neighbor_counts = network.routing_neighbor_counts()
     print(f"  routing neighbours  : max {max(neighbor_counts)} "
           "(the paper saw at most 8)")
-
-    # 3. Load every station with Poisson traffic to uniformly random
-    #    destinations; packets are forwarded hop by hop.
-    rng = RandomStreams(7).stream("traffic")
-    for origin in range(network.station_count):
-        network.add_traffic(
-            PoissonTraffic(
-                origin=origin,
-                rate=0.05 / budget.slot_time,  # packets per slot
-                destinations=list(range(network.station_count)),
-                size_bits=config.packet_size_bits,
-                rng=rng,
-            )
-        )
-
-    # 4. Run for 500 slots of simulated time.
-    result = network.run(500 * budget.slot_time)
 
     print("\nRun outcome")
     print(f"  packets originated  : {result.originated}")

@@ -21,32 +21,32 @@ The package is organised as the paper is:
 
 Quickstart::
 
-    from repro.propagation import uniform_disk
-    from repro.net import build_network, NetworkConfig, PoissonTraffic
-    import numpy as np
+    import repro
 
-    placement = uniform_disk(100, radius=1000.0, seed=1)
-    network = build_network(placement, NetworkConfig(seed=1))
-    rng = np.random.default_rng(2)
-    for i in range(placement.count):
-        network.add_traffic(PoissonTraffic(
-            origin=i, rate=0.05 / network.budget.slot_time,
-            destinations=list(range(placement.count)),
-            size_bits=1000.0, rng=rng))
-    result = network.run(500 * network.budget.slot_time)
-    assert result.collision_free
+    outcome = repro.simulate(repro.Scenario(station_count=100), seed=1)
+    assert outcome.result.collision_free
+
+:func:`simulate` is the one-call front door — placement, the Section 6
+design calibration, traffic, optional fault plans and observability
+sinks all hang off one :class:`Scenario` plus keyword arguments.  The
+layered API underneath (``build_network`` et al.) remains for anything
+the facade does not cover.
 """
 
 __version__ = "1.0.0"
 
 from repro.core import Schedule, ScheduleView, find_transmit_window
+from repro.facade import Scenario, SimulationOutcome, simulate
 from repro.net import NetworkConfig, build_network
 
 __all__ = [
     "NetworkConfig",
+    "Scenario",
     "Schedule",
     "ScheduleView",
+    "SimulationOutcome",
     "__version__",
     "build_network",
     "find_transmit_window",
+    "simulate",
 ]

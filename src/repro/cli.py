@@ -11,12 +11,17 @@ Usage::
     python -m repro bench --suite --jobs 1,2,4 --output BENCH_suite.json
     python -m repro design --stations 1e9 --duty 0.5
     python -m repro metro --stations 1e6 --bandwidth 1e9
+    python -m repro trace --experiment T7 --jsonl t7.jsonl --summary
+    python -m repro trace --read t7.jsonl --kind rx_fail --limit 20
+    python -m repro report --timeline duty --stations 100 --duration-slots 300
 
 ``--set`` values are parsed as Python literals (falling back to plain
 strings), so tuples, floats, and booleans all work.  ``run-all`` and
 ``sweep`` fan tasks over a multiprocess pool; results are bit-identical
 at any ``--jobs`` because per-task seeds come from the seed tree, never
-from scheduling order.
+from scheduling order.  ``trace`` streams any experiment's typed event
+stream to JSONL/binary sinks (or decodes one back); ``report`` runs the
+T2-style loaded network and renders per-station metric timelines.
 """
 
 from __future__ import annotations
@@ -297,6 +302,157 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if outcome.errors else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        BinarySink,
+        Instrumentation,
+        JsonlSink,
+        MetricTimelines,
+        read_trace,
+        use_instrumentation,
+    )
+
+    if args.read:
+        wanted = set(args.kind or [])
+        counts: Dict[str, int] = {}
+        shown = 0
+        for event in read_trace(args.read):
+            counts[event.KIND] = counts.get(event.KIND, 0) + 1
+            if wanted and event.KIND not in wanted:
+                continue
+            if args.limit is None or shown < args.limit:
+                record = {"kind": event.KIND, "time": event.time}
+                record.update(event.to_record().data)
+                print(json.dumps(record, sort_keys=True))
+                shown += 1
+        if args.summary:
+            total = sum(counts.values())
+            print(f"{total} events across {len(counts)} kinds", file=sys.stderr)
+            for kind in sorted(counts):
+                print(f"  {kind:>18s}  {counts[kind]}", file=sys.stderr)
+        return 0
+
+    if not args.experiment:
+        print("trace needs --experiment ID (or --read PATH)", file=sys.stderr)
+        return 2
+    try:
+        run = get_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    try:
+        overrides = parse_overrides(args.set or [])
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    timelines = MetricTimelines()
+    sinks = [timelines]
+    if args.jsonl:
+        sinks.append(JsonlSink(args.jsonl, rotate_bytes=args.rotate_bytes))
+    if args.binary:
+        sinks.append(BinarySink(args.binary))
+    if len(sinks) == 1:
+        print("trace needs a sink: --jsonl PATH and/or --binary PATH",
+              file=sys.stderr)
+        return 2
+    instrumentation = Instrumentation(tuple(sinks))
+    with use_instrumentation(instrumentation):
+        report = run(**overrides)
+    instrumentation.close()
+    print(report.format())
+    for path in ([args.jsonl] if args.jsonl else []) + (
+        [args.binary] if args.binary else []
+    ):
+        print(f"wrote {path}")
+    if args.summary:
+        kind_counts = timelines.kinds()
+        total = sum(kind_counts.values())
+        print(f"\n{total} events across {len(kind_counts)} kinds")
+        for kind in sorted(kind_counts):
+            print(f"  {kind:>18s}  {kind_counts[kind]}")
+    return 0
+
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float], peak: float) -> str:
+    import math
+
+    cells = []
+    for value in values:
+        if value != value:  # NaN: no observation in this window
+            cells.append("·")
+            continue
+        if peak <= 0.0:
+            cells.append(_SPARK_LEVELS[0])
+            continue
+        level = min(1.0, max(0.0, value / peak))
+        cells.append(_SPARK_LEVELS[math.ceil(level * (len(_SPARK_LEVELS) - 1))])
+    return "".join(cells)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.simsetup import add_uniform_poisson, standard_network
+    from repro.net.network import NetworkConfig
+    from repro.obs import Instrumentation, MetricTimelines
+
+    timelines = MetricTimelines(station_count=args.stations)
+    network = standard_network(
+        args.stations,
+        args.seed,
+        NetworkConfig(seed=args.seed),
+        trace=False,
+        instrumentation=Instrumentation((timelines,)),
+    )
+    slot = network.budget.slot_time
+    # The window is in slots on the CLI but seconds internally; the slot
+    # time is only known once the network's link budget is calibrated,
+    # so assign it after build and before any event is emitted.
+    timelines.window = args.window_slots * slot
+    add_uniform_poisson(network, args.load, args.seed + 1)
+    result = network.run(args.duration_slots * slot)
+
+    metric = args.timeline
+    series_of = {
+        "duty": timelines.duty_series,
+        "queue": timelines.queue_depth_series,
+        "sir": timelines.sir_series,
+        "loss": lambda station: timelines.loss_series(station),
+    }[metric]
+    rows = [series_of(station) for station in range(args.stations)]
+    peak = max(
+        (value for row in rows for _t, value in row if value == value),
+        default=0.0,
+    )
+
+    print(
+        f"{metric} timeline: {args.stations} stations, "
+        f"{args.duration_slots:g} slots, window {args.window_slots:g} slots "
+        f"({timelines.window_count} windows), seed {args.seed}"
+    )
+    print(
+        f"load {args.load:g} pkt/slot/station | "
+        f"hop deliveries {timelines.hop_deliveries} | "
+        f"losses {timelines.losses_total} | peak {peak:.4g}"
+    )
+    for station in range(args.stations):
+        values = [value for _t, value in rows[station]]
+        line = _sparkline(values, peak)
+        tail = max((v for v in values if v == v), default=0.0)
+        print(f"  s{station:03d} |{line}| max {tail:.3g}")
+    if metric == "duty":
+        summary = timelines.duty_summary(result.duration)
+        print(
+            f"duty cycle across stations: mean {summary.mean:.4f}, "
+            f"std {summary.stddev:.4f}, max {summary.maximum:.4f}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -503,6 +659,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sample as a JSON perf report (BENCH_medium.json format)",
     )
     bench_cmd.set_defaults(handler=_cmd_bench)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help=(
+            "stream an experiment's typed event trace to JSONL/binary "
+            "sinks, or decode a written trace back"
+        ),
+    )
+    trace_cmd.add_argument(
+        "--experiment", metavar="ID",
+        help="experiment id to run under instrumentation (e.g. T7)",
+    )
+    trace_cmd.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable)",
+    )
+    trace_cmd.add_argument(
+        "--jsonl", metavar="PATH", help="write events as JSON lines",
+    )
+    trace_cmd.add_argument(
+        "--binary", metavar="PATH",
+        help="write events as a compact columnar .npz trace",
+    )
+    trace_cmd.add_argument(
+        "--rotate-bytes", type=int, default=None, metavar="N",
+        help="rotate the JSONL file into .1/.2/... segments at N bytes",
+    )
+    trace_cmd.add_argument(
+        "--read", metavar="PATH",
+        help="decode a written trace (JSONL or binary) instead of running",
+    )
+    trace_cmd.add_argument(
+        "--kind", action="append", metavar="KIND",
+        help="read mode: only print events of this kind (repeatable)",
+    )
+    trace_cmd.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="read mode: print at most N events",
+    )
+    trace_cmd.add_argument(
+        "--summary", action="store_true",
+        help="print per-kind event counts",
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
+
+    report_cmd = commands.add_parser(
+        "report",
+        help=(
+            "run the seeded loaded network and render per-station metric "
+            "timelines (duty cycle, queue depth, SIR, losses)"
+        ),
+    )
+    report_cmd.add_argument(
+        "--timeline", required=True,
+        choices=("duty", "queue", "sir", "loss"),
+        help="which per-station series to render",
+    )
+    report_cmd.add_argument("--stations", type=int, default=100)
+    report_cmd.add_argument("--load", type=float, default=0.05)
+    report_cmd.add_argument(
+        "--duration-slots", type=float, default=300.0, metavar="SLOTS",
+    )
+    report_cmd.add_argument(
+        "--window-slots", type=float, default=10.0, metavar="SLOTS",
+        help="aggregation window width in slots (default 10)",
+    )
+    report_cmd.add_argument("--seed", type=int, default=7)
+    report_cmd.set_defaults(handler=_cmd_report)
 
     return parser
 

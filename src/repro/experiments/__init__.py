@@ -32,9 +32,17 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     t12_resilience,
 )
 from repro.experiments.runner import (
+    ExperimentParams,
     ExperimentReport,
+    ExperimentResult,
     all_experiments,
     get_experiment,
 )
 
-__all__ = ["ExperimentReport", "all_experiments", "get_experiment"]
+__all__ = [
+    "ExperimentParams",
+    "ExperimentReport",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+]

@@ -12,6 +12,7 @@ from repro.net.network import (
     build_network,
 )
 from repro.net.traffic import PoissonTraffic
+from repro.obs.api import Instrumentation
 from repro.propagation.geometry import uniform_disk
 from repro.propagation.models import PropagationModel
 from repro.sim.streams import RandomStreams
@@ -27,6 +28,7 @@ def standard_network(
     model: Optional[PropagationModel] = None,
     radius: float = 1000.0,
     trace: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Network:
     """A uniform-disk network with the repository's default design."""
     placement = uniform_disk(station_count, radius=radius, seed=placement_seed)
@@ -36,6 +38,7 @@ def standard_network(
         model=model,
         mac_factory=mac_factory,
         trace=trace,
+        instrumentation=instrumentation,
     )
 
 
@@ -80,9 +83,18 @@ def run_loaded_network(
     traffic_seed: int = 99,
     config: Optional[NetworkConfig] = None,
     mac_factory: Optional[MacFactory] = None,
+    trace: bool = True,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Tuple[Network, "NetworkResult"]:
     """Build, load, and run a standard network; returns (network, result)."""
-    network = standard_network(station_count, placement_seed, config, mac_factory)
+    network = standard_network(
+        station_count,
+        placement_seed,
+        config,
+        mac_factory,
+        trace=trace,
+        instrumentation=instrumentation,
+    )
     add_uniform_poisson(network, packets_per_slot, traffic_seed)
     result = network.run(duration_slots * network.budget.slot_time)
     return network, result

@@ -25,6 +25,7 @@ from repro.experiments.simsetup import add_uniform_poisson, standard_network
 from repro.experiments.t7_baselines import mac_suite
 from repro.faults import StationChurn, compile_plan, install_faults
 from repro.net.network import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
 from repro.parallel.seedtree import derive_seed
 
 __all__ = ["RECOVERY_FRACTION", "run", "run_resilience_point"]
@@ -32,13 +33,6 @@ __all__ = ["RECOVERY_FRACTION", "run", "run_resilience_point"]
 #: Recovery criterion: a post-churn window counts as recovered once its
 #: delivery ratio reaches this fraction of the pre-fault steady state.
 RECOVERY_FRACTION = 0.95
-
-
-def _delivery_snapshot(network) -> Tuple[int, int]:
-    """(originated, delivered end-to-end) counters, cumulative."""
-    originated = sum(s.stats.originated for s in network.stations)
-    delivered = sum(s.stats.delivered_to_me for s in network.stations)
-    return originated, delivered
 
 
 def _window_ratio(before: Tuple[int, int], after: Tuple[int, int]) -> float:
@@ -100,11 +94,14 @@ def run_resilience_point(
     rows: List[Tuple[Any, ...]] = []
     recoveries: Dict[str, float] = {}
     for name, factory in suite.items():
+        timelines = MetricTimelines(station_count=station_count)
         network = standard_network(
             station_count,
             placement_seed=seed,
             config=NetworkConfig(seed=seed),
             mac_factory=factory,
+            trace=False,
+            instrumentation=Instrumentation((timelines,)),
         )
         add_uniform_poisson(network, load_packets_per_slot, seed + 1)
         injector = install_faults(network, plan)
@@ -115,13 +112,13 @@ def run_resilience_point(
         # lag originations until queues reach steady state) and is
         # excluded from the pre-fault baseline.
         network.run(window_slots * slot)
-        fill_snapshot = _delivery_snapshot(network)
+        fill_snapshot = timelines.delivery_snapshot()
         network.run((warmup_slots - window_slots) * slot)
-        pre_snapshot = _delivery_snapshot(network)
+        pre_snapshot = timelines.delivery_snapshot()
         pre_ratio = _window_ratio(fill_snapshot, pre_snapshot)
 
         network.run(churn_slots * slot)
-        churn_snapshot = _delivery_snapshot(network)
+        churn_snapshot = timelines.delivery_snapshot()
         churn_ratio = _window_ratio(pre_snapshot, churn_snapshot)
 
         threshold = RECOVERY_FRACTION * pre_ratio
@@ -132,27 +129,26 @@ def run_resilience_point(
         while elapsed < recovery_slots:
             network.run(window_slots * slot)
             elapsed += window_slots
-            snapshot = _delivery_snapshot(network)
+            snapshot = timelines.delivery_snapshot()
             final_ratio = _window_ratio(last, snapshot)
             last = snapshot
             if math.isnan(recovery_latency) and final_ratio >= threshold:
                 recovery_latency = elapsed
 
-        report = injector.report()
         reroute_slots = injector.log.mean_time_to_reroute() / slot
         rows.append(
             (
                 name,
                 churn_rate,
-                report.crash_count,
+                timelines.fault_count("down"),
                 pre_ratio,
                 churn_ratio,
                 final_ratio,
                 recovery_latency,
                 reroute_slots,
-                report.fault_losses,
-                report.sir_losses,
-                report.fault_queue_drops,
+                timelines.fault_losses(),
+                timelines.sir_losses(),
+                timelines.fault_queue_drops,
             )
         )
         recoveries[name] = (

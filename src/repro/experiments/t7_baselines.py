@@ -23,6 +23,7 @@ from repro.mac.aloha import AlohaMac
 from repro.mac.csma import CsmaMac
 from repro.mac.maca import MacaMac
 from repro.net.network import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
 from repro.sim.streams import RandomStreams
 
 __all__ = ["run", "mac_suite", "run_load_point"]
@@ -64,7 +65,8 @@ def run_load_point(
     shepard_losses = 0
     baseline_losses = 0
     for name, factory in mac_suite(seed).items():
-        network, result = run_loaded_network(
+        timelines = MetricTimelines(station_count=station_count)
+        network, _result = run_loaded_network(
             station_count,
             load,
             duration_slots,
@@ -72,32 +74,35 @@ def run_load_point(
             traffic_seed=seed + 1,
             config=NetworkConfig(seed=seed),
             mac_factory=factory,
+            trace=False,
+            instrumentation=Instrumentation((timelines,)),
         )
         loss_ratio = (
-            result.losses_total / result.transmissions
-            if result.transmissions
+            timelines.losses_total / timelines.transmissions
+            if timelines.transmissions
             else 0.0
         )
-        control = _control_overhead(network)
+        control = timelines.control_overhead()
         slot = network.budget.slot_time
+        mean_delay = timelines.mean_delay()
         rows.append(
             (
                 name,
                 load,
-                result.delivered_end_to_end,
+                timelines.end_to_end_deliveries,
                 loss_ratio,
                 control,
-                result.mean_delay / slot
-                if result.mean_delay == result.mean_delay
+                mean_delay / slot
+                if mean_delay == mean_delay
                 else float("nan"),
-                result.unreachable_drops,
-                result.no_route_drops,
+                timelines.unreachable_drops,
+                timelines.no_route_drops,
             )
         )
         if name == "shepard":
-            shepard_losses += result.losses_total
+            shepard_losses += timelines.losses_total
         else:
-            baseline_losses += result.losses_total
+            baseline_losses += timelines.losses_total
     return {
         "rows": rows,
         "shepard_losses": shepard_losses,
@@ -168,12 +173,3 @@ def run(
         "them; the reproduced gaps are therefore conservative."
     )
     return report
-
-
-def _control_overhead(network) -> float:
-    """Control transmissions per delivered data hop (0 for schemes with
-    no per-packet control traffic)."""
-    rts = sum(getattr(s.mac, "rts_sent", 0) for s in network.stations)
-    cts = sum(getattr(s.mac, "cts_sent", 0) for s in network.stations)
-    data_hops = max(network.medium.deliveries, 1)
-    return (rts + cts) / data_hops

@@ -23,6 +23,7 @@ import numpy as np
 from repro.faults.resilience import ResilienceLog, ResilienceReport
 from repro.faults.spec import FaultEvent, FaultPlan
 from repro.net.network import Network
+from repro.obs.events import FaultInject, FaultRecover
 from repro.sim.process import ProcessGenerator
 
 __all__ = ["FaultInjector", "install_faults"]
@@ -55,38 +56,69 @@ class FaultInjector:
 
     def _apply(self, event: FaultEvent) -> None:
         network = self.network
+        instr = network.instrumentation
         now = network.env.now
         if event.kind == "down":
             if network.station_down(event.station):
                 self.log.crashes.append((now, event.station))
+                if instr.active:
+                    instr.emit(FaultInject(now, "down", event.station))
         elif event.kind == "up":
             if network.station_up(event.station):
                 self.log.recoveries.append((now, event.station))
+                if instr.active:
+                    instr.emit(FaultRecover(now, "down", event.station))
         elif event.kind == "reroute":
             network.reroute()
             self.log.reroutes.append(now)
+            if instr.active:
+                instr.emit(FaultRecover(now, "route"))
         elif event.kind == "fade":
             network.medium.scale_link(event.station, event.peer, event.value)
             self.log.fades.append((now, event.station, event.peer, event.value))
+            if instr.active:
+                instr.emit(
+                    FaultInject(
+                        now, "fade", event.station, event.peer, event.value
+                    )
+                )
             if event.extra == 1.0:  # symmetric fade
                 network.medium.scale_link(event.peer, event.station, event.value)
                 self.log.fades.append((now, event.peer, event.station, event.value))
+                if instr.active:
+                    instr.emit(
+                        FaultInject(
+                            now, "fade", event.peer, event.station, event.value
+                        )
+                    )
         elif event.kind == "clock_step":
             network.apply_clock_step(event.station, event.value, event.extra)
             self.log.clock_steps.append((now, event.station))
+            if instr.active:
+                instr.emit(
+                    FaultInject(
+                        now, "clock_step", event.station, value=event.value
+                    )
+                )
         elif event.kind == "refit":
             network.refit_clock_models(
                 event.station, np.random.default_rng(event.seed)
             )
             self.log.refits.append((now, event.station))
+            if instr.active:
+                instr.emit(FaultRecover(now, "clock_step", event.station))
         elif event.kind == "corrupt_on":
             rng = np.random.default_rng(event.seed)
             probability = event.value
             network.medium.set_corruption(
                 lambda _tx: bool(rng.random() < probability)
             )
+            if instr.active:
+                instr.emit(FaultInject(now, "corrupt", value=probability))
         elif event.kind == "corrupt_off":
             network.medium.set_corruption(None)
+            if instr.active:
+                instr.emit(FaultRecover(now, "corrupt"))
         else:  # pragma: no cover - compile_plan validates kinds
             raise ValueError(f"unknown fault event kind {event.kind!r}")
 

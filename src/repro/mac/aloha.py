@@ -85,7 +85,7 @@ class AlohaMac(MacProtocol):
                 yield station.next_arrival()
                 continue
             next_hop, packet = heads[0]
-            station.queue.pop(next_hop)
+            station.dequeue(next_hop)
             airtime = packet.airtime(station.data_rate_bps)
             delivered = False
             for attempt in range(self.max_attempts):

@@ -87,7 +87,7 @@ class CsmaMac(MacProtocol):
                 yield station.next_arrival()
                 continue
             next_hop, packet = heads[0]
-            station.queue.pop(next_hop)
+            station.dequeue(next_hop)
             airtime = packet.airtime(station.data_rate_bps)
             delivered = False
             gave_up = False

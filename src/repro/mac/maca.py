@@ -26,6 +26,7 @@ import numpy as np
 from repro.mac.base import MacProtocol
 from repro.net.medium import Transmission
 from repro.net.packet import Packet
+from repro.obs.events import ControlSent
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
 
@@ -131,6 +132,12 @@ class MacaMac(MacProtocol):
             payload={"data_airtime": data_airtime},
         )
         self.cts_sent += 1
+        if station.instr.active:
+            station.instr.emit(
+                ControlSent(
+                    station.env.now, station.index, rts_frame.source, "cts"
+                )
+            )
         yield from station.transmit_packet(cts, rts_frame.source)
         # While the CTS is out, commit to listening for the data.
         self._nav_until = max(
@@ -166,6 +173,10 @@ class MacaMac(MacProtocol):
         self._cts_waiter = env.event()
         self._cts_expected_from = next_hop
         self.rts_sent += 1
+        if station.instr.active:
+            station.instr.emit(
+                ControlSent(station.env.now, station.index, next_hop, "rts")
+            )
         yield from station.transmit_packet(rts, next_hop)
         control_airtime = self.control_size_bits / station.data_rate_bps
         timeout = env.timeout(self.cts_timeout_factor * control_airtime)
@@ -185,7 +196,7 @@ class MacaMac(MacProtocol):
                 yield station.next_arrival()
                 continue
             next_hop, packet = heads[0]
-            station.queue.pop(next_hop)
+            station.dequeue(next_hop)
             data_airtime = packet.airtime(station.data_rate_bps)
             delivered = False
             for attempt in range(self.max_attempts):

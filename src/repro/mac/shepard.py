@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 from repro.core.access import NoTransmitWindowError, find_transmit_window
 from repro.mac.base import MacProtocol
 from repro.net.packet import Packet
+from repro.obs.events import SlotClaim, SlotYield
 from repro.sim.process import ProcessGenerator
 
 __all__ = ["ShepardMac"]
@@ -97,6 +98,10 @@ class ShepardMac(MacProtocol):
                 continue
             start, next_hop, packet = candidate
             if start > env.now:
+                if station.instr.active:
+                    station.instr.emit(
+                        SlotYield(env.now, station.index, next_hop, start)
+                    )
                 arrival = station.next_arrival()
                 timer = env.timeout(start - env.now)
                 yield env.any_of([arrival, timer])
@@ -107,7 +112,17 @@ class ShepardMac(MacProtocol):
                     # packet may be sendable earlier via a different
                     # neighbour.
                     continue
-            sent = station.queue.pop(next_hop)
+            if station.instr.active:
+                station.instr.emit(
+                    SlotClaim(
+                        env.now,
+                        station.index,
+                        next_hop,
+                        start,
+                        packet.airtime(station.data_rate_bps),
+                    )
+                )
+            sent = station.dequeue(next_hop)
             assert sent is packet, "queue head changed unexpectedly"
             yield from station.transmit_packet(packet, next_hop)
             # No acknowledgement: the scheme is collision-free, so the

@@ -144,7 +144,7 @@ class TdmaMac(MacProtocol):
             if not heads:
                 continue
             next_hop, packet = heads[0]
-            station.queue.pop(next_hop)
+            station.dequeue(next_hop)
             airtime = packet.airtime(station.data_rate_bps)
             if airtime > self.plan.slot_duration + 1e-12:
                 raise ValueError(

@@ -49,8 +49,9 @@ from repro.core.reception import TrackerBatch
 from repro.net.packet import Packet
 from repro.sim.engine import Environment
 from repro.sim.events import Event
+from repro.obs.api import Instrumentation
+from repro.obs.events import RxFail, RxLock, RxOk, TxAbort, TxEnd, TxStart
 from repro.sim.sanitizer import SanitizerError
-from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "Transmission",
@@ -160,7 +161,8 @@ class Medium:
             committed to listening?  Wired to the MAC in use.
         channel_query: callable ``(station) -> bank``: the station's
             despreader bank.
-        trace: optional trace recorder.
+        instrumentation: the typed-event facade to emit through
+            (disabled when omitted; emission is zero-cost then).
         resync_events: re-derive the incremental interference field from
             an exact ``gains @ powers`` recompute every this many field
             changes (drift guard).  ``None`` disables periodic resync;
@@ -176,7 +178,7 @@ class Medium:
         sir_thresholds: np.ndarray,
         listen_query: Callable[[int, float], bool],
         channel_query: Callable[[int], object],
-        trace: Optional[TraceRecorder] = None,
+        instrumentation: Optional[Instrumentation] = None,
         resync_events: Optional[int] = 4096,
     ) -> None:
         gains = np.asarray(gains, dtype=float)
@@ -195,7 +197,9 @@ class Medium:
         self.sir_thresholds = thresholds
         self._listen_query = listen_query
         self._channel_query = channel_query
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.instr = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
         self._seq = count()
         self._active: Dict[int, Transmission] = {}
         # Power currently radiated per station; lets interference_at be
@@ -416,14 +420,16 @@ class Medium:
         np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
         self._interference += self._axpy
         self._field_changed()
-        self.trace.record(
-            self.env.now,
-            "tx_start",
-            source=tx.source,
-            destination=tx.destination,
-            power_w=tx.power_w,
-            packet=tx.packet.packet_id,
-        )
+        if self.instr.active:
+            self.instr.emit(
+                TxStart(
+                    self.env.now,
+                    tx.source,
+                    tx.destination,
+                    tx.power_w,
+                    tx.packet.packet_id,
+                )
+            )
         self._try_lock(tx)
         self._update_attempts()
 
@@ -452,13 +458,10 @@ class Medium:
             noise_power_w=self.thermal_noise_w,
         )
         self._attempts[tx.seq] = ReceptionAttempt(tx, channel)
-        self.trace.record(
-            self.env.now,
-            "rx_lock",
-            receiver=receiver,
-            source=tx.source,
-            channel=channel,
-        )
+        if self.instr.active:
+            self.instr.emit(
+                RxLock(self.env.now, receiver, tx.source, channel)
+            )
 
     def _update_attempts(self) -> None:
         batch = self._trackers
@@ -529,9 +532,8 @@ class Medium:
         np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
         self._interference -= self._axpy
         self._field_changed()
-        self.trace.record(
-            self.env.now, "tx_end", source=tx.source, destination=tx.destination
-        )
+        if self.instr.active:
+            self.instr.emit(TxEnd(self.env.now, tx.source, tx.destination))
         attempt = self._attempts.pop(tx.seq, None)
         record = self._trackers.remove(tx.seq) if attempt is not None else None
         # Interference at the remaining receivers drops; fold that in
@@ -550,14 +552,16 @@ class Medium:
             return False
         if record.ok:
             self.deliveries += 1
-            self.trace.record(
-                self.env.now,
-                "rx_ok",
-                receiver=tx.destination,
-                source=tx.source,
-                min_sir=record.min_sir,
-                packet=tx.packet.packet_id,
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    RxOk(
+                        self.env.now,
+                        tx.destination,
+                        tx.source,
+                        record.min_sir,
+                        tx.packet.packet_id,
+                    )
+                )
             callback = self._delivery_callbacks.get(tx.destination)
             if callback is not None:
                 callback(tx)
@@ -593,15 +597,18 @@ class Medium:
             min_sir=min_sir,
         )
         self.losses.append(record)
-        self.trace.record(
-            self.env.now,
-            "rx_fail",
-            receiver=tx.destination,
-            source=tx.source,
-            reason=reason,
-            types=sorted(t.value for t in types),
-            packet=tx.packet.packet_id,
-        )
+        if self.instr.active:
+            self.instr.emit(
+                RxFail(
+                    self.env.now,
+                    tx.destination,
+                    tx.source,
+                    reason,
+                    tuple(sorted(t.value for t in types)),
+                    tx.packet.packet_id,
+                    min_sir,
+                )
+            )
 
     def loss_counts_by_type(self) -> Dict[CollisionType, int]:
         """Tally of losses per collision type (Section 5 taxonomy)."""
@@ -673,9 +680,10 @@ class Medium:
                 self._channel_query(tx.destination).release(tx.seq)
             self._lock_failures.pop(tx.seq, None)
             self._record_loss(tx, reason, frozenset(), float("nan"))
-            self.trace.record(
-                self.env.now, "tx_abort", source=tx.source, destination=tx.destination
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    TxAbort(self.env.now, tx.source, tx.destination)
+                )
         if aborted:
             self._update_attempts()
 

@@ -29,7 +29,7 @@ explicit *link-budget calibration*:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -44,6 +44,8 @@ from repro.net.medium import Medium
 from repro.net.queueing import FifoQueue, NeighborQueues, TransmitQueue
 from repro.net.station import Station
 from repro.net.traffic import TrafficSource
+from repro.obs.api import Instrumentation, ambient_instrumentation
+from repro.obs.sinks import MemorySink
 from repro.propagation.geometry import Placement
 from repro.propagation.matrix import PropagationMatrix
 from repro.propagation.models import FreeSpace, PropagationModel
@@ -57,7 +59,6 @@ from repro.sim.events import Interrupt
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.stats import Welford
 from repro.sim.streams import RandomStreams
-from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "NetworkConfig",
@@ -134,6 +135,13 @@ class NetworkConfig:
             many transmission starts/ends; ``None`` disables periodic
             resync).
         seed: master seed for clocks and any stochastic pieces.
+        instrumentation: the typed-event facade handed down to the
+            medium, stations, MACs and fault injector
+            (:class:`repro.obs.Instrumentation`); ``None`` leaves the
+            choice to ``build_network``'s ``instrumentation``/``trace``
+            arguments or the ambient default.  Excluded from equality:
+            two configs describing the same physics compare equal
+            regardless of who is watching.
     """
 
     bandwidth_hz: float = 1e6
@@ -162,6 +170,9 @@ class NetworkConfig:
     queue_capacity: Optional[int] = None
     medium_resync_events: Optional[int] = 4096
     seed: int = 0
+    instrumentation: Optional[Instrumentation] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.bandwidth_hz <= 0.0:
@@ -283,7 +294,7 @@ class Network:
         budget: LinkBudget,
         tables: Dict[int, RoutingTable],
         config: NetworkConfig,
-        trace: TraceRecorder,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.env = env
         self.placement = placement
@@ -293,7 +304,9 @@ class Network:
         self.budget = budget
         self.tables = tables
         self.config = config
-        self.trace = trace
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
         self._sources: List[TrafficSource] = []
         self._maintenance: List = []  # generator factories run at start
         self._started = False
@@ -310,6 +323,12 @@ class Network:
     def station_count(self) -> int:
         """Number of stations."""
         return len(self.stations)
+
+    @property
+    def trace(self) -> Instrumentation:
+        """Legacy query handle: the instrumentation facade implements
+        the old ``TraceRecorder`` surface (``of_kind``/``kinds``/...)."""
+        return self.instrumentation
 
     def add_traffic(self, source: TrafficSource) -> None:
         """Attach a traffic source feeding its origin station."""
@@ -381,7 +400,7 @@ class Network:
         # Mean hop count over end-to-end deliveries.
         hop_counts = [
             record.data["hops"]
-            for record in self.trace.of_kind("delivered")
+            for record in self.instrumentation.of_kind("delivered")
         ]
         hops.extend(hop_counts)
         return NetworkResult(
@@ -614,6 +633,7 @@ def build_network(
     model: Optional[PropagationModel] = None,
     mac_factory: Optional[MacFactory] = None,
     trace: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> Network:
     """Assemble a ready-to-run network.
 
@@ -623,9 +643,17 @@ def build_network(
         model: propagation model (free space by default, per the paper).
         mac_factory: per-station MAC constructor; defaults to the
             paper's scheme with a guard derived from the slot time.
-        trace: record a detailed event trace (memory for insight).
+        trace: keep an in-memory event trace queryable via
+            ``network.trace`` (adds a memory sink if none is present).
+        instrumentation: explicit typed-event facade.  Sinks from this
+            argument, from ``config.instrumentation`` and from the
+            ambient :func:`repro.obs.use_instrumentation` default are
+            all folded into the network's facade; with none of the
+            three (and ``trace=False``) instrumentation is disabled and
+            zero-cost.
     """
     config = config or NetworkConfig()
+    instr = _resolve_instrumentation(instrumentation, config, trace)
     model = model or FreeSpace(near_field_clamp=1e-6)
     streams = RandomStreams(config.seed)
     matrix = PropagationMatrix.from_placement(placement, model)
@@ -640,7 +668,6 @@ def build_network(
 
     budget = _calibrate(matrix, tables, config, min_gain)
     env = Environment()
-    recorder = TraceRecorder(enabled=trace)
     schedule = Schedule(
         slot_time=budget.slot_time,
         receive_fraction=config.receive_fraction,
@@ -667,7 +694,7 @@ def build_network(
         sir_thresholds=thresholds,
         listen_query=lambda index, now: stations[index].mac.is_listening(now),
         channel_query=lambda index: stations[index].bank,
-        trace=recorder,
+        instrumentation=instr,
         resync_events=config.medium_resync_events,
     )
 
@@ -713,7 +740,7 @@ def build_network(
                 bank=DespreaderBank(capacity=config.despreader_channels),
                 data_rate_bps=budget.data_rate_bps,
                 power_lookup=power_lookup,
-                trace=recorder,
+                instrumentation=instr,
                 delay_lookup=delay_lookup,
             )
         )
@@ -733,7 +760,7 @@ def build_network(
         budget=budget,
         tables=tables,
         config=config,
-        trace=recorder,
+        instrumentation=instr,
     )
     # Retain the clock state the fault machinery needs: clock faults
     # replace entries of ``clocks`` in place and re-fit ``models``.
@@ -751,6 +778,41 @@ def build_network(
 
         network._maintenance.append(refresher)
     return network
+
+
+def _resolve_instrumentation(
+    explicit: Optional[Instrumentation],
+    config: NetworkConfig,
+    trace: bool,
+) -> Instrumentation:
+    """Fold every instrumentation source into one facade.
+
+    Sources, outermost first: the explicit ``build_network`` argument,
+    ``config.instrumentation``, and the ambient
+    :func:`repro.obs.use_instrumentation` default.  A single source is
+    used as-is (the caller keeps querying its own sinks); multiple
+    sources compose into a fresh facade sharing all their sinks.  With
+    ``trace=True`` a memory sink is guaranteed so ``network.trace``
+    queries work.
+    """
+    sources = [
+        source
+        for source in (explicit, config.instrumentation, ambient_instrumentation())
+        if source is not None
+    ]
+    if not sources:
+        instr = (
+            Instrumentation.recording() if trace else Instrumentation()
+        )
+    elif len(sources) == 1:
+        instr = sources[0]
+    else:
+        instr = Instrumentation(
+            tuple(sink for source in sources for sink in source.sinks)
+        )
+    if trace and instr.memory is None:
+        instr.add_sink(MemorySink())
+    return instr
 
 
 def _supervised_mac(mac: MacProtocol) -> ProcessGenerator:

@@ -24,13 +24,26 @@ from repro.mac.base import MacProtocol
 from repro.net.medium import Medium, Transmission
 from repro.net.packet import HopRecord, Packet
 from repro.net.queueing import TransmitQueue
+from repro.obs.api import Instrumentation
+from repro.obs.events import (
+    Delivered,
+    DropNoRoute,
+    DropOverflow,
+    DropStationDown,
+    QueueEnter,
+    QueueFlush,
+    QueueLeave,
+    StationDown,
+    StationUp,
+    TxOutcome,
+    Unreachable,
+)
 from repro.radio.spreadspectrum import DespreaderBank
 from repro.radio.transmitter import Transmitter
 from repro.routing.table import RouteError, RoutingTable
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.sim.process import ProcessGenerator
-from repro.sim.trace import TraceRecorder
 
 __all__ = ["Station", "StationStats"]
 
@@ -69,7 +82,7 @@ class Station:
         data_rate_bps: the system's fixed design rate.
         power_lookup: maps a next hop to the transmit power to use
             (power policy applied to the link gain).
-        trace: shared trace recorder.
+        instrumentation: the shared typed-event facade.
     """
 
     def __init__(
@@ -87,7 +100,7 @@ class Station:
         bank: DespreaderBank,
         data_rate_bps: float,
         power_lookup: Callable[[int], float],
-        trace: Optional[TraceRecorder] = None,
+        instrumentation: Optional[Instrumentation] = None,
         delay_lookup: Optional[Callable[[int], float]] = None,
     ) -> None:
         if data_rate_bps <= 0.0:
@@ -106,7 +119,9 @@ class Station:
         self.data_rate_bps = data_rate_bps
         self._power_lookup = power_lookup
         self._delay_lookup = delay_lookup
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.instr = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
         self.stats = StationStats()
         self.alive = True
         self.own_view = ScheduleView.own(schedule, clock)
@@ -205,37 +220,46 @@ class Station:
             raise ValueError("a packet for this station should not be submitted")
         if not self.alive:
             self.stats.fault_drops += 1
-            self.trace.record(
-                self.env.now,
-                "drop_station_down",
-                station=self.index,
-                destination=packet.destination,
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    DropStationDown(
+                        self.env.now, self.index, packet.destination
+                    )
+                )
             return
         try:
             next_hop = self.table.next_hop(packet.destination)
         except RouteError:
             self.stats.no_route_drops += 1
-            self.trace.record(
-                self.env.now,
-                "drop_no_route",
-                station=self.index,
-                destination=packet.destination,
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    DropNoRoute(self.env.now, self.index, packet.destination)
+                )
             return
         if not self.queue.enqueue(next_hop, packet):
             self.stats.overflow_drops += 1
-            self.trace.record(
-                self.env.now,
-                "drop_overflow",
-                station=self.index,
-                next_hop=next_hop,
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    DropOverflow(self.env.now, self.index, next_hop)
+                )
             return
-        if not packet.hops:
+        origin = not packet.hops
+        if origin:
             self.stats.originated += 1
         else:
             self.stats.forwarded += 1
+        if self.instr.active:
+            self.instr.emit(
+                QueueEnter(
+                    self.env.now,
+                    self.index,
+                    next_hop,
+                    packet.packet_id,
+                    origin,
+                    False,
+                    len(self.queue),
+                )
+            )
         self._wake()
 
     def _wake(self) -> None:
@@ -250,6 +274,25 @@ class Station:
         return self._arrival_event
 
     # -- transmission -----------------------------------------------------
+
+    def dequeue(self, next_hop: int):
+        """Pop the queue head bound for ``next_hop`` (the MAC hot path).
+
+        The single funnel every MAC dequeues through, so the
+        ``queue_leave`` event and backlog-depth gauge stay accurate.
+        """
+        packet = self.queue.pop(next_hop)
+        if self.instr.active:
+            self.instr.emit(
+                QueueLeave(
+                    self.env.now,
+                    self.index,
+                    next_hop,
+                    packet.packet_id,
+                    len(self.queue),
+                )
+            )
+        return packet
 
     def transmit_packet(self, packet: Packet, next_hop: int) -> ProcessGenerator:
         """Radiate one packet to ``next_hop``; yields until burst end.
@@ -268,6 +311,10 @@ class Station:
         self.stats.sent += 1
         if not success:
             self.stats.send_failures += 1
+        if self.instr.active:
+            self.instr.emit(
+                TxOutcome(self.env.now, self.index, next_hop, bool(success))
+            )
         return bool(success)
 
     # -- reception ----------------------------------------------------------
@@ -292,10 +339,32 @@ class Station:
             raise ValueError("send_control is for control frames")
         if not self.alive:
             self.stats.fault_drops += 1
+            if self.instr.active:
+                self.instr.emit(
+                    DropStationDown(
+                        self.env.now, self.index, packet.destination
+                    )
+                )
             return
         if not self.queue.enqueue(next_hop, packet):
             self.stats.overflow_drops += 1
+            if self.instr.active:
+                self.instr.emit(
+                    DropOverflow(self.env.now, self.index, next_hop)
+                )
             return
+        if self.instr.active:
+            self.instr.emit(
+                QueueEnter(
+                    self.env.now,
+                    self.index,
+                    next_hop,
+                    packet.packet_id,
+                    False,
+                    True,
+                    len(self.queue),
+                )
+            )
         self._wake()
 
     def _on_delivery(self, tx: Transmission) -> None:
@@ -319,15 +388,17 @@ class Station:
         if packet.destination == self.index:
             self.stats.delivered_to_me += 1
             self.stats.delivery_delays.append(packet.delay())
-            self.trace.record(
-                self.env.now,
-                "delivered",
-                station=self.index,
-                packet=packet.packet_id,
-                delay=packet.delay(),
-                hops=packet.hop_count,
-                energy_j=packet.total_radiated_energy_j(),
-            )
+            if self.instr.active:
+                self.instr.emit(
+                    Delivered(
+                        self.env.now,
+                        self.index,
+                        packet.packet_id,
+                        packet.delay(),
+                        packet.hop_count,
+                        packet.total_radiated_energy_j(),
+                    )
+                )
         else:
             self.submit(packet)
 
@@ -336,11 +407,12 @@ class Station:
     def record_unreachable(self, next_hop: int) -> None:
         """Count a neighbour with no schedule overlap in the horizon."""
         self.stats.unreachable_drops += 1
-        self.trace.record(
-            self.env.now, "unreachable", station=self.index, next_hop=next_hop
-        )
+        if self.instr.active:
+            self.instr.emit(
+                Unreachable(self.env.now, self.index, next_hop)
+            )
 
-    def drop_all_queued(self) -> int:
+    def drop_all_queued(self, reason: str = "unreachable") -> int:
         """Discard every queued packet (all next hops unreachable, or
         the station itself failed); returns how many were dropped."""
         dropped = 0
@@ -355,6 +427,10 @@ class Station:
                     except LookupError:
                         break
                     dropped += 1
+        if dropped and self.instr.active:
+            self.instr.emit(
+                QueueFlush(self.env.now, self.index, reason, dropped)
+            )
         return dropped
 
     # -- fault lifecycle --------------------------------------------------------
@@ -365,15 +441,17 @@ class Station:
         if not self.alive:
             return
         self.alive = False
-        self.stats.fault_drops += self.drop_all_queued()
-        self.trace.record(self.env.now, "station_down", station=self.index)
+        self.stats.fault_drops += self.drop_all_queued(reason="station_down")
+        if self.instr.active:
+            self.instr.emit(StationDown(self.env.now, self.index))
 
     def revive(self) -> None:
         """Bring a failed station back up (empty queues, same clock)."""
         if self.alive:
             return
         self.alive = True
-        self.trace.record(self.env.now, "station_up", station=self.index)
+        if self.instr.active:
+            self.instr.emit(StationUp(self.env.now, self.index))
 
     # -- reporting --------------------------------------------------------------
 

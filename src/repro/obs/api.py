@@ -1,0 +1,186 @@
+"""The one instrumentation facade every layer emits through.
+
+An :class:`Instrumentation` instance is a bundle of sinks plus a single
+hot-path flag, ``active``.  Call sites guard with it::
+
+    if instr.active:
+        instr.emit(TxStart(now, source, destination, power_w, packet_id))
+
+so a disabled facade costs one attribute read per potential event — no
+dict building, no string formatting — and emission itself never touches
+the event wheel or any random stream, which keeps replay digests
+bit-identical whether sinks are attached or not.
+
+The facade also implements the legacy ``TraceRecorder`` query surface
+(:meth:`of_kind`, :meth:`kinds`, :meth:`count`, iteration) backed by
+its first :class:`~repro.obs.sinks.MemorySink`, so ``network.trace``
+keeps working for existing analyses while they migrate to typed
+events.
+
+For tooling that wants to observe *any* run without threading a
+parameter through every experiment signature, :func:`use_instrumentation`
+installs an ambient default that ``build_network`` folds in (note: the
+ambient default does not cross process boundaries, so multi-worker
+sweeps only observe it at ``jobs=1``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import MemorySink, Sink
+from repro.sim.trace import TraceRecord
+
+__all__ = [
+    "Instrumentation",
+    "use_instrumentation",
+    "ambient_instrumentation",
+]
+
+
+class Instrumentation:
+    """A bundle of trace sinks behind one emission point.
+
+    Args:
+        sinks: the sinks to fan events out to.
+        enabled: force-disable emission even with sinks attached
+            (``active`` is True only when enabled *and* sinks exist).
+    """
+
+    def __init__(
+        self, sinks: Sequence[Sink] = (), enabled: bool = True
+    ) -> None:
+        self._sinks = tuple(sinks)
+        self._enabled = bool(enabled)
+        self.active = self._enabled and bool(self._sinks)
+
+    # -- emission ------------------------------------------------------
+
+    @property
+    def sinks(self) -> tuple:
+        """The attached sinks, in fan-out order."""
+        return self._sinks
+
+    @property
+    def enabled(self) -> bool:
+        """Legacy alias for :attr:`active` (TraceRecorder compat)."""
+        return self.active
+
+    def emit(self, event: TraceEvent) -> None:
+        """Fan one typed event out to every sink (no-op when inactive)."""
+        if not self.active:
+            return
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def add_sink(self, sink: Sink) -> None:
+        """Attach one more sink (recomputes :attr:`active`)."""
+        self._sinks = self._sinks + (sink,)
+        self.active = self._enabled and bool(self._sinks)
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed ones)."""
+        for sink in self._sinks:
+            sink.close()
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "Instrumentation":
+        """A facade with no sinks: every emit guard short-circuits."""
+        return cls(())
+
+    @classmethod
+    def recording(cls, capacity: Optional[int] = None) -> "Instrumentation":
+        """A facade with one in-memory sink (the old ``trace=True``)."""
+        return cls((MemorySink(capacity),))
+
+    # -- legacy query surface (TraceRecorder compatible) ---------------
+
+    @property
+    def memory(self) -> Optional[MemorySink]:
+        """The first attached :class:`MemorySink`, if any."""
+        for sink in self._sinks:
+            if isinstance(sink, MemorySink):
+                return sink
+        return None
+
+    def events(self) -> List[TraceEvent]:
+        """All retained typed events (empty without a memory sink)."""
+        memory = self.memory
+        return memory.events() if memory is not None else []
+
+    def __len__(self) -> int:
+        memory = self.memory
+        return len(memory) if memory is not None else 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return (event.to_record() for event in self.events())
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        """All retained records of one kind, as legacy records."""
+        return [
+            event.to_record()
+            for event in self.events()
+            if event.KIND == kind
+        ]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """Number of retained events, optionally of one kind."""
+        if kind is None:
+            return len(self)
+        return sum(1 for event in self.events() if event.KIND == kind)
+
+    def kinds(self) -> Dict[str, int]:
+        """Mapping of retained event kind to occurrence count."""
+        counts: Dict[str, int] = {}
+        for event in self.events():
+            counts[event.KIND] = counts.get(event.KIND, 0) + 1
+        return counts
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Retained records with ``start <= time < end``."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        return [
+            event.to_record()
+            for event in self.events()
+            if start <= event.time < end
+        ]
+
+    def clear(self) -> None:
+        """Discard the memory sink's retained events, if one exists."""
+        memory = self.memory
+        if memory is not None:
+            memory.clear()
+
+
+_AMBIENT: List[Instrumentation] = []
+
+
+@contextmanager
+def use_instrumentation(instrumentation: Instrumentation):
+    """Install an ambient instrumentation default for nested builds.
+
+    Every ``build_network`` call inside the ``with`` block folds this
+    facade's sinks into the network's instrumentation, so any
+    experiment or sweep can be traced without changing its signature::
+
+        with use_instrumentation(Instrumentation((JsonlSink(path),))):
+            run(loads_packets_per_slot=(0.05,))
+
+    The default is process-local: worker processes of a ``jobs > 1``
+    fan-out do not inherit it.
+    """
+    _AMBIENT.append(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        _AMBIENT.pop()
+
+
+def ambient_instrumentation() -> Optional[Instrumentation]:
+    """The innermost ambient facade, or ``None`` outside any context."""
+    return _AMBIENT[-1] if _AMBIENT else None

@@ -1,0 +1,400 @@
+"""Metric timelines: windowed per-station series derived from events.
+
+A :class:`MetricTimelines` is a :class:`~repro.obs.sinks.Sink` that
+folds the typed event stream into counters, gauges and per-station
+time series as it flows — duty cycle, queue depth, SIR margin, the
+loss taxonomy — in O(stations x windows) memory, never retaining the
+events themselves.
+
+The cumulative accessors are *bit-exact* ports of the legacy
+station/medium counters: airtime accumulates per station in the same
+order and with the same float operations as
+``Transmitter._time_transmitting`` (open bursts at the run horizon are
+uncounted in both), ``transmissions`` counts ``tx_outcome`` events
+emitted exactly where ``StationStats.sent`` increments, and
+:meth:`mean_delay` folds per-station delay lists through a Welford
+accumulator in station-index order exactly as ``Network.collect``
+does.  That is what lets experiments T2/T7/T12 read their reported
+rows from a timelines sink bit-identically to the old stats plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import Sink
+from repro.sim.stats import Welford
+
+__all__ = ["MetricTimelines"]
+
+
+class MetricTimelines(Sink):
+    """Windowed counters, gauges and summaries over the event stream.
+
+    Args:
+        station_count: number of stations (needed by the accessors that
+            iterate stations in index order; series work without it).
+        window: window length in simulated time units for the per-window
+            series; ``None`` collects cumulative metrics only.  May be
+            assigned after construction (e.g. once the built network's
+            slot time is known) as long as no event has been emitted.
+    """
+
+    def __init__(
+        self,
+        station_count: Optional[int] = None,
+        window: Optional[float] = None,
+    ) -> None:
+        if window is not None and window <= 0.0:
+            raise ValueError("window must be positive")
+        self.station_count = station_count
+        self.window = window
+        self._counts: Counter = Counter()
+        self._losses_by_reason: Counter = Counter()
+        self._originated = 0
+        self._forwarded = 0
+        self._delivered: Counter = Counter()
+        self._delays: Dict[int, List[float]] = {}
+        self._airtime: Dict[int, float] = {}
+        self._tx_open: Dict[int, float] = {}
+        self._control: Counter = Counter()
+        self._faults: Counter = Counter()
+        self._flush_station_down = 0
+        self._queue_depth: Dict[int, int] = {}
+        self._last_time = 0.0
+        # Windowed series state, all keyed by (station, window index).
+        self._duty_w: Dict[Tuple[int, int], float] = {}
+        self._queue_w: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._sir_w: Dict[Tuple[int, int], Welford] = {}
+        self._loss_w: Counter = Counter()
+
+    # -- sink protocol -------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        """Fold one typed event into the timelines."""
+        kind = event.KIND
+        self._counts[kind] += 1
+        if event.time > self._last_time:
+            self._last_time = event.time
+        handler = _HANDLERS.get(kind)
+        if handler is not None:
+            handler(self, event)
+
+    # -- per-kind folds ------------------------------------------------
+
+    def _on_tx_start(self, event: TraceEvent) -> None:
+        self._tx_open[event.source] = event.time
+
+    def _on_tx_end(self, event: TraceEvent) -> None:
+        start = self._tx_open.pop(event.source, None)
+        if start is None:
+            return
+        duration = event.time - start
+        # Same accumulation order and float ops as Transmitter.end.
+        self._airtime[event.source] = (
+            self._airtime.get(event.source, 0.0) + duration
+        )
+        if self.window is not None:
+            self._fold_duty(event.source, start, event.time)
+
+    def _fold_duty(self, station: int, start: float, end: float) -> None:
+        window = self.window
+        first = int(start // window)
+        last = int(end // window)
+        for index in range(first, last + 1):
+            low = max(start, index * window)
+            high = min(end, (index + 1) * window)
+            if high > low:
+                key = (station, index)
+                self._duty_w[key] = self._duty_w.get(key, 0.0) + (high - low)
+
+    def _on_rx_ok(self, event: TraceEvent) -> None:
+        if self.window is not None:
+            key = (event.receiver, int(event.time // self.window))
+            welford = self._sir_w.get(key)
+            if welford is None:
+                welford = self._sir_w[key] = Welford()
+            welford.add(event.min_sir)
+
+    def _on_rx_fail(self, event: TraceEvent) -> None:
+        self._losses_by_reason[event.reason] += 1
+        if self.window is not None:
+            self._loss_w[
+                (event.receiver, int(event.time // self.window))
+            ] += 1
+
+    def _on_delivered(self, event: TraceEvent) -> None:
+        self._delivered[event.station] += 1
+        self._delays.setdefault(event.station, []).append(event.delay)
+
+    def _on_queue_enter(self, event: TraceEvent) -> None:
+        if event.origin:
+            self._originated += 1
+        elif not event.control:
+            self._forwarded += 1
+        self._set_queue_depth(event.station, event.depth, event.time)
+
+    def _on_queue_leave(self, event: TraceEvent) -> None:
+        self._set_queue_depth(event.station, event.depth, event.time)
+
+    def _on_queue_flush(self, event: TraceEvent) -> None:
+        if event.reason == "station_down":
+            self._flush_station_down += event.count
+        self._set_queue_depth(event.station, 0, event.time)
+
+    def _set_queue_depth(self, station: int, depth: int, time: float) -> None:
+        self._queue_depth[station] = depth
+        if self.window is not None:
+            key = (station, int(time // self.window))
+            previous = self._queue_w.get(key)
+            peak = depth if previous is None else max(previous[1], depth)
+            self._queue_w[key] = (depth, peak)
+
+    def _on_control_sent(self, event: TraceEvent) -> None:
+        self._control[event.frame] += 1
+
+    def _on_fault_inject(self, event: TraceEvent) -> None:
+        self._faults[event.fault] += 1
+
+    # -- cumulative accessors (bit-exact legacy ports) -----------------
+
+    @property
+    def hop_deliveries(self) -> int:
+        """Successful hop receptions (``Medium.deliveries``)."""
+        return self._counts["rx_ok"]
+
+    @property
+    def end_to_end_deliveries(self) -> int:
+        """Packets that reached their final destination."""
+        return self._counts["delivered"]
+
+    @property
+    def transmissions(self) -> int:
+        """Completed transmit attempts (sum of ``StationStats.sent``)."""
+        return self._counts["tx_outcome"]
+
+    @property
+    def losses_total(self) -> int:
+        """Lost hops (``len(Medium.losses)``)."""
+        return self._counts["rx_fail"]
+
+    @property
+    def unreachable_drops(self) -> int:
+        """Schedule-unreachable neighbour incidents."""
+        return self._counts["unreachable"]
+
+    @property
+    def no_route_drops(self) -> int:
+        """Packets dropped for lack of a route."""
+        return self._counts["drop_no_route"]
+
+    @property
+    def fault_queue_drops(self) -> int:
+        """Packets discarded by crashes (sum of ``fault_drops``)."""
+        return self._counts["drop_station_down"] + self._flush_station_down
+
+    @property
+    def total_originated(self) -> int:
+        """First-hop enqueues (sum of ``StationStats.originated``)."""
+        return self._originated
+
+    @property
+    def total_forwarded(self) -> int:
+        """Transit enqueues (sum of ``StationStats.forwarded``)."""
+        return self._forwarded
+
+    def count(self, kind: str) -> int:
+        """Occurrences of one event kind."""
+        return self._counts[kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Mapping of event kind to occurrence count."""
+        return dict(self._counts)
+
+    def losses_by_reason(self) -> Dict[str, int]:
+        """Tally of lost hops per mechanical reason string."""
+        return dict(self._losses_by_reason)
+
+    def fault_count(self, fault: str) -> int:
+        """Applied fault injections of one family (e.g. ``"down"``)."""
+        return self._faults[fault]
+
+    def fault_losses(self) -> int:
+        """Hops lost to injected faults rather than channel physics."""
+        from repro.faults.resilience import FAULT_LOSS_REASONS
+
+        return sum(
+            count
+            for reason, count in self._losses_by_reason.items()
+            if reason in FAULT_LOSS_REASONS
+        )
+
+    def sir_losses(self) -> int:
+        """Hops lost to ordinary channel physics."""
+        from repro.faults.resilience import FAULT_LOSS_REASONS
+
+        return sum(
+            count
+            for reason, count in self._losses_by_reason.items()
+            if reason not in FAULT_LOSS_REASONS
+        )
+
+    def delivery_snapshot(self) -> Tuple[int, int]:
+        """Cumulative ``(originated, delivered end-to-end)`` counters."""
+        return self._originated, self._counts["delivered"]
+
+    def station_airtime(self, station: int) -> float:
+        """Total transmit airtime of one station (closed bursts only)."""
+        return self._airtime.get(station, 0.0)
+
+    def _require_station_count(self) -> int:
+        if self.station_count is None:
+            raise ValueError(
+                "this accessor iterates stations in index order; "
+                "construct MetricTimelines with station_count set"
+            )
+        return self.station_count
+
+    def mean_duty_cycle(self, elapsed: float) -> float:
+        """Mean per-station duty cycle (``NetworkResult.mean_duty_cycle``).
+
+        Folds stations in index order through a Welford accumulator,
+        dividing each station's accumulated airtime by ``elapsed`` —
+        operation-for-operation what ``Network.collect`` computes from
+        the transmitters.
+        """
+        return self.duty_welford(elapsed).mean
+
+    def duty_welford(self, elapsed: float) -> Welford:
+        """The per-station duty-cycle accumulator behind the mean/max."""
+        duty = Welford()
+        for station in range(self._require_station_count()):
+            duty.add(
+                self._airtime.get(station, 0.0) / elapsed
+                if elapsed > 0
+                else 0.0
+            )
+        return duty
+
+    def mean_delay(self) -> float:
+        """Mean end-to-end delivery delay (``NetworkResult.mean_delay``).
+
+        Per-station delay lists extend the accumulator in station-index
+        order, matching ``Network.collect``'s iteration bit-exactly.
+        """
+        delays = Welford()
+        for station in range(self._require_station_count()):
+            station_delays = self._delays.get(station)
+            if station_delays:
+                delays.extend(station_delays)
+        return delays.mean
+
+    def control_overhead(self) -> float:
+        """Control frames per delivered data hop (T7's ``ctrl`` column)."""
+        control = self._control["rts"] + self._control["cts"]
+        return control / max(self.hop_deliveries, 1)
+
+    # -- time series ---------------------------------------------------
+
+    def _require_window(self) -> float:
+        if self.window is None:
+            raise ValueError(
+                "series need a window; construct MetricTimelines with "
+                "window set (or assign it before the run starts)"
+            )
+        return self.window
+
+    @property
+    def window_count(self) -> int:
+        """Number of windows the observed stream spans."""
+        window = self._require_window()
+        if self._last_time <= 0.0:
+            return 0
+        return int(self._last_time // window) + 1
+
+    def duty_series(self, station: int) -> List[Tuple[float, float]]:
+        """Per-window ``(window start, duty fraction)`` for a station."""
+        window = self._require_window()
+        return [
+            (index * window, self._duty_w.get((station, index), 0.0) / window)
+            for index in range(self.window_count)
+        ]
+
+    def queue_depth_series(self, station: int) -> List[Tuple[float, int]]:
+        """Per-window ``(window start, peak backlog depth)``; windows
+        without queue activity carry the last observed depth forward."""
+        window = self._require_window()
+        series: List[Tuple[float, int]] = []
+        depth = 0
+        for index in range(self.window_count):
+            sample = self._queue_w.get((station, index))
+            if sample is not None:
+                value = sample[1]
+                depth = sample[0]
+            else:
+                value = depth
+            series.append((index * window, value))
+        return series
+
+    def sir_series(self, station: int) -> List[Tuple[float, float]]:
+        """Per-window ``(window start, mean delivered min-SIR)``; NaN in
+        windows where the station received nothing."""
+        window = self._require_window()
+        return [
+            (
+                index * window,
+                self._sir_w[(station, index)].mean
+                if (station, index) in self._sir_w
+                else math.nan,
+            )
+            for index in range(self.window_count)
+        ]
+
+    def loss_series(
+        self, station: Optional[int] = None
+    ) -> List[Tuple[float, int]]:
+        """Per-window ``(window start, lost hops)`` at one receiver, or
+        network-wide when ``station`` is ``None``."""
+        window = self._require_window()
+        series: List[Tuple[float, int]] = []
+        for index in range(self.window_count):
+            if station is None:
+                total = sum(
+                    count
+                    for (_s, w), count in self._loss_w.items()
+                    if w == index
+                )
+            else:
+                total = self._loss_w[(station, index)]
+            series.append((index * window, total))
+        return series
+
+    def duty_summary(self, elapsed: float):
+        """Welford summary of per-station duty cycles (via the
+        :mod:`repro.parallel.aggregate` helpers)."""
+        from repro.parallel.aggregate import summarize
+
+        return summarize(
+            [
+                self._airtime.get(station, 0.0) / elapsed if elapsed > 0 else 0.0
+                for station in range(self._require_station_count())
+            ]
+        )
+
+
+_HANDLERS = {
+    "tx_start": MetricTimelines._on_tx_start,
+    "tx_end": MetricTimelines._on_tx_end,
+    "tx_abort": MetricTimelines._on_tx_end,
+    "rx_ok": MetricTimelines._on_rx_ok,
+    "rx_fail": MetricTimelines._on_rx_fail,
+    "delivered": MetricTimelines._on_delivered,
+    "queue_enter": MetricTimelines._on_queue_enter,
+    "queue_leave": MetricTimelines._on_queue_leave,
+    "queue_flush": MetricTimelines._on_queue_flush,
+    "control_sent": MetricTimelines._on_control_sent,
+    "fault_inject": MetricTimelines._on_fault_inject,
+}

@@ -1,14 +1,21 @@
-"""Event tracing for simulations.
+"""Event tracing for simulations (legacy).
 
 A :class:`TraceRecorder` collects timestamped records of what happened
 in a run (transmission started, reception failed, packet delivered...),
 which the experiments mine for their reported rows and the tests use to
 assert invariants such as "no reception ever overlapped a local
 transmission".
+
+.. deprecated::
+    ``TraceRecorder`` is superseded by the typed observability layer in
+    :mod:`repro.obs`: build an :class:`repro.obs.Instrumentation` (which
+    implements the same query surface) instead.  :class:`TraceRecord`
+    remains the stable row shape that typed events downgrade to.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -37,9 +44,20 @@ class TraceRecorder:
     Args:
         enabled: when False, :meth:`record` is a no-op — long benchmark
             runs can skip the memory cost without touching call sites.
+
+    .. deprecated::
+        construct an :class:`repro.obs.Instrumentation` instead (see
+        the migration notes in ``DESIGN.md``); this class keeps working
+        for one release as a bridge target for :class:`RecorderSink`.
     """
 
     def __init__(self, enabled: bool = True) -> None:
+        warnings.warn(
+            "TraceRecorder is deprecated; use repro.obs.Instrumentation "
+            "(e.g. Instrumentation.recording()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.enabled = enabled
         self._records: List[TraceRecord] = []
         self._kind_counts: Counter = Counter()

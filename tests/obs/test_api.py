@@ -1,0 +1,136 @@
+"""The Instrumentation facade: guards, composition, legacy queries."""
+
+import pytest
+
+from repro.net.network import NetworkConfig, build_network
+from repro.obs import (
+    Instrumentation,
+    MemorySink,
+    ambient_instrumentation,
+    use_instrumentation,
+)
+from repro.obs.events import TxStart
+from repro.propagation import uniform_disk
+
+
+def tx(time, packet=0):
+    return TxStart(
+        time=time, source=0, destination=1, power_w=0.1, packet=packet
+    )
+
+
+class TestFacade:
+    def test_no_sinks_means_inactive(self):
+        instr = Instrumentation()
+        assert not instr.active
+        instr.emit(tx(1.0))  # silently dropped
+        assert instr.events() == []
+
+    def test_disabled_flag_wins_over_sinks(self):
+        instr = Instrumentation((MemorySink(),), enabled=False)
+        assert not instr.active
+        instr.emit(tx(1.0))
+        assert instr.events() == []
+
+    def test_emit_fans_out_to_every_sink(self):
+        first, second = MemorySink(), MemorySink()
+        instr = Instrumentation((first, second))
+        assert instr.active
+        instr.emit(tx(1.0))
+        assert len(first) == 1 and len(second) == 1
+
+    def test_add_sink_recomputes_active(self):
+        instr = Instrumentation()
+        assert not instr.active
+        instr.add_sink(MemorySink())
+        assert instr.active
+
+    def test_recording_constructor_attaches_memory(self):
+        instr = Instrumentation.recording()
+        assert instr.memory is not None
+        assert not Instrumentation.disabled().active
+
+
+class TestLegacyQuerySurface:
+    def make(self):
+        instr = Instrumentation.recording()
+        instr.emit(tx(1.0, packet=1))
+        instr.emit(tx(2.0, packet=2))
+        return instr
+
+    def test_of_kind_returns_legacy_records(self):
+        instr = self.make()
+        records = instr.of_kind("tx_start")
+        assert len(records) == 2
+        assert records[0].kind == "tx_start"
+        assert records[0].data["packet"] == 1
+
+    def test_count_kinds_len_iter(self):
+        instr = self.make()
+        assert len(instr) == 2
+        assert instr.count("tx_start") == 2
+        assert instr.count() == 2
+        assert instr.kinds() == {"tx_start": 2}
+        assert [record.time for record in instr] == [1.0, 2.0]
+
+    def test_between_is_half_open(self):
+        instr = self.make()
+        assert [r.time for r in instr.between(1.0, 2.0)] == [1.0]
+        with pytest.raises(ValueError):
+            instr.between(2.0, 1.0)
+
+    def test_clear_and_enabled_alias(self):
+        instr = self.make()
+        assert instr.enabled
+        instr.clear()
+        assert len(instr) == 0
+
+
+class TestAmbient:
+    def test_context_installs_and_restores(self):
+        assert ambient_instrumentation() is None
+        instr = Instrumentation.recording()
+        with use_instrumentation(instr):
+            assert ambient_instrumentation() is instr
+            inner = Instrumentation.recording()
+            with use_instrumentation(inner):
+                assert ambient_instrumentation() is inner
+            assert ambient_instrumentation() is instr
+        assert ambient_instrumentation() is None
+
+
+class TestResolution:
+    """How build_network folds explicit/config/ambient sources."""
+
+    PLACEMENT = uniform_disk(8, radius=400.0, seed=3)
+
+    def build(self, **kwargs):
+        return build_network(self.PLACEMENT, NetworkConfig(seed=3), **kwargs)
+
+    def test_single_explicit_source_used_as_is(self):
+        instr = Instrumentation((MemorySink(),))
+        network = self.build(trace=False, instrumentation=instr)
+        assert network.instrumentation is instr
+
+    def test_config_source_used_as_is(self):
+        instr = Instrumentation((MemorySink(),))
+        config = NetworkConfig(seed=3, instrumentation=instr)
+        network = build_network(self.PLACEMENT, config, trace=False)
+        assert network.instrumentation is instr
+
+    def test_multiple_sources_compose_sinks(self):
+        explicit_sink, ambient_sink = MemorySink(), MemorySink()
+        with use_instrumentation(Instrumentation((ambient_sink,))):
+            network = self.build(
+                trace=False,
+                instrumentation=Instrumentation((explicit_sink,)),
+            )
+        sinks = network.instrumentation.sinks
+        assert explicit_sink in sinks and ambient_sink in sinks
+
+    def test_trace_true_guarantees_memory_sink(self):
+        network = self.build(trace=True)
+        assert network.instrumentation.memory is not None
+        bare = self.build(trace=False)
+        assert bare.instrumentation.memory is None
+        assert not bare.instrumentation.active

@@ -1,0 +1,96 @@
+"""Instrumentation must be non-perturbing: replay digests are
+bit-identical with every sink attached or none at all.
+
+This is the zero-cost-when-disabled guarantee from the observability
+redesign, checked the strongest way available: the engine's sanitized
+replay digest hashes every event execution (time, priority, process),
+so any instrumentation code path that touched the wheel or an RNG
+would change it.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.simsetup import add_uniform_poisson, standard_network
+from repro.net.network import NetworkConfig
+from repro.obs import (
+    BinarySink,
+    Instrumentation,
+    JsonlSink,
+    MemorySink,
+    MetricTimelines,
+    read_binary,
+    read_jsonl,
+)
+from repro.sim.sanitizer import sanitized
+
+
+def digest_of(seed, load, duration_slots, instrumentation):
+    with sanitized(True):
+        network = standard_network(
+            12,
+            seed,
+            NetworkConfig(seed=seed),
+            trace=False,
+            instrumentation=instrumentation,
+        )
+        add_uniform_poisson(network, load, seed + 1)
+        network.run(duration_slots * network.budget.slot_time)
+        return network.env.replay_digest()
+
+
+class TestDigestInvariance:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(1, 10**6),
+        load=st.sampled_from([0.02, 0.08, 0.2]),
+        duration=st.sampled_from([40.0, 90.0]),
+    )
+    def test_sinks_do_not_perturb_the_run(self, seed, load, duration):
+        bare = digest_of(seed, load, duration, None)
+        instrumented = digest_of(
+            seed,
+            load,
+            duration,
+            Instrumentation((MemorySink(), MetricTimelines(station_count=12))),
+        )
+        assert instrumented == bare
+
+    def test_disabled_facade_matches_no_facade(self):
+        bare = digest_of(5, 0.1, 60.0, None)
+        disabled = digest_of(
+            5, 0.1, 60.0, Instrumentation((MemorySink(),), enabled=False)
+        )
+        assert disabled == bare
+
+
+class TestFileSinksMatchTheRun:
+    def test_jsonl_and_binary_decode_to_the_same_sequence(self, tmp_path):
+        jsonl_path = str(tmp_path / "run.jsonl")
+        binary_path = str(tmp_path / "run.npz")
+        memory = MemorySink()
+        instrumentation = Instrumentation(
+            (memory, JsonlSink(jsonl_path), BinarySink(binary_path))
+        )
+        digest = digest_of(9, 0.1, 60.0, instrumentation)
+        instrumentation.close()
+
+        assert digest == digest_of(9, 0.1, 60.0, None)
+
+        live = memory.events()
+        assert live, "the run must have emitted events"
+        from_jsonl = read_jsonl(jsonl_path)
+        from_binary = read_binary(binary_path)
+        assert len(from_jsonl) == len(live) == len(from_binary)
+        for a, b, c in zip(live, from_jsonl, from_binary):
+            assert type(a) is type(b) is type(c)
+            assert a.time == b.time == c.time
+            for key, value in a.payload().items():
+                got_j, got_b = getattr(b, key), getattr(c, key)
+                if isinstance(value, float) and math.isnan(value):
+                    assert math.isnan(got_j) and math.isnan(got_b)
+                else:
+                    assert value == got_j == got_b

@@ -1,0 +1,153 @@
+"""MetricTimelines must reproduce the legacy counters bit-exactly.
+
+The network's own ``NetworkResult`` aggregates per-station counters
+maintained inline by the simulation; the timelines rebuild the same
+numbers purely from the emitted event stream.  Any drift between the
+two means an emission site is missing, double-counted, or placed at
+the wrong point in the hot path.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.simsetup import run_loaded_network
+from repro.obs import Instrumentation, MetricTimelines
+
+
+STATIONS = 24
+LOAD = 0.15
+DURATION_SLOTS = 150.0
+
+
+@pytest.fixture(scope="module")
+def observed():
+    timelines = MetricTimelines(station_count=STATIONS)
+    network, result = run_loaded_network(
+        STATIONS,
+        LOAD,
+        DURATION_SLOTS,
+        trace=False,
+        instrumentation=Instrumentation((timelines,)),
+    )
+    return network, result, timelines
+
+
+class TestCountersMatchNetworkResult:
+    def test_traffic_counters(self, observed):
+        _network, result, timelines = observed
+        assert timelines.total_originated == result.originated
+        assert timelines.total_forwarded == result.forwarded
+        assert timelines.transmissions == result.transmissions
+
+    def test_delivery_counters(self, observed):
+        _network, result, timelines = observed
+        assert timelines.hop_deliveries == result.hop_deliveries
+        assert timelines.end_to_end_deliveries == result.delivered_end_to_end
+
+    def test_loss_taxonomy(self, observed):
+        _network, result, timelines = observed
+        assert timelines.losses_total == result.losses_total
+        assert timelines.losses_by_reason() == dict(result.losses_by_reason)
+        assert timelines.unreachable_drops == result.unreachable_drops
+        assert timelines.no_route_drops == result.no_route_drops
+
+    def test_mean_delay_bit_exact(self, observed):
+        _network, result, timelines = observed
+        got = timelines.mean_delay()
+        if math.isnan(result.mean_delay):
+            assert math.isnan(got)
+        else:
+            assert got == result.mean_delay
+
+    def test_duty_cycle_bit_exact(self, observed):
+        _network, result, timelines = observed
+        assert timelines.mean_duty_cycle(result.duration) == (
+            result.mean_duty_cycle
+        )
+
+    def test_per_station_airtime_matches_transmitters(self, observed):
+        network, result, timelines = observed
+        for station in network.stations:
+            assert timelines.station_airtime(
+                station.index
+            ) == station.transmitter.time_transmitting
+
+    def test_delivery_snapshot_matches_station_stats(self, observed):
+        network, _result, timelines = observed
+        originated, delivered = timelines.delivery_snapshot()
+        assert originated == sum(
+            station.stats.originated for station in network.stations
+        )
+        assert delivered == sum(
+            station.stats.delivered_to_me for station in network.stations
+        )
+
+
+class TestWindowedSeries:
+    @pytest.fixture(scope="class")
+    def windowed(self):
+        timelines = MetricTimelines(station_count=STATIONS)
+        network, result = run_loaded_network(
+            STATIONS,
+            LOAD,
+            DURATION_SLOTS,
+            trace=False,
+            instrumentation=Instrumentation((timelines,)),
+        )
+        timelines_windowed = MetricTimelines(station_count=STATIONS)
+        # Second identical run with a window: series must integrate to
+        # the same cumulative airtime the unwindowed run reports.
+        slot = network.budget.slot_time
+        timelines_windowed.window = 10.0 * slot
+        run_loaded_network(
+            STATIONS,
+            LOAD,
+            DURATION_SLOTS,
+            trace=False,
+            instrumentation=Instrumentation((timelines_windowed,)),
+        )
+        return result, timelines, timelines_windowed
+
+    def test_series_need_a_window(self, windowed):
+        _result, unwindowed, _w = windowed
+        with pytest.raises(ValueError, match="window"):
+            unwindowed.duty_series(0)
+
+    def test_duty_series_integrates_to_airtime(self, windowed):
+        _result, unwindowed, timelines = windowed
+        window = timelines.window
+        for station in range(STATIONS):
+            integrated = sum(
+                duty * window for _start, duty in timelines.duty_series(station)
+            )
+            assert integrated == pytest.approx(
+                unwindowed.station_airtime(station), rel=1e-9, abs=1e-12
+            )
+
+    def test_loss_series_sums_to_losses_total(self, windowed):
+        _result, _unwindowed, timelines = windowed
+        assert sum(
+            count for _start, count in timelines.loss_series()
+        ) == timelines.losses_total
+
+    def test_sir_series_is_nan_in_silent_windows(self, windowed):
+        _result, _unwindowed, timelines = windowed
+        series = timelines.sir_series(0)
+        assert len(series) == timelines.window_count
+        assert any(
+            math.isnan(value) or value > 0.0 for _start, value in series
+        )
+
+    def test_queue_series_carries_depth_forward(self, windowed):
+        _result, _unwindowed, timelines = windowed
+        series = timelines.queue_depth_series(0)
+        assert len(series) == timelines.window_count
+        assert all(depth >= 0 for _start, depth in series)
+
+    def test_duty_summary_uses_welford(self, windowed):
+        result, unwindowed, _timelines = windowed
+        summary = unwindowed.duty_summary(result.duration)
+        assert summary.mean == pytest.approx(result.mean_duty_cycle)
+        assert summary.maximum == pytest.approx(result.max_duty_cycle)
+        assert summary.minimum >= 0.0

@@ -1,11 +1,19 @@
-"""Tests for the trace recorder."""
+"""Tests for the (deprecated) trace recorder."""
 
 import pytest
 
 from repro.sim.trace import TraceRecorder
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:TraceRecorder is deprecated:DeprecationWarning"
+)
+
 
 class TestTraceRecorder:
+    def test_construction_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="Instrumentation"):
+            TraceRecorder()
+
     def test_record_and_count(self):
         trace = TraceRecorder()
         trace.record(1.0, "tx_start", station=3)

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.sim",
     "repro.experiments",
     "repro.faults",
+    "repro.obs",
     "repro.parallel",
 ]
 
@@ -82,3 +83,60 @@ class TestExports:
             assert getattr(module, "__all__", None), (
                 f"{package_name} lacks __all__"
             )
+
+
+#: Analytic experiments with no stochastic component and hence no seed.
+SEEDLESS_EXPERIMENTS = {"A5", "F2", "T8"}
+
+
+class TestExperimentEntryPoints:
+    """Every experiment exposes the normalized uniform entry point."""
+
+    def experiments(self):
+        from repro.experiments import all_experiments
+
+        return sorted(all_experiments().items())
+
+    def test_every_run_accepts_params_bundle(self):
+        for experiment_id, run in self.experiments():
+            assert getattr(run, "__accepts_params__", False), (
+                f"{experiment_id}.run lacks the ExperimentParams shape"
+            )
+            assert run.experiment_id == experiment_id
+
+    def test_every_parameter_has_a_default(self):
+        for experiment_id, run in self.experiments():
+            signature = inspect.signature(run.__wrapped__)
+            missing = [
+                name
+                for name, parameter in signature.parameters.items()
+                if parameter.default is inspect.Parameter.empty
+            ]
+            assert missing == [], (
+                f"{experiment_id}.run has defaultless params {missing}"
+            )
+
+    def test_stochastic_experiments_take_a_seed_not_an_rng(self):
+        for experiment_id, run in self.experiments():
+            parameters = inspect.signature(run.__wrapped__).parameters
+            assert "rng" not in parameters, (
+                f"{experiment_id}.run takes an rng; pass a seed instead"
+            )
+            if experiment_id not in SEEDLESS_EXPERIMENTS:
+                assert "seed" in parameters, (
+                    f"{experiment_id}.run lacks a seed parameter"
+                )
+
+    def test_params_bundle_matches_keyword_shim(self):
+        from repro.experiments import ExperimentParams, get_experiment
+
+        run = get_experiment("F2")
+        via_params = run(ExperimentParams())
+        via_kwargs = run()
+        assert via_params.rows == via_kwargs.rows
+
+    def test_params_bundle_rejects_mixed_call(self):
+        from repro.experiments import ExperimentParams, get_experiment
+
+        with pytest.raises(TypeError):
+            get_experiment("F2")(ExperimentParams(), seed=1)

@@ -186,3 +186,84 @@ class TestParallelCommands:
         assert args.jobs == 2
         assert args.quick and args.no_progress
         assert args.output == "suite-report.json"
+
+
+class TestTraceCommand:
+    T7_TINY = [
+        "--experiment", "T7",
+        "--set", "station_count=12",
+        "--set", "loads_packets_per_slot=(0.05,)",
+        "--set", "duration_slots=30",
+    ]
+
+    def test_records_jsonl_and_binary_identically(self, capsys, tmp_path):
+        jsonl = tmp_path / "t7.jsonl"
+        binary = tmp_path / "t7.npz"
+        code = main(
+            ["trace", *self.T7_TINY,
+             "--jsonl", str(jsonl), "--binary", str(binary), "--summary"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T7:" in out
+        assert "events across" in out
+
+        assert main(["trace", "--read", str(jsonl)]) == 0
+        from_jsonl = capsys.readouterr().out
+        assert main(["trace", "--read", str(binary)]) == 0
+        from_binary = capsys.readouterr().out
+        assert from_jsonl == from_binary
+        assert '"kind": "tx_start"' in from_jsonl
+
+    def test_read_filters_by_kind_and_limit(self, capsys, tmp_path):
+        jsonl = tmp_path / "t7.jsonl"
+        assert main(["trace", *self.T7_TINY, "--jsonl", str(jsonl)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["trace", "--read", str(jsonl),
+             "--kind", "delivered", "--limit", "3"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert all('"kind": "delivered"' in line for line in lines)
+
+    def test_requires_a_sink(self, capsys):
+        assert main(["trace", "--experiment", "T7"]) == 2
+        assert "--jsonl" in capsys.readouterr().err
+
+    def test_requires_experiment_or_read(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--experiment" in capsys.readouterr().err
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["trace", "--experiment", "Z9", "--jsonl", "x"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_timeline_duty_renders_per_station_series(self, capsys):
+        code = main(
+            ["report", "--timeline", "duty",
+             "--stations", "12", "--duration-slots", "60"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "duty timeline: 12 stations" in out
+        assert "s000 |" in out and "s011 |" in out
+        assert "duty cycle across stations: mean" in out
+
+    def test_timeline_loss_and_queue_render(self, capsys):
+        for metric in ("loss", "queue", "sir"):
+            code = main(
+                ["report", "--timeline", metric,
+                 "--stations", "8", "--duration-slots", "40"]
+            )
+            assert code == 0
+            assert f"{metric} timeline: 8 stations" in capsys.readouterr().out
+
+    def test_rejects_unknown_metric(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--timeline", "bogus"])

@@ -342,6 +342,41 @@ class TestFaultSeedRule:
         assert "REP009" not in codes(source, path=TEST)
 
 
+class TestLegacyTraceRecordRule:
+    def test_fires_on_trace_record_call(self):
+        assert "REP010" in codes(
+            '__all__ = []\ndef f(self):\n    self.trace.record("tx_start", a=1)\n'
+        )
+
+    def test_fires_on_bare_trace_receiver(self):
+        assert "REP010" in codes(
+            '__all__ = []\ndef f(trace):\n    trace.record("rx_ok")\n'
+        )
+
+    def test_allows_typed_emission(self):
+        clean = """
+        __all__ = []
+        def f(self, event):
+            if self.instr.active:
+                self.instr.emit(event)
+        """
+        assert "REP010" not in codes(clean)
+
+    def test_allows_other_record_receivers(self):
+        assert "REP010" not in codes(
+            "__all__ = []\ndef f(recorder):\n    recorder.record(1)\n"
+        )
+
+    def test_exempts_obs_package_and_legacy_shim(self):
+        source = '__all__ = []\ndef f(trace):\n    trace.record("x")\n'
+        assert "REP010" not in codes(source, path="src/repro/obs/sinks.py")
+        assert "REP010" not in codes(source, path="src/repro/sim/trace.py")
+
+    def test_scoped_to_src_repro(self):
+        source = 'def f(trace):\n    trace.record("x")\n'
+        assert "REP010" not in codes(source, path=TEST)
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert (

@@ -28,6 +28,7 @@ __all__ = [
     "YieldEventRule",
     "ParallelSeedRule",
     "FaultSeedRule",
+    "LegacyTraceRecordRule",
 ]
 
 
@@ -837,6 +838,59 @@ class FaultSeedRule(Rule):
         return violations
 
 
+class LegacyTraceRecordRule(Rule):
+    """REP010: no string-kind ``trace.record(...)`` call sites.
+
+    The observability redesign routes every emission through the typed
+    event classes in :mod:`repro.obs.events` and the
+    ``Instrumentation.emit`` facade; the old string-kind
+    ``trace.record("kind", **blob)`` surface survives only as a
+    deprecated compatibility shim.  A new ``trace.record(`` call site
+    reintroduces untyped, schema-less rows that the sinks and metric
+    timelines cannot decode.  Scoped to ``src/repro`` outside the
+    observability package itself and the legacy shim module
+    (``repro/sim/trace.py``), which must keep the method working for
+    one release.
+    """
+
+    CODE = "REP010"
+    SUMMARY = (
+        "no string-kind trace.record(...) call sites in src/repro; "
+        "emit typed events through repro.obs.Instrumentation"
+    )
+
+    EXEMPT_PATHS = ("repro/sim/trace.py",)
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if any(normalized.endswith(exempt) for exempt in self.EXEMPT_PATHS):
+            return False
+        if "/repro/obs/" in "/" + normalized:
+            return False
+        return _under_src(path) and "/repro/" in "/" + normalized
+
+    def check(self, tree: ast.Module, path: str) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) >= 2 and parts[-1] == "record" and parts[-2] == "trace":
+                violations.append(
+                    self._violation(
+                        path,
+                        node,
+                        f"call to {dotted}() uses the deprecated string-kind "
+                        "trace surface; emit a typed repro.obs event via "
+                        "Instrumentation.emit instead",
+                    )
+                )
+        return violations
+
+
 #: The full suite, in code order.
 ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
@@ -848,4 +902,5 @@ ALL_RULES: Tuple[Rule, ...] = (
     YieldEventRule(),
     ParallelSeedRule(),
     FaultSeedRule(),
+    LegacyTraceRecordRule(),
 )
