@@ -76,7 +76,7 @@ def run_perf_scenario(
     """
     from repro.experiments.simsetup import run_loaded_network
 
-    began = time.perf_counter()
+    began = time.perf_counter()  # reprolint: disable=REP002
     network, result = run_loaded_network(
         stations,
         load,
@@ -84,7 +84,7 @@ def run_perf_scenario(
         placement_seed=seed + stations,
         traffic_seed=seed,
     )
-    wall_s = time.perf_counter() - began
+    wall_s = time.perf_counter() - began  # reprolint: disable=REP002
     events = network.env.events_processed
     return PerfSample(
         stations=stations,

@@ -150,6 +150,7 @@ def measure_slot_waits(
     arrivals: int = 500,
     rng: Optional[np.random.Generator] = None,
     max_slots: int = 200,
+    seed: int = 0,
 ) -> List[int]:
     """Waits measured in the paper's slotted terms (Section 7.2).
 
@@ -162,7 +163,7 @@ def measure_slot_waits(
     """
     if arrivals < 1:
         raise ValueError("need at least one arrival")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = rng if rng is not None else np.random.default_rng(seed)
     sender = ScheduleView.own(schedule, sender_clock)
     receiver = ScheduleView.own(schedule, receiver_clock)
     duration = schedule.slot_time * packet_fraction
@@ -195,6 +196,7 @@ def measure_waits(
     packet_fraction: float = 0.25,
     arrivals: int = 500,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> List[float]:
     """Measured waits (in slots) from random arrival instants until the
     packet could start transmitting, over a real schedule pair.
@@ -204,7 +206,7 @@ def measure_waits(
     """
     if arrivals < 1:
         raise ValueError("need at least one arrival")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = rng if rng is not None else np.random.default_rng(seed)
     sender = ScheduleView.own(schedule, sender_clock)
     receiver = ScheduleView.own(schedule, receiver_clock)
     duration = schedule.slot_time * packet_fraction

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.metro import MetroProjection
@@ -86,6 +87,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     report = run(**overrides)
     print(report.format())
     return 0
+
+
+def _find_reproflow_root(explicit: Optional[str]) -> Optional[Path]:
+    """The repository checkout holding ``tools/reproflow``.
+
+    The deep linter is a repo tool, not part of the installed package,
+    so it is located by walking up from the cwd (and, as a fallback,
+    from this file's own checkout) rather than imported directly.
+    """
+    candidates: List[Path] = []
+    if explicit:
+        candidates.append(Path(explicit))
+    else:
+        here = Path.cwd().resolve()
+        candidates.extend([here, *here.parents])
+        candidates.append(Path(__file__).resolve().parent.parent.parent)
+    for candidate in candidates:
+        if (candidate / "tools" / "reproflow").is_dir() and (
+            candidate / "src" / "repro"
+        ).is_dir():
+            return candidate.resolve()
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if not args.deep:
+        print(
+            "repro lint: the shallow AST rules run via "
+            "'python -m tools.reprolint'; this command drives the "
+            "whole-program analyzer — pass --deep",
+            file=sys.stderr,
+        )
+        return 2
+    root = _find_reproflow_root(args.root)
+    if root is None:
+        print(
+            "repro lint --deep needs the repository checkout "
+            "(tools/reproflow next to src/repro); run from inside the "
+            "repo or pass --root DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.reproflow.runner import main as reproflow_main
+
+    argv = ["--root", str(root)]
+    if args.json:
+        argv.append("--json")
+    if args.write_locks:
+        argv.append("--write-locks")
+    if args.select:
+        argv.extend(["--select", args.select])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    return reproflow_main(argv)
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
@@ -610,6 +667,38 @@ def build_parser() -> argparse.ArgumentParser:
     metro_cmd.add_argument("--beta", type=float, default=1.0)
     metro_cmd.add_argument("--reach-doublings", type=float, default=0.0)
     metro_cmd.set_defaults(handler=_cmd_metro)
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help=(
+            "run the reproflow whole-program analyzer (seed provenance, "
+            "event-schema contracts, fork-safety, API lock)"
+        ),
+    )
+    lint_cmd.add_argument(
+        "--deep", action="store_true",
+        help="run the interprocedural passes (required; reserved flag)",
+    )
+    lint_cmd.add_argument(
+        "--json", action="store_true", help="emit the findings as JSON"
+    )
+    lint_cmd.add_argument(
+        "--write-locks", action="store_true",
+        help="regenerate schema.lock and api.lock from the current tree",
+    )
+    lint_cmd.add_argument(
+        "--select", metavar="PASSES",
+        help="comma-separated subset of passes (seeds,schema,fork,api)",
+    )
+    lint_cmd.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file (default: tools/reproflow/baseline.json)",
+    )
+    lint_cmd.add_argument(
+        "--root", metavar="DIR",
+        help="repository root (default: walk up from the cwd)",
+    )
+    lint_cmd.set_defaults(handler=_cmd_lint)
 
     verify_cmd = commands.add_parser(
         "verify-determinism",

@@ -59,11 +59,11 @@ def bench_suite(
         digest: Optional[str] = None
         errors = 0
         for _ in range(rounds):
-            began = time.perf_counter()
+            began = time.perf_counter()  # reprolint: disable=REP002
             outcome = run_suite(
                 jobs=jobs, quick=quick, timeout_s=timeout_s, progress=progress
             )
-            wall_s = time.perf_counter() - began
+            wall_s = time.perf_counter() - began  # reprolint: disable=REP002
             digest = outcome.digest()
             errors = len(outcome.errors)
             if reference_digest is None:

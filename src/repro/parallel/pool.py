@@ -1,5 +1,9 @@
 """Spawn-safe multiprocess fan-out with timeouts, crash capture, retry.
 
+This module is the single sanctioned multiprocessing wrapper (REP008)
+and times *host* execution only — wall-clock values bound or observe
+completed runs, never feed back into simulation state.
+
 :func:`run_tasks` executes a list of :class:`~repro.parallel.task.TaskSpec`
 over a pool of worker processes and returns one
 :class:`~repro.parallel.task.TaskResult` per spec, **in spec order**,
@@ -30,10 +34,13 @@ perf harness).  REP008 makes this file the single sanctioned home of
 
 from __future__ import annotations
 
-import multiprocessing
+import multiprocessing  # reprolint: disable=REP008
 import time
 from collections import deque
-from multiprocessing.connection import Connection, wait as _connection_wait
+from multiprocessing.connection import (  # reprolint: disable=REP008
+    Connection,
+    wait as _connection_wait,
+)
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.parallel.task import TaskResult, TaskSpec, execute_task
@@ -95,7 +102,10 @@ class _Worker:
     ) -> None:
         limit = spec.timeout_s if spec.timeout_s is not None else watchdog_s
         self.task_index = index
-        self.deadline = time.monotonic() + limit if limit is not None else None
+        if limit is not None:
+            self.deadline = time.monotonic() + limit  # reprolint: disable=REP002
+        else:
+            self.deadline = None
         self.conn.send((index, spec))
 
     def clear(self) -> None:
@@ -260,7 +270,7 @@ def _run_pooled(
                 continue  # everything pending was just assigned above
 
             timeout = _POLL_CAP_S
-            reference = time.monotonic()
+            reference = time.monotonic()  # reprolint: disable=REP002
             for worker in busy:
                 if worker.deadline is not None:
                     timeout = min(timeout, max(worker.deadline - reference, 0.0))
@@ -287,7 +297,7 @@ def _run_pooled(
                     worker.clear()
                     record(received_index, result)
 
-            now = time.monotonic()
+            now = time.monotonic()  # reprolint: disable=REP002
             for worker in list(workers):
                 index = worker.task_index
                 if (

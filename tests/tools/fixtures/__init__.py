@@ -1,0 +1,5 @@
+"""Synthetic fixture packages for the reproflow analyzer tests.
+
+``cleanpkg`` passes every pass; ``dirtypkg`` trips each of them once.
+These are parsed by the analyzer, never imported as code.
+"""

@@ -1,0 +1,3 @@
+"""A miniature repro-shaped package with nothing wrong with it."""
+
+__all__ = []

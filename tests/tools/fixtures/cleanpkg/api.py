@@ -1,0 +1,9 @@
+"""Public helpers whose surface the api lock freezes."""
+
+__all__ = ["WIDTH", "shout"]
+
+WIDTH = 3
+
+
+def shout(text: str) -> str:
+    return text.upper()

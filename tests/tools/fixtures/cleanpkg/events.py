@@ -1,0 +1,31 @@
+"""Typed events for the clean fixture package."""
+
+from dataclasses import dataclass
+
+__all__ = ["EVENT_TYPES", "Ping", "Pong", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    KIND = "event"
+    SCHEMA = 1
+
+    time: float
+
+
+@dataclass(frozen=True)
+class Ping(TraceEvent):
+    KIND = "ping"
+
+    station: int
+    payload: int = 0
+
+
+@dataclass(frozen=True)
+class Pong(TraceEvent):
+    KIND = "pong"
+
+    station: int
+
+
+EVENT_TYPES = {cls.KIND: cls for cls in (Ping, Pong)}

@@ -1,0 +1,14 @@
+"""Task execution entry point: pure function of its arguments."""
+
+import numpy as np
+
+from cleanpkg.events import Ping
+
+__all__ = ["execute_task"]
+
+
+def execute_task(task_seed: int, instr) -> int:
+    rng = np.random.default_rng(task_seed)
+    value = int(rng.integers(10))
+    instr.emit(Ping(time=0.0, station=1, payload=value))
+    return value

@@ -1,0 +1,3 @@
+"""A miniature package with one deliberate defect per reproflow pass."""
+
+__all__ = []

@@ -1,0 +1,9 @@
+"""An emit call site that drifted out of step with the event fields."""
+
+from dirtypkg.events import Ping
+
+__all__ = []
+
+
+def report(instr) -> None:
+    instr.emit(Ping(time=0.0, station=1, delay=2.5))

@@ -1,0 +1,31 @@
+"""Events module where one class never lands in the registry."""
+
+from dataclasses import dataclass
+
+__all__ = ["EVENT_TYPES", "Ping", "Pong", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    KIND = "event"
+    SCHEMA = 1
+
+    time: float
+
+
+@dataclass(frozen=True)
+class Ping(TraceEvent):
+    KIND = "ping"
+
+    station: int
+
+
+@dataclass(frozen=True)
+class Pong(TraceEvent):
+    KIND = "pong"
+
+    station: int
+
+
+# Pong is deliberately missing: registry-completeness defect.
+EVENT_TYPES = {cls.KIND: cls for cls in (Ping,)}

@@ -1,0 +1,24 @@
+"""A worker entry point with a laundered seed and shared-state writes."""
+
+import numpy as np
+
+__all__ = ["execute_task"]
+
+_CACHE = {}
+
+
+def _make_rng(n):
+    return np.random.default_rng(n)
+
+
+def ambient_rng():
+    return np.random.default_rng()
+
+
+def execute_task(index: int) -> int:
+    global _COUNT
+    _COUNT = index
+    rng = _make_rng(1234)
+    value = int(rng.integers(10))
+    _CACHE[index] = value
+    return value

@@ -1,0 +1,425 @@
+"""The reproflow analyzer against the synthetic fixture packages.
+
+Each pass gets one positive (clean) and one negative (defect) case,
+the two lock files get round-trip tests, and the real repository is
+held to zero findings — the acceptance criterion the CI job enforces.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from tools.reproflow.findings import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    filter_suppressed,
+    load_baseline,
+)
+from tools.reproflow.runner import (
+    PASSES,
+    ReproflowConfig,
+    analyze,
+    config_for_repo,
+    main,
+    write_locks,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def config_for_fixture(package_dir: Path, tmp_path: Path) -> ReproflowConfig:
+    package = package_dir.name
+    return ReproflowConfig(
+        src_root=package_dir,
+        package=package,
+        events_module=f"{package}.events",
+        trusted_seed_modules=(),
+        entry_points=(f"{package}.worker:execute_task",),
+        extra_fork_roots=(),
+        schema_lock=tmp_path / "schema.lock",
+        api_lock=tmp_path / "api.lock",
+        baseline=tmp_path / "baseline.json",
+    )
+
+
+def copy_fixture(name: str, tmp_path: Path) -> Path:
+    target = tmp_path / name
+    shutil.copytree(FIXTURES / name, target)
+    return target
+
+
+def run_fixture(
+    package_dir: Path, tmp_path: Path, select=PASSES, locks=True
+):
+    config = config_for_fixture(package_dir, tmp_path)
+    config.select = tuple(select)
+    if locks:
+        write_locks(config)
+    return analyze(config)
+
+
+def messages(findings):
+    return [f.format() for f in findings]
+
+
+class TestCleanPackage:
+    def test_all_passes_come_back_empty(self, tmp_path):
+        findings = run_fixture(FIXTURES / "cleanpkg", tmp_path)
+        assert messages(findings) == []
+
+
+class TestSeedsPass:
+    def test_clean_worker_has_no_seed_findings(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "cleanpkg", tmp_path, select=("seeds",), locks=False
+        )
+        assert messages(findings) == []
+
+    def test_flags_laundered_literal_seed(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("seeds",), locks=False
+        )
+        laundered = [
+            f for f in findings if "laundered through parameter 'n'" in f.message
+        ]
+        assert len(laundered) == 1
+        assert laundered[0].path == "dirtypkg/worker.py"
+        assert laundered[0].symbol == "dirtypkg.worker:execute_task"
+
+    def test_flags_ambient_rng(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("seeds",), locks=False
+        )
+        assert any(
+            "ambient OS entropy" in f.message
+            and f.symbol == "dirtypkg.worker:ambient_rng"
+            for f in findings
+        )
+
+
+class TestSchemaPass:
+    def test_clean_emit_sites_and_registry(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "cleanpkg", tmp_path, select=("schema",)
+        )
+        assert messages(findings) == []
+
+    def test_flags_drifted_emit_site(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("schema",)
+        )
+        drift = [f for f in findings if "drifted" in f.message]
+        assert len(drift) == 1
+        assert drift[0].path == "dirtypkg/emitter.py"
+        assert "no field 'delay'" in drift[0].message
+
+    def test_flags_event_missing_from_registry(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("schema",)
+        )
+        assert any(
+            "Pong" in f.message and "EVENT_TYPES" in f.message
+            for f in findings
+        )
+
+    def test_field_change_without_schema_bump_fails(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        config = config_for_fixture(package_dir, tmp_path)
+        write_locks(config)
+        events = package_dir / "events.py"
+        events.write_text(
+            events.read_text().replace(
+                "    station: int\n    payload: int = 0\n",
+                "    station: int\n    payload: int = 0\n    hops: int = 1\n",
+            )
+        )
+        config.select = ("schema",)
+        findings = analyze(config)
+        assert any(
+            "bump" in f.message and "SCHEMA" in f.message for f in findings
+        ), messages(findings)
+
+    def test_regenerated_lock_round_trips(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        config = config_for_fixture(package_dir, tmp_path)
+        config.select = ("schema",)
+        write_locks(config)
+        assert messages(analyze(config)) == []
+        first = config.schema_lock.read_text()
+        write_locks(config)
+        assert config.schema_lock.read_text() == first
+
+
+class TestForkPass:
+    def test_clean_worker_is_fork_safe(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "cleanpkg", tmp_path, select=("fork",), locks=False
+        )
+        assert messages(findings) == []
+
+    def test_flags_global_write_reachable_from_entry(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("fork",), locks=False
+        )
+        assert any(
+            "write to global '_COUNT'" in f.message
+            and f.symbol == "dirtypkg.worker:execute_task"
+            for f in findings
+        )
+
+    def test_flags_container_mutation(self, tmp_path):
+        findings = run_fixture(
+            FIXTURES / "dirtypkg", tmp_path, select=("fork",), locks=False
+        )
+        assert any("'_CACHE'" in f.message for f in findings)
+
+    def test_unreachable_write_is_not_flagged(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        helper = package_dir / "offline.py"
+        helper.write_text(
+            '"""Not reachable from the worker entry point."""\n\n'
+            "__all__ = []\n\n_STATE = {}\n\n\n"
+            "def tune(key, value):\n"
+            "    _STATE[key] = value\n"
+        )
+        config = config_for_fixture(package_dir, tmp_path)
+        config.select = ("fork",)
+        findings = analyze(config)
+        assert messages(findings) == []
+
+
+class TestApiPass:
+    def test_locked_surface_is_clean(self, tmp_path):
+        findings = run_fixture(FIXTURES / "cleanpkg", tmp_path, select=("api",))
+        assert messages(findings) == []
+
+    def test_removed_public_name_is_an_api_break(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        config = config_for_fixture(package_dir, tmp_path)
+        write_locks(config)
+        api = package_dir / "api.py"
+        api.write_text(
+            api.read_text()
+            .replace('__all__ = ["WIDTH", "shout"]', '__all__ = ["WIDTH"]')
+            .replace("def shout(text: str) -> str:\n    return text.upper()\n", "")
+        )
+        config.select = ("api",)
+        findings = analyze(config)
+        assert any(
+            "api break" in f.message and "'shout'" in f.message
+            for f in findings
+        ), messages(findings)
+
+    def test_signature_change_requires_lock_regeneration(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        config = config_for_fixture(package_dir, tmp_path)
+        write_locks(config)
+        api = package_dir / "api.py"
+        api.write_text(
+            api.read_text().replace(
+                "def shout(text: str) -> str:",
+                "def shout(text: str, times: int = 1) -> str:",
+            )
+        )
+        config.select = ("api",)
+        findings = analyze(config)
+        assert any(
+            "signature" in f.message and "--write-locks" in f.message
+            for f in findings
+        )
+        # Regenerating the lock resolves it.
+        write_locks(config)
+        assert messages(analyze(config)) == []
+
+    def test_ghost_all_name_is_flagged(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        api = package_dir / "api.py"
+        api.write_text(
+            api.read_text().replace(
+                '__all__ = ["WIDTH", "shout"]',
+                '__all__ = ["WIDTH", "ghost", "shout"]',
+            )
+        )
+        config = config_for_fixture(package_dir, tmp_path)
+        write_locks(config)
+        config.select = ("api",)
+        findings = analyze(config)
+        assert any(
+            "'ghost'" in f.message and "never" in f.message for f in findings
+        ), messages(findings)
+
+
+class TestSuppressionsAndBaseline:
+    def test_inline_disable_silences_and_unused_is_flagged(self, tmp_path):
+        package_dir = copy_fixture("dirtypkg", tmp_path)
+        worker = package_dir / "worker.py"
+        text = worker.read_text().replace(
+            "    return np.random.default_rng()\n",
+            "    return np.random.default_rng()  # reproflow: disable=seeds\n",
+        )
+        worker.write_text(text)
+        config = config_for_fixture(package_dir, tmp_path)
+        config.select = ("seeds",)
+        findings = analyze(config)
+        assert not any("ambient OS entropy" in f.message for f in findings)
+
+    def test_unused_inline_disable_is_reported(self, tmp_path):
+        package_dir = copy_fixture("cleanpkg", tmp_path)
+        api = package_dir / "api.py"
+        api.write_text(
+            api.read_text().replace(
+                "WIDTH = 3\n",
+                "WIDTH = 3  # reproflow: disable=seeds\n",
+            )
+        )
+        config = config_for_fixture(package_dir, tmp_path)
+        config.select = ("seeds",)
+        findings = analyze(config)
+        assert [f.pass_id for f in findings] == ["suppress"]
+        assert "silences nothing" in findings[0].message
+
+    def test_baseline_entry_suppresses_and_unused_is_reported(self, tmp_path):
+        entry = BaselineEntry(
+            pass_id="fork",
+            path="dirtypkg/worker.py",
+            contains="_COUNT",
+            reason="test",
+        )
+        baseline = Baseline(entries=[entry], path=tmp_path / "baseline.json")
+        config = config_for_fixture(FIXTURES / "dirtypkg", tmp_path)
+        config.select = PASSES  # full run so baseline hygiene applies
+        write_locks(config)
+        findings = analyze(config, baseline=baseline)
+        assert not any("_COUNT" in f.message for f in findings)
+
+        stale = Baseline(
+            entries=[
+                BaselineEntry(
+                    pass_id="fork",
+                    path="dirtypkg/worker.py",
+                    contains="no-such-finding",
+                    reason="test",
+                )
+            ],
+            path=tmp_path / "baseline.json",
+        )
+        findings = analyze(config, baseline=stale)
+        assert any(
+            f.pass_id == "suppress" and "unused baseline entry" in f.message
+            for f in findings
+        )
+
+    def test_baseline_entries_require_reasons(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps([{"pass": "fork", "path": "x.py"}]))
+        with pytest.raises(ValueError, match="reason"):
+            load_baseline(bad)
+
+    def test_filter_suppressed_skips_hygiene_for_unrun_passes(self):
+        sources = {"pkg/mod.py": ["x = 1  # reproflow: disable=schema"]}
+        kept, hygiene = filter_suppressed(
+            [], sources, baseline=None, selected_passes={"seeds"}
+        )
+        assert kept == [] and hygiene == []
+
+
+class TestRealRepository:
+    def test_deep_lint_is_clean(self):
+        config = config_for_repo(REPO_ROOT)
+        findings = analyze(config)
+        assert messages(findings) == []
+
+    def test_committed_locks_are_fresh(self, tmp_path):
+        config = config_for_repo(REPO_ROOT)
+        config.schema_lock = tmp_path / "schema.lock"
+        config.api_lock = tmp_path / "api.lock"
+        write_locks(config)
+        committed = REPO_ROOT / "tools" / "reproflow"
+        assert (
+            (tmp_path / "schema.lock").read_text()
+            == (committed / "schema.lock").read_text()
+        )
+        assert (
+            (tmp_path / "api.lock").read_text()
+            == (committed / "api.lock").read_text()
+        )
+
+    def test_mutating_real_event_field_without_bump_fails(self, tmp_path):
+        src = REPO_ROOT / "src" / "repro"
+        mirror = tmp_path / "repro"
+        shutil.copytree(src, mirror)
+        events = mirror / "obs" / "events.py"
+        text = events.read_text()
+        needle = "    station: int\n"
+        assert needle in text
+        events.write_text(
+            text.replace(needle, "    station: int\n    mutated_field: int = 0\n", 1)
+        )
+        config = config_for_repo(REPO_ROOT)
+        config.src_root = mirror
+        config.select = ("schema",)
+        findings = analyze(config)
+        assert findings, "field mutation without SCHEMA bump must fail"
+
+    def test_removing_real_public_name_fails(self, tmp_path):
+        src = REPO_ROOT / "src" / "repro"
+        mirror = tmp_path / "repro"
+        shutil.copytree(src, mirror)
+        stats = mirror / "analysis" / "scheduling_stats.py"
+        text = stats.read_text()
+        assert '    "measure_waits",\n' in text
+        stats.write_text(text.replace('    "measure_waits",\n', "", 1))
+        config = config_for_repo(REPO_ROOT)
+        config.src_root = mirror
+        config.select = ("api",)
+        findings = analyze(config)
+        assert any(
+            "api break" in f.message and "'measure_waits'" in f.message
+            for f in findings
+        ), messages(findings)
+
+
+class TestCli:
+    def test_main_clean_run(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_main_json_output(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reproflow"
+        assert payload["count"] == 0
+
+    def test_main_rejects_unknown_pass(self):
+        with pytest.raises(SystemExit):
+            main(["--root", str(REPO_ROOT), "--select", "nonsense"])
+
+    def test_main_reports_findings_with_exit_one(self, tmp_path, capsys):
+        # A repo-shaped tree whose src/repro has an ambient RNG.
+        (tmp_path / "tools" / "reproflow").mkdir(parents=True)
+        package = tmp_path / "src" / "repro"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text('"""Stub."""\n\n__all__ = []\n')
+        (package / "bad.py").write_text(
+            '"""Stub."""\n\nimport numpy as np\n\n__all__ = []\n\n\n'
+            "def draw():\n    return np.random.default_rng()\n"
+        )
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ambient OS entropy" in out
+
+    def test_repro_cli_lint_deep(self, capsys, monkeypatch):
+        from repro.cli import main as repro_main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert repro_main(["lint", "--deep"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_cli_lint_requires_deep(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint"]) == 2

@@ -38,9 +38,16 @@ class TestUnseededRandomRule:
         """
         assert "REP001" not in codes(clean)
 
-    def test_exempts_streams_module(self):
-        assert "REP001" not in codes(
+    def test_no_path_carve_out_for_streams(self):
+        # The sanctioned wrapper only uses ALLOWED constructors, so the
+        # rule applies everywhere — exemptions are inline directives.
+        assert "REP001" in codes(
             "import random\nx = random.random()\n",
+            path="src/repro/sim/streams.py",
+        )
+        assert "REP001" not in codes(
+            "import random\nx = random.random()  # reprolint: "
+            "disable=REP001\n",
             path="src/repro/sim/streams.py",
         )
 
@@ -68,11 +75,16 @@ class TestWallClockRule:
         # Only clock *reads* are flagged, not the module itself.
         assert "REP002" not in codes("__all__ = []\nimport time\n")
 
-    def test_exempts_perf_harness(self):
-        # The perf harness exists to time finished runs; it is the one
-        # documented exemption under src/.
-        assert "REP002" not in codes(
+    def test_perf_harness_uses_inline_directives(self):
+        # The perf harness times finished runs; its exemption is an
+        # inline directive at each timing line, not a path carve-out.
+        assert "REP002" in codes(
             "import time\nstart = time.perf_counter()\n",
+            path="src/repro/analysis/perf.py",
+        )
+        assert "REP002" not in codes(
+            "import time\n"
+            "start = time.perf_counter()  # reprolint: " "disable=REP002\n",
             path="src/repro/analysis/perf.py",
         )
         # The exemption is exact — sibling modules stay covered.
@@ -259,9 +271,13 @@ class TestParallelSeedRule:
     def test_fires_on_os_fork_call(self):
         assert "REP008" in codes("import os\n__all__ = []\npid = os.fork()\n")
 
-    def test_exempts_the_pool_module(self):
-        assert "REP008" not in codes(
+    def test_pool_module_uses_inline_directives(self):
+        assert "REP008" in codes(
             "import multiprocessing\n",
+            path="src/repro/parallel/pool.py",
+        )
+        assert "REP008" not in codes(
+            "import multiprocessing  # reprolint: " "disable=REP008\n",
             path="src/repro/parallel/pool.py",
         )
 
@@ -367,10 +383,12 @@ class TestLegacyTraceRecordRule:
             "__all__ = []\ndef f(recorder):\n    recorder.record(1)\n"
         )
 
-    def test_exempts_obs_package_and_legacy_shim(self):
+    def test_exempts_obs_package_only(self):
         source = '__all__ = []\ndef f(trace):\n    trace.record("x")\n'
         assert "REP010" not in codes(source, path="src/repro/obs/sinks.py")
-        assert "REP010" not in codes(source, path="src/repro/sim/trace.py")
+        # The legacy shim has no path carve-out any more; a call site
+        # there would need an inline directive like everywhere else.
+        assert "REP010" in codes(source, path="src/repro/sim/trace.py")
 
     def test_scoped_to_src_repro(self):
         source = 'def f(trace):\n    trace.record("x")\n'
@@ -398,13 +416,83 @@ class TestSuppression:
     def test_syntax_error_reported_not_raised(self):
         assert codes("def broken(:\n") == ["REP000"]
 
+    # The directive strings below are concatenated so that linting this
+    # test file does not see them as real suppressions.
+    _DISABLE = "# reprolint: " "disable"
+
+    def test_disable_on_line_suppresses(self):
+        assert (
+            codes(
+                "__all__ = []\n"
+                f"def _f(xs=[]):  {self._DISABLE}=REP004\n"
+                "    pass\n"
+            )
+            == []
+        )
+
+    def test_disable_lists_several_codes(self):
+        assert (
+            codes(
+                f"def f(xs=[]):  {self._DISABLE}=REP004, REP006\n    pass\n",
+                path="src/repro/x.py",
+            )
+            == []
+        )
+
+    def test_disable_other_code_does_not_suppress(self):
+        assert "REP004" in codes(
+            f"__all__ = []\ndef _f(xs=[]):  {self._DISABLE}=REP001\n    pass\n"
+        )
+
+    def test_unused_disable_is_flagged(self):
+        assert codes(
+            f"__all__ = [\"x\"]\nx = 1  {self._DISABLE}=REP004\n"
+        ) == ["REP011"]
+
+    def test_unknown_code_in_disable_is_flagged(self):
+        assert codes(
+            f"__all__ = [\"x\"]\nx = 1  {self._DISABLE}=REP999\n"
+        ) == ["REP011"]
+
+    def test_disable_file_suppresses_everywhere(self):
+        assert (
+            codes(
+                f"{self._DISABLE}-file=REP004\n"
+                "__all__ = []\n"
+                "def _f(xs=[]):\n    pass\n"
+                "def _g(ys=[]):\n    pass\n"
+            )
+            == []
+        )
+
+    def test_unused_disable_file_is_flagged(self):
+        assert codes(
+            f"{self._DISABLE}-file=REP004\n__all__ = []\n"
+        ) == ["REP011"]
+
+    def test_selected_subset_skips_hygiene_for_unrun_codes(self):
+        from tools.reprolint.rules import ALL_RULES
+
+        only_rep006 = [r for r in ALL_RULES if r.CODE == "REP006"]
+        source = f"__all__ = [\"x\"]\nx = 1  {self._DISABLE}=REP004\n"
+        assert (
+            lint_source(source, path="src/repro/x.py", rules=only_rep006)
+            == []
+        )
+
 
 class TestRunner:
     def test_repo_is_clean(self):
         # The acceptance criterion: the suite passes on the whole repo.
         root = Path(__file__).resolve().parents[2]
         violations = lint_paths(
-            [str(root / "src"), str(root / "tests"), str(root / "benchmarks")]
+            [
+                str(root / "src"),
+                str(root / "tests"),
+                str(root / "benchmarks"),
+                str(root / "tools"),
+                str(root / "examples"),
+            ]
         )
         assert violations == []
 

@@ -4,8 +4,9 @@
 # Runs, in order:
 #   1. ruff        (style/pyflakes; skipped with a notice if not installed)
 #   2. mypy        (type check;     skipped with a notice if not installed)
-#   3. reprolint   (domain-specific determinism lints — always runs)
-#   4. pytest      (tier-1 test suite — always runs)
+#   3. reprolint   (per-file determinism lints — always runs)
+#   4. reproflow   (whole-program analysis: seeds, schema, fork, api)
+#   5. pytest      (tier-1 test suite — always runs)
 #
 # Exit code is non-zero if any executed check fails.  ruff and mypy are
 # optional because the offline development container does not ship them;
@@ -39,9 +40,10 @@ maybe_run_check() {
     fi
 }
 
-maybe_run_check ruff ruff python -m ruff check src tests benchmarks tools
+maybe_run_check ruff ruff python -m ruff check src tests benchmarks tools examples
 maybe_run_check mypy mypy python -m mypy
-run_check reprolint python -m tools.reprolint src tests benchmarks
+run_check reprolint python -m tools.reprolint src tests benchmarks tools examples
+run_check reproflow python -m tools.reproflow
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" run_check pytest python -m pytest -x -q
 
 if [ "${failures}" -gt 0 ]; then

@@ -1,0 +1,50 @@
+"""reproflow — whole-program static analysis for the repro codebase.
+
+Where :mod:`tools.reprolint` is a per-file AST lint (each rule sees one
+module at a time), reproflow parses the *entire* ``src/repro`` package
+once into a project-wide symbol table plus import- and call-graph, and
+runs four interprocedural passes over it:
+
+==========  ==============================================================
+Pass        What it proves
+==========  ==============================================================
+seeds       Seed provenance: every ``random.Random`` / numpy-RNG
+            construction traces back to an approved root (the seed tree,
+            an experiment ``seed`` parameter, or the named streams) —
+            across assignment chains, function returns, and call sites.
+schema      Event-schema contracts: every ``instr.emit(<Event>(...))``
+            call site matches the frozen dataclass in ``obs/events.py``,
+            the ``EVENT_TYPES`` registry is complete, and the committed
+            ``schema.lock`` fingerprint matches (changing an event's
+            fields without bumping its ``kind/vN`` id fails).
+fork        Fork-safety: no function reachable from the parallel task
+            entry points writes module-level mutable state that would
+            diverge between spawn workers — the jobs-invariance witness,
+            proved statically instead of only by digest comparison.
+api         API-surface lock: the public surface (``__all__`` names,
+            signatures, deprecations) matches the committed ``api.lock``,
+            so accidental facade breaks are caught at lint time.
+==========  ==============================================================
+
+Run as ``python -m tools.reproflow`` (or ``repro lint --deep``).
+Regenerate the lock files after an intentional change with
+``python -m tools.reproflow --write-locks``.  Suppress a single finding
+with an inline ``# reproflow: disable=<pass>`` comment on the flagged
+line, or baseline it with a one-line justification in
+``tools/reproflow/baseline.json``; unused suppressions and baseline
+entries are themselves reported.
+"""
+
+from tools.reproflow.findings import Finding
+from tools.reproflow.project import ModuleInfo, Project, load_project
+from tools.reproflow.runner import ReproflowConfig, analyze, main
+
+__all__ = [
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "ReproflowConfig",
+    "analyze",
+    "load_project",
+    "main",
+]

@@ -1,0 +1,6 @@
+"""``python -m tools.reproflow`` entry point."""
+
+from tools.reproflow.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

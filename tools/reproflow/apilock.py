@@ -1,0 +1,327 @@
+"""API-surface pass: the public surface matches the committed lock.
+
+The facade work in PR 5 made ``repro``'s public API a deliberate,
+reviewed artifact: ``__all__`` names, callable signatures, and
+deprecation markers.  This pass extracts that surface from every
+module's AST — functions and methods with their full signature text,
+classes with base names and public method signatures, constants by
+name — and diffs it against ``tools/reproflow/api.lock``:
+
+* a name disappearing from ``__all__`` (or a module vanishing) is an
+  **api break** finding at the module that lost it;
+* a signature change, a deprecation added/removed, or a new public
+  name makes the lock **stale** — the fix is reviewing the change and
+  regenerating with ``--write-locks``.
+
+Either way an accidental edit to the public surface fails the deep
+lint instead of surfacing as a downstream import error.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from tools.reproflow.findings import Finding
+from tools.reproflow.project import ModuleInfo, Project, dotted_name
+
+__all__ = [
+    "api_lock_payload",
+    "check_api_lock",
+    "extract_api_surface",
+    "run_api_pass",
+    "write_api_lock",
+]
+
+
+def _signature_text(node: ast.AST) -> str:
+    """The canonical signature string of a def, annotations included."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = ast.unparse(node.args)
+    returns = f" -> {ast.unparse(node.returns)}" if node.returns else ""
+    return f"({args}){returns}"
+
+
+def _is_deprecated(node: ast.AST) -> bool:
+    """Whether a def/class raises or warns DeprecationWarning."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == "DeprecationWarning":
+            return True
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "DeprecationWarning"
+        ):
+            return True
+    return False
+
+
+def _describe_class(node: ast.ClassDef) -> Dict[str, object]:
+    methods: Dict[str, str] = {}
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if item.name.startswith("_") and item.name != "__init__":
+                continue
+            methods[item.name] = _signature_text(item)
+    bases = [dotted_name(base) or ast.unparse(base) for base in node.bases]
+    description: Dict[str, object] = {
+        "kind": "class",
+        "bases": bases,
+        "methods": dict(sorted(methods.items())),
+    }
+    if _is_deprecated(node):
+        description["deprecated"] = True
+    return description
+
+
+def _describe_symbol(info: ModuleInfo, name: str) -> Optional[Dict[str, object]]:
+    symbol = info.symbols.get(name)
+    if symbol is None:
+        return {"kind": "missing"}
+    node = symbol.node
+    if symbol.kind == "function":
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        description: Dict[str, object] = {
+            "kind": "function",
+            "signature": _signature_text(node),
+        }
+        if _is_deprecated(node):
+            description["deprecated"] = True
+        return description
+    if symbol.kind == "class":
+        assert isinstance(node, ast.ClassDef)
+        return _describe_class(node)
+    if symbol.kind == "constant":
+        return {"kind": "constant"}
+    # Re-export: record where it points so a retarget shows up.
+    target = symbol.target or ("", "")
+    return {"kind": "reexport", "target": f"{target[0]}:{target[1]}"}
+
+
+def extract_api_surface(project: Project) -> Dict[str, Dict[str, object]]:
+    """Per-module public surface, keyed by module name."""
+    surface: Dict[str, Dict[str, object]] = {}
+    for name, info in sorted(project.modules.items()):
+        if info.dunder_all is None:
+            continue
+        names = {
+            public: _describe_symbol(info, public)
+            for public in sorted(info.dunder_all)
+        }
+        surface[name] = {"names": names}
+    return surface
+
+
+def api_lock_payload(project: Project) -> Dict[str, object]:
+    """The lock-file document for the current public surface."""
+    surface = extract_api_surface(project)
+    blob = json.dumps(surface, sort_keys=True).encode("utf-8")
+    return {
+        "comment": (
+            "Public API surface (__all__ names, signatures, deprecations). "
+            "Regenerate after a reviewed API change with: "
+            "python -m tools.reproflow --write-locks"
+        ),
+        "fingerprint": hashlib.blake2b(blob, digest_size=16).hexdigest(),
+        "modules": surface,
+    }
+
+
+def write_api_lock(path: Path, project: Project) -> None:
+    """Write (or rewrite) the committed API lock file."""
+    path.write_text(
+        json.dumps(api_lock_payload(project), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def check_api_lock(lock_path: Path, project: Project) -> List[Finding]:
+    """Diff the current surface against the committed lock."""
+    lock_rel = lock_path.as_posix()
+    if not lock_path.exists():
+        return [
+            Finding(
+                pass_id="api",
+                path=lock_rel,
+                line=0,
+                message=(
+                    "api lock file is missing; generate it with "
+                    "python -m tools.reproflow --write-locks"
+                ),
+            )
+        ]
+    try:
+        lock = json.loads(lock_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [
+            Finding(
+                pass_id="api",
+                path=lock_rel,
+                line=0,
+                message=f"api lock file is unreadable: {exc}",
+            )
+        ]
+    current = api_lock_payload(project)
+    if lock.get("fingerprint") == current["fingerprint"]:
+        return []
+
+    findings: List[Finding] = []
+    locked_modules: Dict[str, Dict] = lock.get("modules", {})
+    current_modules: Dict[str, Dict] = current["modules"]  # type: ignore[assignment]
+
+    def rel_of(module: str) -> str:
+        info = project.modules.get(module)
+        return info.rel_path(project.root) if info else module
+
+    for module, locked in sorted(locked_modules.items()):
+        now = current_modules.get(module)
+        if now is None:
+            findings.append(
+                Finding(
+                    pass_id="api",
+                    path=rel_of(module),
+                    line=0,
+                    symbol=module,
+                    message=(
+                        f"public module {module} disappeared (or lost its "
+                        "__all__); if intentional, regenerate the api lock "
+                        "with --write-locks"
+                    ),
+                )
+            )
+            continue
+        locked_names: Dict[str, Dict] = locked.get("names", {})
+        now_names: Dict[str, Dict] = now["names"]
+        for name, description in sorted(locked_names.items()):
+            here = now_names.get(name)
+            if here is None:
+                findings.append(
+                    Finding(
+                        pass_id="api",
+                        path=rel_of(module),
+                        line=0,
+                        symbol=f"{module}:{name}",
+                        message=(
+                            f"api break: {module}.__all__ lost {name!r} "
+                            f"(was {description.get('kind', '?')}); restore "
+                            "it or regenerate the lock after review "
+                            "(--write-locks)"
+                        ),
+                    )
+                )
+            elif here != description:
+                changed = _describe_change(description, here)
+                findings.append(
+                    Finding(
+                        pass_id="api",
+                        path=rel_of(module),
+                        line=0,
+                        symbol=f"{module}:{name}",
+                        message=(
+                            f"api surface of {module}.{name} changed "
+                            f"({changed}); review and regenerate the lock "
+                            "(--write-locks)"
+                        ),
+                    )
+                )
+        for name in sorted(now_names):
+            if name not in locked_names:
+                findings.append(
+                    Finding(
+                        pass_id="api",
+                        path=rel_of(module),
+                        line=0,
+                        symbol=f"{module}:{name}",
+                        message=(
+                            f"new public name {module}.{name} is not in the "
+                            "api lock; regenerate with --write-locks"
+                        ),
+                    )
+                )
+    for module in sorted(current_modules):
+        if module not in locked_modules:
+            findings.append(
+                Finding(
+                    pass_id="api",
+                    path=rel_of(module),
+                    line=0,
+                    symbol=module,
+                    message=(
+                        f"new public module {module} is not in the api "
+                        "lock; regenerate with --write-locks"
+                    ),
+                )
+            )
+    if not findings:
+        findings.append(
+            Finding(
+                pass_id="api",
+                path=lock_rel,
+                line=0,
+                message=(
+                    "api.lock fingerprint mismatch; regenerate with "
+                    "--write-locks"
+                ),
+            )
+        )
+    return findings
+
+
+def _describe_change(before: Dict, after: Dict) -> str:
+    if before.get("kind") != after.get("kind"):
+        return f"{before.get('kind')} -> {after.get('kind')}"
+    if before.get("signature") != after.get("signature"):
+        return (
+            f"signature {before.get('signature')} -> {after.get('signature')}"
+        )
+    if bool(before.get("deprecated")) != bool(after.get("deprecated")):
+        return (
+            "deprecated" if after.get("deprecated") else "un-deprecated"
+        )
+    if before.get("methods") != after.get("methods"):
+        before_methods = before.get("methods") or {}
+        after_methods = after.get("methods") or {}
+        gone = sorted(set(before_methods) - set(after_methods))
+        new = sorted(set(after_methods) - set(before_methods))
+        drifted = sorted(
+            m
+            for m in set(before_methods) & set(after_methods)
+            if before_methods[m] != after_methods[m]
+        )
+        bits = []
+        if gone:
+            bits.append(f"methods removed: {', '.join(gone)}")
+        if new:
+            bits.append(f"methods added: {', '.join(new)}")
+        if drifted:
+            bits.append(f"method signatures changed: {', '.join(drifted)}")
+        return "; ".join(bits) or "method set changed"
+    if before.get("bases") != after.get("bases"):
+        return f"bases {before.get('bases')} -> {after.get('bases')}"
+    return "descriptor changed"
+
+
+def run_api_pass(project: Project, lock_path: Path) -> List[Finding]:
+    """Surface sanity (names resolve) + lock diff."""
+    findings: List[Finding] = []
+    for module, payload in extract_api_surface(project).items():
+        info = project.modules[module]
+        rel = info.rel_path(project.root)
+        for name, description in payload["names"].items():  # type: ignore[union-attr]
+            if description == {"kind": "missing"}:
+                findings.append(
+                    Finding(
+                        pass_id="api",
+                        path=rel,
+                        line=0,
+                        symbol=f"{module}:{name}",
+                        message=(
+                            f"__all__ lists {name!r} but the module never "
+                            "defines or imports it"
+                        ),
+                    )
+                )
+    findings.extend(check_api_lock(lock_path, project))
+    return findings

@@ -1,0 +1,158 @@
+"""Best-effort static call graph over a :class:`~tools.reproflow.project.Project`.
+
+Edges are resolved from three call shapes:
+
+* ``f(...)`` — a plain name, resolved through the module's symbol
+  table (so ``from repro.x import f`` edges to ``repro.x:f``);
+* ``mod.f(...)`` / ``pkg.mod.f(...)`` — a dotted name resolved through
+  import bindings;
+* ``self.m(...)`` / ``cls.m(...)`` — a method of the enclosing class
+  (single-class resolution; inheritance inside the project is followed
+  one level through literal base names).
+
+Calls the resolver cannot place (callbacks, dict dispatch, duck-typed
+attribute calls) produce no edge — passes that need soundness for
+dynamic dispatch (the fork-safety pass and the experiment registry)
+add those roots explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from tools.reproflow.project import FunctionInfo, Project, dotted_name
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+
+class CallGraph:
+    """Directed edges between qualified function names."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        """Record ``caller -> callee``."""
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [root for root in roots]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        return seen
+
+
+def _class_bases(project: Project, module: str, cls: str) -> List[str]:
+    symbol = project.resolve(module, cls)
+    if symbol is None or symbol.kind != "class":
+        return []
+    node = symbol.node
+    bases = []
+    if isinstance(node, ast.ClassDef):
+        for base in node.bases:
+            name = dotted_name(base)
+            if name:
+                bases.append((symbol.module, name))
+    return bases
+
+
+def _resolve_method(
+    project: Project, module: str, cls: str, method: str, depth: int = 0
+) -> Optional[str]:
+    """``module:Class.method`` if defined there or on a project base."""
+    candidate = f"{module}:{cls}.{method}"
+    if candidate in project.functions:
+        return candidate
+    if depth >= 4:
+        return None
+    symbol = project.resolve(module, cls)
+    if symbol is None or symbol.kind != "class":
+        return None
+    for base_module, base_name in _class_bases(project, symbol.module, cls):
+        base_symbol = project.resolve(base_module, base_name.split(".")[-1])
+        if base_symbol is not None and base_symbol.kind == "class":
+            found = _resolve_method(
+                project, base_symbol.module, base_symbol.name, method, depth + 1
+            )
+            if found:
+                return found
+    return None
+
+
+def resolve_call(
+    project: Project, caller: FunctionInfo, call: ast.Call
+) -> Optional[str]:
+    """The qualified name a call expression lands on, if resolvable."""
+    func = call.func
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    module = caller.module
+    if parts[0] in ("self", "cls") and caller.cls:
+        if len(parts) == 2:
+            return _resolve_method(project, module, caller.cls, parts[1])
+        return None
+    symbol = project.resolve_dotted(module, dotted)
+    if symbol is None:
+        return None
+    if symbol.kind == "function":
+        qualname = f"{symbol.module}:{symbol.name}"
+        return qualname if qualname in project.functions else None
+    if symbol.kind == "class":
+        # Constructing a class edges into its __init__ (state set at
+        # construction time is what fork-safety cares about).
+        init = _resolve_method(project, symbol.module, symbol.name, "__init__")
+        return init
+    return None
+
+
+def _class_methods(project: Project, module: str, cls: str) -> List[str]:
+    """Every method qualname of a class, own and project-base inherited."""
+    prefix = f"{module}:{cls}."
+    methods = [q for q in project.functions if q.startswith(prefix)]
+    for base_module, base_name in _class_bases(project, module, cls):
+        base_symbol = project.resolve(base_module, base_name.split(".")[-1])
+        if base_symbol is not None and base_symbol.kind == "class":
+            if (base_symbol.module, base_symbol.name) != (module, cls):
+                methods.extend(
+                    _class_methods(project, base_symbol.module, base_symbol.name)
+                )
+    return methods
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Resolve every call site of every function body into edges.
+
+    Instantiating a class makes *all* of its methods callable from the
+    caller's context (rapid-type-analysis style over-approximation):
+    the instance flows into attributes and locals the resolver cannot
+    type, so any of its methods may later run on behalf of the
+    constructing code.  This is what lets reachability from the task
+    entry points cover the whole simulation core the tasks drive.
+    """
+    graph = CallGraph()
+    for qualname, info in project.functions.items():
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = resolve_call(project, info, node)
+            if callee is not None:
+                graph.add_edge(qualname, callee)
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            symbol = project.resolve_dotted(info.module, dotted)
+            if symbol is not None and symbol.kind == "class":
+                for method in _class_methods(
+                    project, symbol.module, symbol.name
+                ):
+                    graph.add_edge(qualname, method)
+    return graph

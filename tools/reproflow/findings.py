@@ -1,0 +1,254 @@
+"""Finding structure, text/JSON rendering, and suppression matching.
+
+A :class:`Finding` is one analyzer result, pointing at a source
+location and tagged with the pass that produced it.  Findings can be
+silenced two ways, both of which are themselves audited:
+
+* an inline ``# reproflow: disable=<pass>[,<pass>]`` comment on the
+  flagged line (the analogue of reprolint's ``# reprolint: disable=``);
+* a baseline entry in ``tools/reproflow/baseline.json`` — a JSON list
+  (or ``{"entries": [...]}`` document) of ``{"pass": ..., "path": ...,
+  "symbol": ..., "reason": ...}`` objects, each carrying a one-line
+  justification.
+
+A suppression that silences nothing is reported as an ``unused-...``
+finding so stale exemptions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "filter_suppressed",
+    "findings_to_json",
+    "format_findings",
+    "load_baseline",
+]
+
+_DISABLE = re.compile(r"#\s*reproflow:\s*disable=(?P<passes>[a-z, ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding.
+
+    Attributes:
+        pass_id: which pass produced it (``seeds``, ``schema``, ``fork``,
+            ``api``, or ``suppress`` for suppression hygiene).
+        path: repo-relative posix path of the flagged file.
+        line: 1-based line number (0 for whole-file findings).
+        symbol: qualified name of the flagged symbol, when known
+            (``module:function`` / ``module:Class.method``).
+        message: human-readable description of the defect.
+    """
+
+    pass_id: str
+    path: str
+    line: int
+    message: str
+    symbol: str = ""
+
+    def format(self) -> str:
+        """Render as ``path:line: [pass] message``."""
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.pass_id}] {self.message}"
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dictionary form (the CI artifact rows)."""
+        return {
+            "pass": self.pass_id,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """All findings as sorted text, one per line."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.pass_id))
+    return "\n".join(f.format() for f in ordered)
+
+
+def findings_to_json(
+    findings: Sequence[Finding], extra: Optional[Dict[str, Any]] = None
+) -> str:
+    """The machine-readable report (``repro lint --deep --json``)."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.pass_id))
+    payload: Dict[str, Any] = {
+        "tool": "reproflow",
+        "findings": [f.to_payload() for f in ordered],
+        "count": len(ordered),
+    }
+    if extra:
+        payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One baselined (accepted) finding with its justification."""
+
+    pass_id: str
+    path: str
+    symbol: str = ""
+    contains: str = ""
+    reason: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry covers ``finding``."""
+        if self.pass_id != finding.pass_id or self.path != finding.path:
+            return False
+        if self.symbol and self.symbol != finding.symbol:
+            return False
+        if self.contains and self.contains not in finding.message:
+            return False
+        return True
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file plus per-entry use counts."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+    _used: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._used = [0] * len(self.entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether any entry covers ``finding`` (marking it used)."""
+        hit = False
+        for index, entry in enumerate(self.entries):
+            if entry.matches(finding):
+                self._used[index] += 1
+                hit = True
+        return hit
+
+    def unused_findings(self) -> List[Finding]:
+        """One ``suppress`` finding per baseline entry that matched
+        nothing — stale exemptions must be deleted, not hoarded."""
+        findings = []
+        where = self.path.as_posix() if self.path else "baseline"
+        for entry, used in zip(self.entries, self._used):
+            if not used:
+                findings.append(
+                    Finding(
+                        pass_id="suppress",
+                        path=where,
+                        line=0,
+                        message=(
+                            f"unused baseline entry (pass={entry.pass_id!r}, "
+                            f"path={entry.path!r}"
+                            + (f", symbol={entry.symbol!r}" if entry.symbol else "")
+                            + "); the finding it excused no longer fires — "
+                            "delete the entry"
+                        ),
+                    )
+                )
+        return findings
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse the baseline JSON file (missing file = empty baseline)."""
+    if not path.exists():
+        return Baseline(entries=[], path=path)
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    items = raw.get("entries", []) if isinstance(raw, dict) else raw
+    entries = []
+    for item in items:
+        if not item.get("reason"):
+            raise ValueError(
+                f"baseline entry {item!r} has no 'reason'; every accepted "
+                "finding needs a one-line justification"
+            )
+        entries.append(
+            BaselineEntry(
+                pass_id=item["pass"],
+                path=item["path"],
+                symbol=item.get("symbol", ""),
+                contains=item.get("contains", ""),
+                reason=item["reason"],
+            )
+        )
+    return Baseline(entries=entries, path=path)
+
+
+def _inline_disables(source_lines: Sequence[str]) -> Dict[int, set]:
+    """Map of 1-based line number -> set of pass ids disabled there."""
+    disables: Dict[int, set] = {}
+    for number, text in enumerate(source_lines, start=1):
+        match = _DISABLE.search(text)
+        if match:
+            passes = {
+                p.strip() for p in match.group("passes").split(",") if p.strip()
+            }
+            disables[number] = passes
+    return disables
+
+
+def filter_suppressed(
+    findings: Sequence[Finding],
+    sources: Dict[str, Sequence[str]],
+    baseline: Optional[Baseline] = None,
+    selected_passes: Optional[set] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Apply inline and baseline suppressions.
+
+    Args:
+        findings: raw pass output.
+        sources: per-path source lines (for inline comment scanning).
+        baseline: parsed baseline file, if any.
+        selected_passes: when a subset of passes ran, unused-suppression
+            hygiene is skipped for the passes that did not run.
+
+    Returns:
+        (kept, hygiene) — surviving findings, plus ``suppress`` findings
+        for inline comments and baseline entries that silenced nothing.
+    """
+    per_file_disables = {
+        path: _inline_disables(lines) for path, lines in sources.items()
+    }
+    used: Dict[Tuple[str, int, str], int] = {}
+    kept: List[Finding] = []
+    for finding in findings:
+        disables = per_file_disables.get(finding.path, {})
+        line_passes = disables.get(finding.line, set())
+        if finding.pass_id in line_passes:
+            used[(finding.path, finding.line, finding.pass_id)] = 1
+            continue
+        if baseline is not None and baseline.suppresses(finding):
+            continue
+        kept.append(finding)
+
+    hygiene: List[Finding] = []
+    for path, disables in per_file_disables.items():
+        for line, passes in disables.items():
+            for pass_id in sorted(passes):
+                if selected_passes is not None and pass_id not in selected_passes:
+                    continue
+                if (path, line, pass_id) not in used:
+                    hygiene.append(
+                        Finding(
+                            pass_id="suppress",
+                            path=path,
+                            line=line,
+                            message=(
+                                f"unused suppression: '# reproflow: "
+                                f"disable={pass_id}' silences nothing on "
+                                "this line — delete it"
+                            ),
+                        )
+                    )
+    if baseline is not None and selected_passes is None:
+        hygiene.extend(baseline.unused_findings())
+    return kept, hygiene

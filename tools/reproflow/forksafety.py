@@ -1,0 +1,327 @@
+"""Fork-safety pass: no worker-reachable writes to module-level state.
+
+The parallel engine's jobs-invariance guarantee (bit-identical results
+at any ``--jobs``) rests on every task being a pure function of its
+:class:`TaskSpec`.  A function that *executes inside a worker* and
+writes module-level mutable state — a ``global`` rebind, a module
+attribute, a class-level cache, a module-level dict/list/set it
+mutates — makes task outcomes depend on what else ran in the same
+worker process, which varies with worker count and scheduling.  The
+runtime digest comparison catches this only when a divergence actually
+fires; this pass proves the absence of the pattern statically.
+
+Roots of the reachability analysis:
+
+* the task-execution entry points (``execute_task`` and the per-kind
+  runners in ``repro/parallel/task.py``);
+* every experiment implementation registered with ``@register("...")``
+  — the registry dict dispatch the call graph cannot see through;
+* explicitly configured extra roots (e.g. ``run_loaded_network``).
+
+Import-time writes (decorators filling registries as modules load) are
+*not* flagged: spawn workers re-import modules fresh, so import-time
+state is identical in every worker by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from tools.reproflow.callgraph import build_call_graph
+from tools.reproflow.findings import Finding
+from tools.reproflow.project import FunctionInfo, Project, dotted_name
+
+__all__ = ["collect_roots", "run_fork_pass"]
+
+#: Mutating method names on module-level containers.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "appendleft",
+        "__setitem__",
+    }
+)
+
+#: Module-level value shapes considered mutable containers.
+_MUTABLE_LITERALS = (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+                     ast.SetComp)
+_MUTABLE_CALLS = frozenset(
+    {"dict", "list", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+
+def collect_roots(
+    project: Project,
+    entry_points: Sequence[str],
+    register_decorators: Sequence[str] = ("register",),
+) -> Set[str]:
+    """The reachability roots: entry points + registered experiments.
+
+    ``entry_points`` are qualified names (``repro.parallel.task:execute_task``)
+    or bare module names, in which case every function of the module is
+    a root.  Functions decorated with any of ``register_decorators``
+    (called or bare) are added project-wide, mirroring the registry
+    dict dispatch at run time.
+    """
+    roots: Set[str] = set()
+    for entry in entry_points:
+        if ":" in entry:
+            if entry in project.functions:
+                roots.add(entry)
+        elif entry in project.modules:
+            roots.update(
+                qualname
+                for qualname, info in project.functions.items()
+                if info.module == entry and not info.cls
+            )
+    for qualname, info in project.functions.items():
+        node = info.node
+        for decorator in getattr(node, "decorator_list", []):
+            name = None
+            if isinstance(decorator, ast.Call):
+                name = dotted_name(decorator.func)
+            else:
+                name = dotted_name(decorator)
+            if name and name.split(".")[-1] in register_decorators:
+                roots.add(qualname)
+    return roots
+
+
+def _module_level_mutables(project: Project) -> Dict[str, Set[str]]:
+    """Per module: names bound at module level to mutable containers."""
+    result: Dict[str, Set[str]] = {}
+    for name, info in project.modules.items():
+        mutables: Set[str] = set()
+        for node in info.tree.body:
+            targets = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                targets = [node.target]
+                value = node.value
+            if value is None:
+                continue
+            is_mutable = isinstance(value, _MUTABLE_LITERALS)
+            if not is_mutable and isinstance(value, ast.Call):
+                called = dotted_name(value.func)
+                if called and called.split(".")[-1] in _MUTABLE_CALLS:
+                    is_mutable = True
+            if is_mutable:
+                mutables.update(t.id for t in targets if t.id != "__all__")
+        result[name] = mutables
+    return result
+
+
+def _globals_declared(func: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _bind_target(target: ast.AST, bound: Set[str]) -> None:
+    """Add the names a binding target introduces.
+
+    Only name and unpacking targets *bind*; ``x[k] = ...`` and
+    ``x.attr = ...`` mutate an existing object, so their bases must
+    stay visible to the module-state checks below.
+    """
+    if isinstance(target, ast.Name):
+        bound.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, bound)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, bound)
+
+
+def _local_bindings(info: FunctionInfo) -> Set[str]:
+    """Names bound inside the function (assignments, params, loops,
+    withs, comprehensions) — writes to these shadow module state."""
+    bound: Set[str] = set()
+    args = info.node.args
+    for arg in (
+        list(args.posonlyargs)
+        + list(args.args)
+        + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        bound.add(arg.arg)
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                _bind_target(target, bound)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            _bind_target(node.target, bound)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    _bind_target(item.optional_vars, bound)
+        elif isinstance(node, ast.comprehension):
+            _bind_target(node.target, bound)
+    return bound
+
+
+def _check_function(
+    project: Project,
+    info: FunctionInfo,
+    mutables: Dict[str, Set[str]],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    module_info = project.modules[info.module]
+    rel = module_info.rel_path(project.root)
+    globals_here = _globals_declared(info.node)
+    local = _local_bindings(info)
+    module_mutables = mutables.get(info.module, set())
+
+    def finding(node: ast.AST, message: str) -> Finding:
+        return Finding(
+            pass_id="fork",
+            path=rel,
+            line=getattr(node, "lineno", 0),
+            symbol=info.qualname,
+            message=message,
+        )
+
+    for node in ast.walk(info.node):
+        # global X; X = ... — rebinding module state from a worker.
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in globals_here
+                ):
+                    findings.append(
+                        finding(
+                            node,
+                            f"worker-reachable write to global "
+                            f"{target.id!r}; state set here diverges "
+                            "between spawn workers — thread it through "
+                            "the TaskSpec instead",
+                        )
+                    )
+                elif isinstance(target, ast.Attribute):
+                    base = dotted_name(target.value)
+                    if base is None:
+                        continue
+                    head = base.split(".")[0]
+                    if head in ("self", "cls") or head in local:
+                        continue
+                    symbol = project.resolve(info.module, head)
+                    if symbol is None:
+                        continue
+                    if symbol.kind == "class":
+                        findings.append(
+                            finding(
+                                node,
+                                f"worker-reachable write to class "
+                                f"attribute {base}.{target.attr}; class-"
+                                "level caches diverge between spawn "
+                                "workers",
+                            )
+                        )
+                    elif (
+                        symbol.kind == "import"
+                        and symbol.target is not None
+                        and not symbol.target[1]
+                    ):
+                        findings.append(
+                            finding(
+                                node,
+                                f"worker-reachable write to module "
+                                f"attribute {base}.{target.attr}",
+                            )
+                        )
+                elif isinstance(target, ast.Subscript):
+                    base = dotted_name(target.value)
+                    if base is None:
+                        continue
+                    if base in module_mutables and base not in local:
+                        findings.append(
+                            finding(
+                                node,
+                                f"worker-reachable item write to module-"
+                                f"level container {base!r}; per-process "
+                                "cache contents diverge between spawn "
+                                "workers",
+                            )
+                        )
+        elif isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            method = node.func.attr
+            if method not in _MUTATORS:
+                continue
+            base = dotted_name(node.func.value)
+            if base is None:
+                continue
+            if base in module_mutables and base not in local:
+                findings.append(
+                    finding(
+                        node,
+                        f"worker-reachable mutation "
+                        f"{base}.{method}(...) of module-level container; "
+                        "contents diverge between spawn workers",
+                    )
+                )
+    return findings
+
+
+def run_fork_pass(
+    project: Project,
+    entry_points: Sequence[str],
+    extra_roots: Sequence[str] = (),
+) -> List[Finding]:
+    """Reachability from the task entry points, then the write audit."""
+    graph = build_call_graph(project)
+    roots = collect_roots(project, entry_points)
+    roots.update(r for r in extra_roots if r in project.functions)
+    if not roots:
+        return [
+            Finding(
+                pass_id="fork",
+                path=project.package,
+                line=0,
+                message=(
+                    "no fork-safety roots found (no entry points resolved "
+                    "and nothing is @register-ed); check the configuration"
+                ),
+            )
+        ]
+    reachable = graph.reachable(roots)
+    mutables = _module_level_mutables(project)
+    findings: List[Finding] = []
+    for qualname in sorted(reachable):
+        info = project.functions.get(qualname)
+        if info is None:
+            continue
+        findings.extend(_check_function(project, info, mutables))
+    return findings

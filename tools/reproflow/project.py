@@ -1,0 +1,380 @@
+"""Whole-program model: every module of a package, parsed once.
+
+:func:`load_project` walks a package root (``src/repro`` for the real
+tree, a synthetic fixture package in tests), parses each module, and
+builds:
+
+* a per-module **symbol table** — every top-level binding with its kind
+  (function / class / constant / import) and, for imports, the module
+  and name it refers to;
+* the **import graph** between project modules;
+* an index of every function and method body, keyed by qualified name
+  (``package.module:func`` / ``package.module:Class.method``), which
+  the call-graph builder and the passes iterate.
+
+Resolution (:meth:`Project.resolve`) follows import chains across
+modules, so a pass asking "what does ``TxStart`` mean at this call
+site" lands on the defining class even when the name was re-exported
+through two ``__init__`` modules.  Everything is best-effort static
+analysis: dynamic tricks resolve to ``None`` and passes must treat an
+unresolved name as unknown, never as proof.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "Symbol",
+    "dotted_name",
+    "iter_calls",
+    "load_project",
+]
+
+#: Symbol kinds in a module's top-level namespace.
+_KINDS = ("function", "class", "constant", "import")
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One top-level binding in a module.
+
+    Attributes:
+        name: the bound name.
+        kind: ``function`` / ``class`` / ``constant`` / ``import``.
+        module: the module the binding lives in.
+        node: defining AST node (def/class/assign/import alias site).
+        target: for imports, the ``(module, name)`` referred to —
+            ``("repro.obs.events", "TxStart")`` for
+            ``from repro.obs.events import TxStart``, and
+            ``("numpy.random", "")`` for ``import numpy.random``.
+    """
+
+    name: str
+    kind: str
+    module: str
+    node: ast.AST
+    target: Optional[Tuple[str, str]] = None
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method body, addressable project-wide.
+
+    Attributes:
+        qualname: ``module:func`` or ``module:Class.method``.
+        module: containing module name.
+        node: the ``FunctionDef`` AST node.
+        cls: containing class name, empty for module-level functions.
+    """
+
+    qualname: str
+    module: str
+    node: ast.AST
+    cls: str = ""
+
+    @property
+    def name(self) -> str:
+        """The bare function name."""
+        return self.qualname.rsplit(".", 1)[-1].rsplit(":", 1)[-1]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    source_lines: List[str]
+    symbols: Dict[str, Symbol] = field(default_factory=dict)
+    #: project modules imported (directly) by this module.
+    imports: List[str] = field(default_factory=list)
+    #: literal __all__ contents, when declared.
+    dunder_all: Optional[List[str]] = None
+
+    def rel_path(self, root: Path) -> str:
+        """Path relative to the project root, posix-style."""
+        try:
+            return self.path.relative_to(root).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+
+class Project:
+    """The parsed package: modules, symbols, functions, import graph."""
+
+    def __init__(self, package: str, root: Path) -> None:
+        self.package = package
+        #: filesystem directory that *contains* the package directory.
+        self.root = root
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    # -- construction ------------------------------------------------
+
+    def add_module(self, info: ModuleInfo) -> None:
+        """Register one parsed module and index its functions."""
+        self.modules[info.name] = info
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{info.name}:{node.name}"
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname, module=info.name, node=node
+                )
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{info.name}:{node.name}.{item.name}"
+                        self.functions[qualname] = FunctionInfo(
+                            qualname=qualname,
+                            module=info.name,
+                            node=item,
+                            cls=node.name,
+                        )
+
+    # -- queries -----------------------------------------------------
+
+    def module_of_path(self, path: str) -> Optional[ModuleInfo]:
+        """The module whose file is ``path`` (project-root relative)."""
+        for info in self.modules.values():
+            if info.rel_path(self.root) == path:
+                return info
+        return None
+
+    def resolve(
+        self, module: str, name: str, _depth: int = 0
+    ) -> Optional[Symbol]:
+        """Resolve ``name`` as seen from ``module``, following imports.
+
+        Returns the defining :class:`Symbol` (kind function/class/
+        constant) inside the project, the import symbol itself when the
+        chain leaves the project (e.g. numpy), or ``None``.
+        """
+        if _depth > 16 or module not in self.modules:
+            return None
+        symbol = self.modules[module].symbols.get(name)
+        if symbol is None or symbol.kind != "import" or symbol.target is None:
+            return symbol
+        target_module, target_name = symbol.target
+        if not target_name:
+            # ``import x.y`` style: the binding is the module itself.
+            return symbol
+        if target_module in self.modules:
+            resolved = self.resolve(target_module, target_name, _depth + 1)
+            return resolved if resolved is not None else symbol
+        # Package __init__ re-export: ``from repro.obs import TxStart``
+        # where repro.obs/__init__ itself imports it from .events.
+        init_name = target_module
+        if init_name in self.modules:
+            return self.resolve(init_name, target_name, _depth + 1)
+        return symbol
+
+    def resolve_dotted(self, module: str, dotted: str) -> Optional[Symbol]:
+        """Resolve a dotted expression like ``events.TxStart`` or
+        ``repro.parallel.seedtree.derive_seed`` from ``module``."""
+        parts = dotted.split(".")
+        if len(parts) == 1:
+            return self.resolve(module, dotted)
+        head = self.resolve(module, parts[0])
+        if head is None or head.kind != "import" or head.target is None:
+            return None
+        target_module = head.target[0]
+        # ``import repro.parallel.seedtree as st`` → walk the remainder
+        # of the dotted path down the module tree.
+        for part in parts[1:-1]:
+            candidate = f"{target_module}.{part}"
+            if candidate in self.modules:
+                target_module = candidate
+            elif target_module in self.modules:
+                inner = self.resolve(target_module, part)
+                if (
+                    inner is not None
+                    and inner.kind == "import"
+                    and inner.target is not None
+                    and not inner.target[1]
+                ):
+                    target_module = inner.target[0]
+                else:
+                    return None
+            else:
+                # External module (numpy.random etc.): synthesize an
+                # import symbol naming the external target.
+                return Symbol(
+                    name=parts[-1],
+                    kind="import",
+                    module=module,
+                    node=head.node,
+                    target=(f"{target_module}." + ".".join(parts[1:-1])
+                            if len(parts) > 2 else target_module,
+                            parts[-1]),
+                )
+        if target_module in self.modules:
+            return self.resolve(target_module, parts[-1])
+        return Symbol(
+            name=parts[-1],
+            kind="import",
+            module=module,
+            node=head.node,
+            target=(target_module, parts[-1]),
+        )
+
+    def external_name(self, module: str, dotted: str) -> Optional[str]:
+        """The fully-qualified external name a dotted expression refers
+        to (``np.random.default_rng`` → ``numpy.random.default_rng``),
+        or ``None`` when it resolves inside the project or not at all."""
+        symbol = self.resolve_dotted(module, dotted)
+        if symbol is None:
+            parts = dotted.split(".")
+            head = self.modules.get(module, None)
+            if head is not None and parts[0] not in head.symbols:
+                return None
+            return None
+        if symbol.kind == "import" and symbol.target is not None:
+            target_module, target_name = symbol.target
+            if target_module.split(".")[0] == self.package:
+                return None
+            return f"{target_module}.{target_name}" if target_name else target_module
+        return None
+
+
+def _module_name(package: str, package_dir: Path, path: Path) -> str:
+    rel = path.relative_to(package_dir)
+    parts = [package] + list(rel.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def _literal_strings(node: ast.AST) -> Optional[List[str]]:
+    if isinstance(node, (ast.List, ast.Tuple)) and all(
+        isinstance(e, ast.Constant) and isinstance(e.value, str)
+        for e in node.elts
+    ):
+        return [e.value for e in node.elts]
+    return None
+
+
+def _collect_symbols(info: ModuleInfo, package: str) -> None:
+    """Fill ``info.symbols`` / ``info.imports`` / ``info.dunder_all``.
+
+    Module-level statements define the namespace; imports that live
+    *inside* function bodies (the lazy-import idiom used to break
+    import cycles) are folded in afterwards for any name not already
+    bound at module level, so call resolution can follow them.
+    """
+    module = info.name
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.symbols[node.name] = Symbol(node.name, "function", module, node)
+        elif isinstance(node, ast.ClassDef):
+            info.symbols[node.name] = Symbol(node.name, "class", module, node)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            _add_import(info, node, package, overwrite=True)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__":
+                    value = node.value
+                    if value is not None:
+                        info.dunder_all = _literal_strings(value)
+                else:
+                    info.symbols[target.id] = Symbol(
+                        target.id, "constant", module, node
+                    )
+    # Second sweep: lazy imports inside function bodies.
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and node not in info.tree.body:
+            _add_import(info, node, package, overwrite=False)
+
+
+def _add_import(
+    info: ModuleInfo, node: ast.AST, package: str, overwrite: bool
+) -> None:
+    module = info.name
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            if overwrite or bound not in info.symbols:
+                info.symbols[bound] = Symbol(
+                    bound, "import", module, node, target=(target, "")
+                )
+            if alias.name.split(".")[0] == package:
+                info.imports.append(alias.name)
+    elif isinstance(node, ast.ImportFrom):
+        source = node.module or ""
+        if node.level:
+            # Relative import: resolve against this module's package.
+            base = module.split(".")
+            if not info.path.name == "__init__.py":
+                base = base[:-1]
+            base = base[: len(base) - (node.level - 1)]
+            source = ".".join(base + ([source] if source else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            if overwrite or bound not in info.symbols:
+                info.symbols[bound] = Symbol(
+                    bound, "import", module, node, target=(source, alias.name)
+                )
+        if source.split(".")[0] == package:
+            info.imports.append(source)
+
+
+def load_project(package_dir: Path, package: Optional[str] = None) -> Project:
+    """Parse every ``.py`` file under ``package_dir`` into a Project.
+
+    Args:
+        package_dir: the package directory itself (``src/repro``).
+        package: dotted package name; defaults to the directory name.
+    """
+    package_dir = Path(package_dir)
+    package = package or package_dir.name
+    project = Project(package=package, root=package_dir.parent)
+    for path in sorted(package_dir.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        info = ModuleInfo(
+            name=_module_name(package, package_dir, path),
+            path=path,
+            tree=tree,
+            source_lines=source.splitlines(),
+        )
+        _collect_symbols(info, package)
+        project.add_module(info)
+    return project
+
+
+def iter_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """Every Call node in a subtree (helper shared by the passes)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from nested Attribute/Name nodes."""
+    chain: List[str] = []
+    while isinstance(node, ast.Attribute):
+        chain.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        chain.append(node.id)
+        return ".".join(reversed(chain))
+    return None

@@ -1,0 +1,549 @@
+"""Event-schema pass: emit sites, registry completeness, schema lock.
+
+The typed observability layer (PR 5) froze every trace event as a
+dataclass in ``repro/obs/events.py`` with a stable ``kind/vN`` schema
+id.  Three things can silently rot that contract:
+
+1. an ``instr.emit(SomeEvent(...))`` call site drifting out of step
+   with the dataclass fields (wrong arity, unknown keyword, missing
+   required field) — a runtime TypeError on a path that only fires
+   under instrumentation;
+2. a new event class that never lands in ``EVENT_TYPES`` (or
+   ``__all__``), so sinks cannot decode it back;
+3. an event's **fields** changing without a ``SCHEMA`` bump, making
+   previously-recorded traces decode into the wrong shape.
+
+This pass extracts the event classes from the events module AST (no
+imports executed), checks every resolvable emit call site project-wide
+against the field lists, verifies registry completeness, and compares
+the extracted schemas against the committed lock file
+(``tools/reproflow/schema.lock``).  A field change without a version
+bump is an error; a legitimate version bump is an error *until the
+lock is regenerated* with ``--write-locks`` — so either way, CI sees
+the drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.reproflow.findings import Finding
+from tools.reproflow.project import ModuleInfo, Project, dotted_name
+
+__all__ = [
+    "EventSchema",
+    "extract_event_schemas",
+    "run_schema_pass",
+    "schema_lock_payload",
+    "write_schema_lock",
+]
+
+
+@dataclass(frozen=True)
+class EventField:
+    """One dataclass field of an event type."""
+
+    name: str
+    annotation: str
+    has_default: bool
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """The extracted schema of one event class."""
+
+    cls: str
+    kind: str
+    version: int
+    fields: Tuple[EventField, ...]
+
+    @property
+    def schema_id(self) -> str:
+        """The ``kind/vN`` wire identifier."""
+        return f"{self.kind}/v{self.version}"
+
+    def field_payload(self) -> List[Dict[str, object]]:
+        """JSON-safe field list for the lock file."""
+        return [
+            {
+                "name": f.name,
+                "type": f.annotation,
+                "default": f.has_default,
+            }
+            for f in self.fields
+        ]
+
+
+def _class_assign(node: ast.ClassDef, name: str) -> Optional[ast.expr]:
+    for item in node.body:
+        if isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return item.value
+    return None
+
+
+def _own_fields(node: ast.ClassDef) -> List[EventField]:
+    """Dataclass fields declared directly on ``node`` (AnnAssign only —
+    plain assignments like KIND/SCHEMA are class attributes, not
+    fields)."""
+    fields: List[EventField] = []
+    for item in node.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            annotation = ast.unparse(item.annotation)
+            if annotation.startswith("ClassVar"):
+                continue
+            fields.append(
+                EventField(
+                    name=item.target.id,
+                    annotation=annotation,
+                    has_default=item.value is not None,
+                )
+            )
+    return fields
+
+
+def extract_event_schemas(
+    events_module: ModuleInfo, base_class: str = "TraceEvent"
+) -> Tuple[Dict[str, EventSchema], List[str], Optional[Finding]]:
+    """Extract every event schema from the events module AST.
+
+    Returns ``(schemas_by_class, subclass_order, error)``; ``error`` is
+    a finding when the base class itself cannot be found.
+    """
+    classes: Dict[str, ast.ClassDef] = {
+        node.name: node
+        for node in events_module.tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+    if base_class not in classes:
+        return {}, [], Finding(
+            pass_id="schema",
+            path=events_module.path.as_posix(),
+            line=1,
+            message=f"events module defines no {base_class!r} base class",
+        )
+
+    def is_event(name: str, depth: int = 0) -> bool:
+        if name == base_class:
+            return True
+        node = classes.get(name)
+        if node is None or depth > 8:
+            return False
+        return any(
+            isinstance(base, ast.Name) and is_event(base.id, depth + 1)
+            for base in node.bases
+        )
+
+    def inherited_chain(name: str) -> List[ast.ClassDef]:
+        chain: List[ast.ClassDef] = []
+        current: Optional[str] = name
+        while current is not None and current in classes:
+            node = classes[current]
+            chain.append(node)
+            parents = [
+                base.id for base in node.bases if isinstance(base, ast.Name)
+            ]
+            current = parents[0] if parents else None
+        return list(reversed(chain))
+
+    schemas: Dict[str, EventSchema] = {}
+    order: List[str] = []
+    for name, node in classes.items():
+        if name == base_class or not is_event(name):
+            continue
+        order.append(name)
+        fields: List[EventField] = []
+        kind = name.lower()
+        version = 1
+        for ancestor in inherited_chain(name):
+            fields.extend(_own_fields(ancestor))
+            kind_node = _class_assign(ancestor, "KIND")
+            if isinstance(kind_node, ast.Constant) and isinstance(
+                kind_node.value, str
+            ):
+                kind = kind_node.value
+            schema_node = _class_assign(ancestor, "SCHEMA")
+            if isinstance(schema_node, ast.Constant) and isinstance(
+                schema_node.value, int
+            ):
+                version = schema_node.value
+        schemas[name] = EventSchema(
+            cls=name, kind=kind, version=version, fields=tuple(fields)
+        )
+    return schemas, order, None
+
+
+def _registry_classes(events_module: ModuleInfo) -> List[str]:
+    """Class names listed in the EVENT_TYPES dict-comprehension tuple
+    (or dict literal of ``kind: Class`` entries)."""
+    for node in events_module.tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        named = any(
+            isinstance(t, ast.Name) and t.id == "EVENT_TYPES" for t in targets
+        )
+        if not named or node.value is None:
+            continue
+        value = node.value
+        names: List[str] = []
+        if isinstance(value, ast.DictComp):
+            iterable = value.generators[0].iter
+            if isinstance(iterable, (ast.Tuple, ast.List)):
+                for element in iterable.elts:
+                    if isinstance(element, ast.Name):
+                        names.append(element.id)
+        elif isinstance(value, ast.Dict):
+            for element in value.values:
+                if isinstance(element, ast.Name):
+                    names.append(element.id)
+        return names
+    return []
+
+
+# -- emit call-site checking ------------------------------------------
+
+
+def _bind_emit_args(
+    schema: EventSchema, call: ast.Call
+) -> Optional[str]:
+    """Check one ``Event(...)`` construction against its field list.
+
+    Returns an error message, or ``None`` when the construction binds.
+    """
+    field_names = [f.name for f in schema.fields]
+    required = {f.name for f in schema.fields if not f.has_default}
+    if len(call.args) > len(field_names):
+        return (
+            f"{schema.cls}(...) takes {len(field_names)} field(s) "
+            f"{tuple(field_names)} but got {len(call.args)} positional "
+            "argument(s)"
+        )
+    bound = set(field_names[: len(call.args)])
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return None  # **kwargs splat: cannot check statically
+        if keyword.arg not in field_names:
+            return (
+                f"{schema.cls}(...) has no field {keyword.arg!r} "
+                f"(fields: {', '.join(field_names)}; schema "
+                f"{schema.schema_id})"
+            )
+        if keyword.arg in bound:
+            return f"{schema.cls}(...) got field {keyword.arg!r} twice"
+        bound.add(keyword.arg)
+    missing = sorted(required - bound)
+    if missing:
+        return (
+            f"{schema.cls}(...) is missing required field(s) "
+            f"{', '.join(missing)} (schema {schema.schema_id})"
+        )
+    return None
+
+
+def _event_class_at(
+    project: Project, module: str, call: ast.Call, events_module: str
+) -> Optional[str]:
+    """The event-class name constructed by ``call``, when its callee
+    resolves into the events module."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    symbol = project.resolve_dotted(module, dotted)
+    if (
+        symbol is not None
+        and symbol.kind == "class"
+        and symbol.module == events_module
+    ):
+        return symbol.name
+    return None
+
+
+def check_emit_sites(
+    project: Project,
+    schemas: Dict[str, EventSchema],
+    events_module: str,
+) -> List[Finding]:
+    """Validate every ``*.emit(Event(...))`` call site in the project."""
+    findings: List[Finding] = []
+    for module_name, info in sorted(project.modules.items()):
+        rel = info.rel_path(project.root)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_emit = isinstance(func, ast.Attribute) and func.attr == "emit"
+            if not is_emit:
+                continue
+            for argument in node.args:
+                if not isinstance(argument, ast.Call):
+                    continue
+                cls = _event_class_at(
+                    project, module_name, argument, events_module
+                )
+                if cls is None or cls not in schemas:
+                    continue
+                error = _bind_emit_args(schemas[cls], argument)
+                if error is not None:
+                    findings.append(
+                        Finding(
+                            pass_id="schema",
+                            path=rel,
+                            line=argument.lineno,
+                            symbol=f"{module_name}:emit({cls})",
+                            message=f"emit call site drifted: {error}",
+                        )
+                    )
+    return findings
+
+
+# -- lock file --------------------------------------------------------
+
+
+def schema_lock_payload(schemas: Dict[str, EventSchema]) -> Dict[str, object]:
+    """The lock-file document for the current schemas."""
+    events = {
+        schema.kind: {
+            "class": schema.cls,
+            "schema_id": schema.schema_id,
+            "version": schema.version,
+            "fields": schema.field_payload(),
+        }
+        for schema in schemas.values()
+    }
+    blob = json.dumps(events, sort_keys=True).encode("utf-8")
+    return {
+        "comment": (
+            "Frozen event schemas (kind/vN + field lists). Regenerate "
+            "after an intentional schema change (and SCHEMA bump) with: "
+            "python -m tools.reproflow --write-locks"
+        ),
+        "fingerprint": hashlib.blake2b(blob, digest_size=16).hexdigest(),
+        "events": events,
+    }
+
+
+def write_schema_lock(path: Path, schemas: Dict[str, EventSchema]) -> None:
+    """Write (or rewrite) the committed schema lock file."""
+    path.write_text(
+        json.dumps(schema_lock_payload(schemas), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def check_schema_lock(
+    lock_path: Path, schemas: Dict[str, EventSchema], events_rel_path: str
+) -> List[Finding]:
+    """Diff the extracted schemas against the committed lock."""
+    lock_rel = lock_path.as_posix()
+    if not lock_path.exists():
+        return [
+            Finding(
+                pass_id="schema",
+                path=lock_rel,
+                line=0,
+                message=(
+                    "schema lock file is missing; generate it with "
+                    "python -m tools.reproflow --write-locks"
+                ),
+            )
+        ]
+    try:
+        lock = json.loads(lock_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [
+            Finding(
+                pass_id="schema",
+                path=lock_rel,
+                line=0,
+                message=f"schema lock file is unreadable: {exc}",
+            )
+        ]
+    current = schema_lock_payload(schemas)
+    if lock.get("fingerprint") == current["fingerprint"]:
+        return []
+
+    findings: List[Finding] = []
+    locked_events: Dict[str, Dict] = lock.get("events", {})
+    current_events: Dict[str, Dict] = current["events"]  # type: ignore[assignment]
+    for kind, locked in sorted(locked_events.items()):
+        now = current_events.get(kind)
+        if now is None:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=events_rel_path,
+                    line=0,
+                    message=(
+                        f"event kind {kind!r} ({locked.get('class')}) was "
+                        "removed but is still in schema.lock; if intentional, "
+                        "regenerate with --write-locks"
+                    ),
+                )
+            )
+            continue
+        if now["fields"] != locked.get("fields"):
+            if now["version"] == locked.get("version"):
+                findings.append(
+                    Finding(
+                        pass_id="schema",
+                        path=events_rel_path,
+                        line=0,
+                        symbol=str(now["class"]),
+                        message=(
+                            f"fields of {now['class']} changed but its "
+                            f"schema id is still {now['schema_id']}; bump "
+                            "SCHEMA and regenerate the lock (--write-locks) "
+                            "so recorded traces stay decodable"
+                        ),
+                    )
+                )
+            else:
+                findings.append(
+                    Finding(
+                        pass_id="schema",
+                        path=lock_rel,
+                        line=0,
+                        symbol=str(now["class"]),
+                        message=(
+                            f"schema.lock is stale for {now['class']} "
+                            f"(lock {locked.get('schema_id')}, code "
+                            f"{now['schema_id']}); regenerate with "
+                            "--write-locks"
+                        ),
+                    )
+                )
+        elif now["version"] != locked.get("version"):
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=lock_rel,
+                    line=0,
+                    symbol=str(now["class"]),
+                    message=(
+                        f"schema.lock is stale for {now['class']} "
+                        f"(lock {locked.get('schema_id')}, code "
+                        f"{now['schema_id']}); regenerate with --write-locks"
+                    ),
+                )
+            )
+    for kind, now in sorted(current_events.items()):
+        if kind not in locked_events:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=lock_rel,
+                    line=0,
+                    symbol=str(now["class"]),
+                    message=(
+                        f"new event kind {kind!r} ({now['class']}) is not in "
+                        "schema.lock; regenerate with --write-locks"
+                    ),
+                )
+            )
+    if not findings:
+        findings.append(
+            Finding(
+                pass_id="schema",
+                path=lock_rel,
+                line=0,
+                message=(
+                    "schema.lock fingerprint mismatch; regenerate with "
+                    "--write-locks"
+                ),
+            )
+        )
+    return findings
+
+
+def run_schema_pass(
+    project: Project,
+    events_module: str,
+    lock_path: Path,
+) -> List[Finding]:
+    """Registry completeness + emit call sites + lock diff."""
+    findings: List[Finding] = []
+    info = project.modules.get(events_module)
+    if info is None:
+        return [
+            Finding(
+                pass_id="schema",
+                path=events_module,
+                line=0,
+                message=f"events module {events_module!r} not found in project",
+            )
+        ]
+    rel = info.rel_path(project.root)
+    schemas, order, error = extract_event_schemas(info)
+    if error is not None:
+        return [error]
+
+    registered = _registry_classes(info)
+    listed = set(info.dunder_all or [])
+    kinds_seen: Dict[str, str] = {}
+    for name in order:
+        schema = schemas[name]
+        if name not in registered:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=rel,
+                    line=info.symbols[name].node.lineno,
+                    symbol=name,
+                    message=(
+                        f"event class {name} (kind {schema.kind!r}) is not "
+                        "in the EVENT_TYPES registry; sinks cannot decode it"
+                    ),
+                )
+            )
+        if info.dunder_all is not None and name not in listed:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=rel,
+                    line=info.symbols[name].node.lineno,
+                    symbol=name,
+                    message=f"event class {name} is missing from __all__",
+                )
+            )
+        if schema.kind in kinds_seen:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=rel,
+                    line=info.symbols[name].node.lineno,
+                    symbol=name,
+                    message=(
+                        f"duplicate event kind {schema.kind!r} (also used by "
+                        f"{kinds_seen[schema.kind]})"
+                    ),
+                )
+            )
+        kinds_seen.setdefault(schema.kind, name)
+    for name in registered:
+        if name not in schemas:
+            findings.append(
+                Finding(
+                    pass_id="schema",
+                    path=rel,
+                    line=0,
+                    symbol=name,
+                    message=(
+                        f"EVENT_TYPES registers {name!r}, which is not a "
+                        "TraceEvent subclass in the events module"
+                    ),
+                )
+            )
+
+    findings.extend(check_emit_sites(project, schemas, events_module))
+    findings.extend(check_schema_lock(lock_path, schemas, rel))
+    return findings

@@ -102,7 +102,12 @@ class UnseededRandomRule(Rule):
     """
 
     CODE = "REP001"
-    SUMMARY = "no direct random.* / numpy.random.* draws outside sim/streams.py"
+    SUMMARY = "no direct random.* / numpy.random.* global-state draws"
+
+    #: ``sim/streams.py`` (the sanctioned wrapper) needs no carve-out:
+    #: it only touches the :data:`ALLOWED` seeded constructors.  Any
+    #: future exception belongs inline as a ``reprolint: disable=``
+    #: comment, which the REP011 audit retires when it goes stale.
 
     #: numpy.random names that construct seeded generators rather than
     #: drawing from hidden global state.
@@ -122,7 +127,7 @@ class UnseededRandomRule(Rule):
     )
 
     def applies_to(self, path: str) -> bool:
-        return not path.replace("\\", "/").endswith("sim/streams.py")
+        return True
 
     def check(self, tree: ast.Module, path: str) -> List[Violation]:
         violations: List[Violation] = []
@@ -186,25 +191,17 @@ class WallClockRule(Rule):
     outcomes to machine speed and breaks replay.  Scoped to ``src/``
     (benchmarks and tests may legitimately time things).
 
-    Exemption: :data:`EXEMPT_PATHS` lists the perf-measurement harness
-    and the two parallel-execution modules that time *host* execution,
-    whose entire purpose is timing completed simulation runs.  They
-    only *observe* finished runs (events processed / wall seconds) or
-    bound them from outside (the pool's per-task timeout discards a
-    run wholesale); no wall-clock value ever feeds back into
-    simulation state, so replay determinism is unaffected.  Any new
-    exemption needs the same property: measurement of, never input to,
-    the simulation.
+    Exemptions live in the exempt files themselves as ``# reprolint:
+    disable[-file]=REP002`` directives (the perf-measurement harness
+    and the parallel-execution modules, which time *host* execution of
+    completed simulation runs).  Any new exemption needs the same
+    property — measurement of, never input to, the simulation — and
+    the unused-suppression audit (REP011) retires it when the timing
+    code goes away.
     """
 
     CODE = "REP002"
     SUMMARY = "no wall-clock reads (time.time, datetime.now, ...) under src/"
-
-    EXEMPT_PATHS = (
-        "repro/analysis/perf.py",
-        "repro/parallel/pool.py",
-        "repro/parallel/bench.py",
-    )
 
     FORBIDDEN_SUFFIXES = (
         "time.time",
@@ -232,9 +229,6 @@ class WallClockRule(Rule):
     }
 
     def applies_to(self, path: str) -> bool:
-        normalized = path.replace("\\", "/")
-        if any(normalized.endswith(exempt) for exempt in self.EXEMPT_PATHS):
-            return False
         return _under_src(path)
 
     def check(self, tree: ast.Module, path: str) -> List[Violation]:
@@ -646,7 +640,9 @@ class ParallelSeedRule(Rule):
     bit-exact jobs-invariance guarantee.  All fan-out must go through
     :func:`repro.parallel.pool.run_tasks` over seed-tree-derived
     :class:`~repro.parallel.task.TaskSpec` objects;
-    ``repro/parallel/pool.py`` is the single sanctioned wrapper.
+    ``repro/parallel/pool.py`` is the single sanctioned wrapper and
+    marks its two multiprocessing imports with inline ``reprolint:
+    disable=REP008`` comments.
     """
 
     CODE = "REP008"
@@ -655,14 +651,10 @@ class ParallelSeedRule(Rule):
         "use repro.parallel (seed-tree tasks + pool)"
     )
 
-    EXEMPT_PATHS = ("repro/parallel/pool.py",)
-
     FORBIDDEN_MODULES = ("multiprocessing", "concurrent.futures", "concurrent")
 
     def applies_to(self, path: str) -> bool:
         normalized = path.replace("\\", "/")
-        if any(normalized.endswith(exempt) for exempt in self.EXEMPT_PATHS):
-            return False
         return _under_src(path) and "/repro/" in "/" + normalized
 
     def _forbidden_module(self, name: Optional[str]) -> bool:
@@ -848,9 +840,10 @@ class LegacyTraceRecordRule(Rule):
     deprecated compatibility shim.  A new ``trace.record(`` call site
     reintroduces untyped, schema-less rows that the sinks and metric
     timelines cannot decode.  Scoped to ``src/repro`` outside the
-    observability package itself and the legacy shim module
-    (``repro/sim/trace.py``), which must keep the method working for
-    one release.
+    observability package itself; the legacy shim module
+    (``repro/sim/trace.py``) defines the method but contains no
+    ``trace.record(...)`` call sites of its own, so it needs no
+    exemption.
     """
 
     CODE = "REP010"
@@ -859,12 +852,8 @@ class LegacyTraceRecordRule(Rule):
         "emit typed events through repro.obs.Instrumentation"
     )
 
-    EXEMPT_PATHS = ("repro/sim/trace.py",)
-
     def applies_to(self, path: str) -> bool:
         normalized = path.replace("\\", "/")
-        if any(normalized.endswith(exempt) for exempt in self.EXEMPT_PATHS):
-            return False
         if "/repro/obs/" in "/" + normalized:
             return False
         return _under_src(path) and "/repro/" in "/" + normalized

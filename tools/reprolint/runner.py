@@ -1,4 +1,19 @@
-"""File discovery, suppression handling, and the CLI driver."""
+"""File discovery, suppression handling, and the CLI driver.
+
+Suppressions, most to least precise (shown without the leading hash
+so these examples are not themselves parsed as directives):
+
+* ``reprolint: disable=REP002`` (comma-separable) in a comment on the
+  flagged line silences those codes there — the preferred form,
+  because a suppression that silences nothing is itself reported as
+  REP011;
+* ``reprolint: disable-file=REP001`` in a comment in the first ten
+  lines silences a code for the whole file (same REP011 hygiene);
+* ``noqa`` / ``noqa: REP002`` comments are honoured for editor
+  compatibility but get no unused-suppression audit;
+* a ``reprolint: skip-file`` comment in the first five lines skips
+  the whole file.
+"""
 
 from __future__ import annotations
 
@@ -7,15 +22,28 @@ import ast
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from tools.reprolint.rules import ALL_RULES, Rule, Violation
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "main"]
+__all__ = ["UNUSED_SUPPRESSION_CODE", "lint_source", "lint_file", "lint_paths", "main"]
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 _SKIP_FILE = re.compile(r"#\s*reprolint:\s*skip-file", re.IGNORECASE)
+_DISABLE = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Z0-9, ]+)", re.IGNORECASE
+)
+_DISABLE_FILE = re.compile(
+    r"#\s*reprolint:\s*disable-file=(?P<codes>[A-Z0-9, ]+)", re.IGNORECASE
+)
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", ".eggs"}
+
+#: Emitted for suppression comments that silence nothing (or name an
+#: unknown rule code) — stale exemptions must be deleted, not hoarded.
+UNUSED_SUPPRESSION_CODE = "REP011"
+
+#: How far into the file a ``disable-file=`` directive may appear.
+_DISABLE_FILE_WINDOW = 10
 
 
 def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
@@ -30,6 +58,30 @@ def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
         return True  # blanket noqa
     wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
     return violation.code in wanted
+
+
+def _split_codes(raw: str) -> Set[str]:
+    return {c.strip().upper() for c in raw.split(",") if c.strip()}
+
+
+def _collect_disables(
+    lines: Sequence[str],
+) -> "tuple[Dict[int, Set[str]], Dict[str, int]]":
+    """Inline directives: (line -> codes, file-wide code -> decl line)."""
+    line_disables: Dict[int, Set[str]] = {}
+    file_disables: Dict[str, int] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _DISABLE_FILE.search(text)
+        if match and number <= _DISABLE_FILE_WINDOW:
+            for code in _split_codes(match.group("codes")):
+                file_disables.setdefault(code, number)
+            continue
+        match = _DISABLE.search(text)
+        if match:
+            line_disables.setdefault(number, set()).update(
+                _split_codes(match.group("codes"))
+            )
+    return line_disables, file_disables
 
 
 def lint_source(
@@ -58,14 +110,77 @@ def lint_source(
                 message=f"syntax error: {exc.msg}",
             )
         ]
+    active = rules if rules is not None else ALL_RULES
     violations: List[Violation] = []
-    for rule in rules if rules is not None else ALL_RULES:
+    for rule in active:
         if not rule.applies_to(path):
             continue
         violations.extend(rule.check(tree, path))
-    violations = [v for v in violations if not _suppressed(v, lines)]
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-    return violations
+
+    line_disables, file_disables = _collect_disables(lines)
+    used_line: Set["tuple[int, str]"] = set()
+    used_file: Set[str] = set()
+    kept: List[Violation] = []
+    for violation in violations:
+        if violation.code in line_disables.get(violation.line, set()):
+            used_line.add((violation.line, violation.code))
+            continue
+        if violation.code in file_disables:
+            used_file.add(violation.code)
+            continue
+        if not _suppressed(violation, lines):
+            kept.append(violation)
+
+    # Suppression hygiene: a directive must silence something.  Codes
+    # outside the selected rule set are left alone (they were not
+    # checked this run); codes no rule defines are always flagged.
+    known = {rule.CODE for rule in ALL_RULES}
+    active_codes = {rule.CODE for rule in active}
+    for number, codes in line_disables.items():
+        for code in sorted(codes):
+            if code in known and code not in active_codes:
+                continue
+            if (number, code) not in used_line:
+                detail = (
+                    "names an unknown rule code"
+                    if code not in known
+                    else "silences nothing on this line"
+                )
+                kept.append(
+                    Violation(
+                        path=path,
+                        line=number,
+                        col=0,
+                        code=UNUSED_SUPPRESSION_CODE,
+                        message=(
+                            f"unused suppression: '# reprolint: "
+                            f"disable={code}' {detail} — delete it"
+                        ),
+                    )
+                )
+    for code, number in file_disables.items():
+        if code in known and code not in active_codes:
+            continue
+        if code not in used_file:
+            detail = (
+                "names an unknown rule code"
+                if code not in known
+                else "silences nothing in this file"
+            )
+            kept.append(
+                Violation(
+                    path=path,
+                    line=number,
+                    col=0,
+                    code=UNUSED_SUPPRESSION_CODE,
+                    message=(
+                        f"unused suppression: '# reprolint: "
+                        f"disable-file={code}' {detail} — delete it"
+                    ),
+                )
+            )
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return kept
 
 
 def lint_file(
@@ -121,6 +236,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.CODE}  {rule.SUMMARY}")
+        print(
+            f"{UNUSED_SUPPRESSION_CODE}  unused '# reprolint: disable[-file]=' "
+            "suppression (emitted by the runner)"
+        )
         return 0
 
     rules: Optional[Sequence[Rule]] = None
