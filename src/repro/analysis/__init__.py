@@ -17,7 +17,14 @@ from repro.analysis.connectivity import (
     connectivity_sweep,
     largest_component_fraction,
 )
-from repro.analysis.metro import MetroProjection
+from repro.analysis.metro import (
+    LEGACY_SCENE_DENSITY,
+    MetroProjection,
+    MetroRunResult,
+    MetroScene,
+    build_metro_scene,
+    run_metro_scene,
+)
 from repro.analysis.scheduling_stats import (
     OverlapMeasurement,
     expected_wait_slots,
@@ -42,9 +49,13 @@ __all__ = [
     "FIGURE1_DUTY_CYCLES",
     "FIGURE1_LOG10_RANGE",
     "Figure1Row",
+    "LEGACY_SCENE_DENSITY",
     "MetroProjection",
+    "MetroRunResult",
+    "MetroScene",
     "OverlapMeasurement",
     "bits_per_sec_per_khz",
+    "build_metro_scene",
     "connectivity_sweep",
     "end_to_end_delay_slots",
     "expected_wait_slots",
@@ -61,6 +72,7 @@ __all__ = [
     "pairwise_overlap_fraction",
     "per_hop_delay_slots",
     "rate_gain_from_duty_change",
+    "run_metro_scene",
     "spectral_efficiency",
     "throughput_proxy",
     "usable_fraction",

@@ -27,7 +27,15 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["PerfSample", "run_perf_scenario", "write_report", "format_samples"]
+__all__ = [
+    "PerfSample",
+    "MetroPerfSample",
+    "run_perf_scenario",
+    "run_metro_perf_scenario",
+    "write_report",
+    "format_samples",
+    "format_metro_samples",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +108,110 @@ def run_perf_scenario(
     )
 
 
+@dataclass(frozen=True)
+class MetroPerfSample:
+    """One timed metro-scale run over the sparse medium.
+
+    Build and simulation are timed separately: the chunked CSR build
+    is a one-off O(M x chunk)-memory pass, while the simulation's
+    events/s is the figure comparable against the dense medium's.
+
+    Attributes:
+        stations: network size M.
+        load: offered load in packets per slot per station.
+        duration_slots: simulated arrival horizon in slots.
+        seed: scene seed (traffic uses the perf convention ``seed``
+            with placement at ``seed + stations``).
+        build_wall_s: wall-clock time of the chunked scene build.
+        wall_s: wall-clock time of the simulation run alone.
+        events: simulation events processed.
+        events_per_s: simulation throughput, ``events / wall_s``.
+        transmitted: packets that went on the air.
+        deliveries: successful receptions (correctness fingerprint).
+        losses: lost transmissions (same role).
+        collision_free: whether every transmitted packet arrived.
+        nnz: stored CSR entries (the sparse structure's size).
+        csr_memory_mb: bytes held by the CSR arrays, in MB.
+        max_field_error_bound_w: largest provable culling-error bound
+            observed during the run (the approximation witness).
+    """
+
+    stations: int
+    load: float
+    duration_slots: float
+    seed: int
+    build_wall_s: float
+    wall_s: float
+    events: int
+    events_per_s: float
+    transmitted: int
+    deliveries: int
+    losses: int
+    collision_free: bool
+    nnz: int
+    csr_memory_mb: float
+    max_field_error_bound_w: float
+
+
+def run_metro_perf_scenario(
+    stations: int = 10_000,
+    load: float = 0.05,
+    duration_slots: float = 20.0,
+    seed: int = 29,
+) -> MetroPerfSample:
+    """Build and run one metro scene, timing build and run separately.
+
+    Same determinism contract as :func:`run_perf_scenario`: the scene
+    and its event sequence are fully seed-determined; only the
+    wall-clock observations vary between hosts.
+    """
+    from repro.analysis.metro import build_metro_scene, run_metro_scene
+
+    build_began = time.perf_counter()  # reprolint: disable=REP002
+    scene = build_metro_scene(stations, seed=seed + stations)
+    build_wall_s = time.perf_counter() - build_began  # reprolint: disable=REP002
+    began = time.perf_counter()  # reprolint: disable=REP002
+    result = run_metro_scene(
+        scene, load=load, duration_slots=duration_slots, traffic_seed=seed
+    )
+    wall_s = time.perf_counter() - began  # reprolint: disable=REP002
+    return MetroPerfSample(
+        stations=stations,
+        load=load,
+        duration_slots=duration_slots,
+        seed=seed,
+        build_wall_s=build_wall_s,
+        wall_s=wall_s,
+        events=result.events,
+        events_per_s=result.events / wall_s if wall_s > 0.0 else float("inf"),
+        transmitted=result.transmitted,
+        deliveries=result.deliveries,
+        losses=result.losses_total,
+        collision_free=result.collision_free,
+        nnz=scene.gain_field.nnz,
+        csr_memory_mb=scene.gain_field.memory_bytes / 1e6,
+        max_field_error_bound_w=result.max_field_error_bound_w,
+    )
+
+
+def format_metro_samples(samples: Sequence[MetroPerfSample]) -> str:
+    """Human-readable table of metro perf samples."""
+    lines = [
+        f"{'stations':>8s} {'load':>6s} {'build_s':>8s} {'wall_s':>8s} "
+        f"{'events':>9s} {'events/s':>9s} {'deliv':>7s} {'losses':>7s} "
+        f"{'csr_mb':>8s}"
+    ]
+    for sample in samples:
+        lines.append(
+            f"{sample.stations:>8d} {sample.load:>6.2f} "
+            f"{sample.build_wall_s:>8.2f} {sample.wall_s:>8.2f} "
+            f"{sample.events:>9d} {sample.events_per_s:>9.0f} "
+            f"{sample.deliveries:>7d} {sample.losses:>7d} "
+            f"{sample.csr_memory_mb:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
 def format_samples(samples: Sequence[PerfSample]) -> str:
     """Human-readable table of perf samples."""
     lines = [
@@ -120,9 +232,12 @@ def write_report(
     path: str,
     samples: Sequence[PerfSample],
     notes: Optional[Dict[str, object]] = None,
+    metro: Optional[Sequence[MetroPerfSample]] = None,
 ) -> None:
     """Write perf samples as a JSON report (the ``BENCH_medium.json``
-    format: a ``scenarios`` list plus free-form ``notes``)."""
+    format: a ``scenarios`` list plus free-form ``notes``; metro-scale
+    samples land in a separate ``metro_scenarios`` list because their
+    workload and fields differ)."""
     payload: Dict[str, object] = {
         "unit": "events/sec = Environment.events_processed / wall seconds",
         "workload": (
@@ -131,6 +246,13 @@ def write_report(
         ),
         "scenarios": [asdict(sample) for sample in samples],
     }
+    if metro:
+        payload["metro_workload"] = (
+            "repro.analysis.metro.run_metro_scene over "
+            "build_metro_scene(stations, seed=seed+stations) — sparse CSR "
+            "medium, nearest-neighbour Poisson traffic(traffic_seed=seed)"
+        )
+        payload["metro_scenarios"] = [asdict(sample) for sample in metro]
     if notes:
         payload["notes"] = notes
     with open(path, "w", encoding="utf-8") as handle:

@@ -323,6 +323,53 @@ class TrackerBatch:
         self._failed_at[:count][newly] = now
         return tuple(self._tags[int(i)] for i in np.nonzero(newly)[0])
 
+    def update_where(
+        self,
+        now: float,
+        interference_power_w: np.ndarray,
+        positions: np.ndarray,
+    ) -> Tuple[int, ...]:
+        """Fold new interference levels into a *subset* of trackers.
+
+        The sparse medium knows exactly which receivers a field change
+        touched (the transmitter's CSR column), so it updates only the
+        receptions at those receivers; untouched trackers saw no field
+        change and their SIR is unchanged by construction.  Per-entry
+        arithmetic is identical to :meth:`update` — a touched tracker
+        ends up in the same state either way.
+
+        Args:
+            now: current simulation time.
+            interference_power_w: one interference level per touched
+                tracker, parallel to ``positions``.
+            positions: dense storage positions of the touched trackers
+                (from masking :attr:`receivers`).
+
+        Returns:
+            Tags that failed at this update.
+        """
+        touched = positions.size
+        if touched == 0:
+            return ()
+        if interference_power_w.shape != (touched,):
+            raise ValueError(f"expected {touched} interference powers")
+        denominator = interference_power_w + self._noise[positions]
+        mask = denominator > 0.0
+        current = np.full(touched, math.inf)
+        np.divide(
+            self._signal[positions], denominator, out=current, where=mask
+        )
+        np.minimum(self._min_sir[positions], current, out=current)
+        self._min_sir[positions] = current
+        newly = (current < self._threshold[positions]) & np.isnan(
+            self._failed_at[positions]
+        )
+        if not newly.any():
+            return ()
+        failed_positions = positions[newly]
+        self._failed_at[failed_positions] = now
+        return tuple(self._tags[int(i)] for i in failed_positions)
+
     def ok(self, tag: int) -> bool:
         """Whether the criterion has held so far for ``tag``."""
         return bool(np.isnan(self._failed_at[self._position[tag]]))

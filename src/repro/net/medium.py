@@ -34,19 +34,31 @@ the channel drains to idle, where the field is exactly zero), bounding
 floating-point accumulation; under the determinism sanitizer the
 resync also *asserts* that the incremental field still matches the
 exact recomputation.
+
+Metro scale: a dense ``(M, M)`` gain matrix is 80 GB at 10^5 stations,
+so the medium also accepts a horizon-culled
+:class:`~repro.propagation.sparse.SparseGainField`.  The axpy becomes
+a scatter over the transmitter's CSR column, tracker updates touch
+only the receptions that column can affect, and the drift guard works
+unchanged (the resync recomputes over the same stored structure).
+Significance culling under-reports interference by a *provably
+bounded* amount — :meth:`Medium.field_error_bound_w` witnesses the
+bound at any instant — and a cull threshold of zero makes sparse mode
+bit-identical to dense.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.collisions import CollisionType, InterferenceSource, classify_loss
 from repro.core.reception import TrackerBatch
 from repro.net.packet import Packet
+from repro.propagation.sparse import SparseGainField
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.obs.api import Instrumentation
@@ -154,7 +166,14 @@ class Medium:
 
     Args:
         env: simulation environment.
-        gains: ``(M, M)`` power-gain matrix (zero diagonal).
+        gains: ``(M, M)`` power-gain matrix (zero diagonal), or a
+            :class:`~repro.propagation.sparse.SparseGainField` for the
+            metro-scale sparse medium.  Sparse mode replaces the dense
+            O(M) axpy with a scatter over the transmitter's CSR column
+            and updates only the reception trackers whose receiver that
+            column touches; with a cull threshold of zero the two modes
+            are bit-identical, and with culling on the under-reported
+            interference is bounded by :meth:`field_error_bound_w`.
         thermal_noise_w: per-receiver thermal noise floor.
         sir_thresholds: per-station required SIR for reception.
         listen_query: callable ``(station, now) -> bool``: is the station
@@ -173,7 +192,7 @@ class Medium:
     def __init__(
         self,
         env: Environment,
-        gains: np.ndarray,
+        gains: Union[np.ndarray, SparseGainField],
         thermal_noise_w: float,
         sir_thresholds: np.ndarray,
         listen_query: Callable[[int, float], bool],
@@ -181,18 +200,29 @@ class Medium:
         instrumentation: Optional[Instrumentation] = None,
         resync_events: Optional[int] = 4096,
     ) -> None:
-        gains = np.asarray(gains, dtype=float)
-        if gains.ndim != 2 or gains.shape[0] != gains.shape[1]:
-            raise ValueError("gain matrix must be square")
+        if isinstance(gains, SparseGainField):
+            self.sparse: Optional[SparseGainField] = gains
+            self.gains: Optional[np.ndarray] = None
+            stations = gains.count
+            # Live per-entry gains; privatised (copy-on-write) by
+            # scale_link so the builder's field keeps nominal values.
+            self._svals = gains.vals
+            self._nominal_svals: Optional[np.ndarray] = None
+        else:
+            gains = np.asarray(gains, dtype=float)
+            if gains.ndim != 2 or gains.shape[0] != gains.shape[1]:
+                raise ValueError("gain matrix must be square")
+            self.sparse = None
+            self.gains = gains
+            stations = gains.shape[0]
         thresholds = np.asarray(sir_thresholds, dtype=float)
-        if thresholds.shape != (gains.shape[0],):
+        if thresholds.shape != (stations,):
             raise ValueError("need one SIR threshold per station")
         if thermal_noise_w < 0.0:
             raise ValueError("thermal noise must be non-negative")
         if resync_events is not None and resync_events < 1:
             raise ValueError("resync cadence must be at least 1 event")
         self.env = env
-        self.gains = gains
         self.thermal_noise_w = thermal_noise_w
         self.sir_thresholds = thresholds
         self._listen_query = listen_query
@@ -205,23 +235,30 @@ class Medium:
         # Power currently radiated per station; lets interference_at be
         # one vectorised dot product instead of a loop over the active
         # set (the simulator's hot path).
-        self._powers = np.zeros(gains.shape[0])
+        self._powers = np.zeros(stations)
         # The Eq. 2 received-power field ``gains @ _powers``, maintained
-        # incrementally: one O(M) axpy per transmission start/end.
-        # Column views of the gain matrix feed the axpy; a transposed
+        # incrementally: one O(M) axpy per transmission start/end in
+        # dense mode, one O(column) scatter in sparse mode.  Column
+        # views of the dense gain matrix feed the axpy; a transposed
         # contiguous copy keeps each column a cache-friendly row.
-        self._gains_columns = np.ascontiguousarray(gains.T)
-        self._interference = np.zeros(gains.shape[0])
+        self._gains_columns = (
+            np.ascontiguousarray(self.gains.T) if self.gains is not None else None
+        )
+        self._interference = np.zeros(stations)
         # Per-station count of in-flight transmissions (always 0 or 1
         # for well-behaved MACs); makes is_station_transmitting O(1).
-        self._tx_count = np.zeros(gains.shape[0], dtype=np.int64)
+        self._tx_count = np.zeros(stations, dtype=np.int64)
         self._resync_events = resync_events
         self._field_changes = 0
-        # Scratch buffers for the hot path (axpy temporary and the
-        # per-attempt gathers); contents meaningless between calls.
-        self._axpy = np.zeros(gains.shape[0])
+        # Scratch buffers for the hot path (axpy temporary, the
+        # per-attempt gathers, and the sparse touched-receiver mask);
+        # contents meaningless between calls.
+        self._axpy = np.zeros(stations) if self.sparse is None else None
         self._gather = np.zeros(16)
         self._gather_own = np.zeros(16)
+        self._touched = (
+            np.zeros(stations, dtype=bool) if self.sparse is not None else None
+        )
         self._attempts: Dict[int, ReceptionAttempt] = {}
         self._trackers = TrackerBatch()
         self._lock_failures: Dict[int, str] = {}
@@ -230,7 +267,7 @@ class Medium:
         # per-reception corruption predicate.  All stay inert — no array
         # copies, no extra branches taken — until a fault actually uses
         # them.
-        self._down = np.zeros(gains.shape[0], dtype=bool)
+        self._down = np.zeros(stations, dtype=bool)
         self._nominal_gains: Optional[np.ndarray] = None
         self._corruption: Optional[Callable[[Transmission], bool]] = None
         self.losses: List[LossRecord] = []
@@ -245,7 +282,7 @@ class Medium:
     @property
     def station_count(self) -> int:
         """Number of stations sharing the medium."""
-        return int(self.gains.shape[0])
+        return int(self._powers.shape[0])
 
     @property
     def active_transmissions(self) -> List[Transmission]:
@@ -292,6 +329,59 @@ class Medium:
 
     # -- power arithmetic ---------------------------------------------
 
+    def _column(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sparse mode: one transmitter's CSR column as (receivers,
+        gains) views, reading the medium's live (possibly faded) gains."""
+        assert self.sparse is not None
+        lo = int(self.sparse.indptr[source])
+        hi = int(self.sparse.indptr[source + 1])
+        return self.sparse.rows[lo:hi], self._svals[lo:hi]
+
+    def _pair_gain(self, receiver: int, source: int) -> float:
+        """Power gain from ``source`` to ``receiver`` under either
+        representation; culled sparse entries read as 0.0."""
+        if self.sparse is None:
+            assert self.gains is not None
+            return float(self.gains[receiver, source])
+        rows, vals = self._column(source)
+        position = int(np.searchsorted(rows, receiver))
+        if position < rows.size and int(rows[position]) == receiver:
+            return float(vals[position])
+        return 0.0
+
+    def _gather_gains(self, source: int, stations: np.ndarray) -> np.ndarray:
+        """Gains from ``source`` into an index array of stations (the
+        sparse form of ``_gains_columns[source][stations]``)."""
+        rows, vals = self._column(source)
+        if rows.size == 0:
+            return np.zeros(stations.shape)
+        positions = np.searchsorted(rows, stations)
+        clipped = np.minimum(positions, rows.size - 1)
+        found = rows[clipped] == stations
+        return np.where(found, vals[clipped], 0.0)
+
+    def field_error_bound_w(self) -> float:
+        """Provable upper bound on the interference the sparse field
+        under-reports at *any* receiver, right now.
+
+        The true dense field exceeds the stored sparse field at
+        receiver ``i`` by exactly ``sum_{j active} P_j * g_ij^culled``,
+        and every culled ``g_ij`` is at most the transmitter's
+        ``culled_out_max[j]`` recorded at build time, so the bound is
+        ``sum_{j active} P_j * culled_out_max[j]`` — computed exactly
+        from the active set on demand (no incremental float drift in
+        the witness itself).  Dense mode culls nothing: 0.0.
+        """
+        if self.sparse is None:
+            return 0.0
+        culled_out_max = self.sparse.culled_out_max
+        return float(
+            sum(
+                tx.power_w * float(culled_out_max[tx.source])
+                for tx in self._active.values()
+            )
+        )
+
     def interference_at(self, receiver: int, exclude_seq: Optional[int]) -> float:
         """Interference-plus-nothing power at a receiver, excluding one
         wanted transmission; the receiver's own transmitter couples in
@@ -307,7 +397,9 @@ class Medium:
                 if excluded.source == receiver:
                     total -= excluded.power_w * SELF_COUPLING_GAIN
                 else:
-                    total -= excluded.power_w * self.gains[receiver, excluded.source]
+                    total -= excluded.power_w * self._pair_gain(
+                        receiver, excluded.source
+                    )
         return max(total, 0.0)
 
     def _significant_sources(
@@ -320,7 +412,7 @@ class Medium:
             gain = (
                 SELF_COUPLING_GAIN
                 if tx.source == receiver
-                else self.gains[receiver, tx.source]
+                else self._pair_gain(receiver, tx.source)
             )
             contributions.append((tx.power_w * gain, tx))
         total = sum(power for power, _ in contributions)
@@ -399,8 +491,21 @@ class Medium:
         elif not self._active:
             self._interference[:] = 0.0
 
+    def _exact_field(self) -> np.ndarray:
+        """The Eq. 2 field recomputed from scratch over the stored
+        gains (dense matvec, or per-active-column sparse scatter in
+        ascending source order — deterministic either way)."""
+        if self.sparse is None:
+            assert self.gains is not None
+            return self.gains @ self._powers
+        exact = np.zeros(self.station_count)
+        for source in np.nonzero(self._powers)[0]:
+            rows, vals = self._column(int(source))
+            exact[rows] += vals * self._powers[source]
+        return exact
+
     def _resync_field(self) -> None:
-        exact = self.gains @ self._powers
+        exact = self._exact_field()
         if self.env.sanitizing:
             scale = float(np.max(exact)) + self.thermal_noise_w + 1.0
             if not np.allclose(self._interference, exact, rtol=1e-6, atol=1e-9 * scale):
@@ -413,12 +518,38 @@ class Medium:
         self._interference = exact
         self._field_changes = 0
 
+    def _apply_axpy(self, source: int, power_w: float) -> None:
+        """Add one transmitter's contribution to the incremental field.
+
+        Dense: the O(M) column axpy.  Sparse: scatter over the CSR
+        column's receivers — the rows are unique, so the fancy-index
+        in-place add performs exactly one dense-identical multiply-add
+        per stored entry, and every unstored entry is an exact ``+0.0``
+        no-op (which is why cull-nothing sparse mode stays
+        bit-identical to dense).
+        """
+        if self.sparse is None:
+            np.multiply(self._gains_columns[source], power_w, out=self._axpy)
+            self._interference += self._axpy
+        else:
+            rows, vals = self._column(source)
+            self._interference[rows] += vals * power_w
+
+    def _remove_axpy(self, source: int, power_w: float) -> None:
+        """Subtract one transmitter's contribution (exact mirror of
+        :meth:`_apply_axpy`, same products, subtracted)."""
+        if self.sparse is None:
+            np.multiply(self._gains_columns[source], power_w, out=self._axpy)
+            self._interference -= self._axpy
+        else:
+            rows, vals = self._column(source)
+            self._interference[rows] -= vals * power_w
+
     def _begin(self, tx: Transmission) -> None:
         self._active[tx.seq] = tx
         self._tx_count[tx.source] += 1
         self._powers[tx.source] += tx.power_w
-        np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
-        self._interference += self._axpy
+        self._apply_axpy(tx.source, tx.power_w)
         self._field_changed()
         if self.instr.active:
             self.instr.emit(
@@ -431,7 +562,7 @@ class Medium:
                 )
             )
         self._try_lock(tx)
-        self._update_attempts()
+        self._update_attempts_for(tx)
 
     def _try_lock(self, tx: Transmission) -> None:
         receiver = tx.destination
@@ -449,7 +580,7 @@ class Medium:
         if channel is None:
             self._lock_failures[tx.seq] = "no_channel"
             return
-        signal_power = tx.power_w * self.gains[receiver, tx.source]
+        signal_power = tx.power_w * self._pair_gain(receiver, tx.source)
         self._trackers.add(
             tag=tx.seq,
             receiver=receiver,
@@ -491,6 +622,49 @@ class Medium:
                 attempt.transmission.destination, seq
             )
 
+    def _update_attempts_for(self, tx: Transmission) -> None:
+        """Sparse-mode tracker update scoped to one field change.
+
+        A begin/end of ``tx`` can only move the SIR of receptions whose
+        receiver the change actually touched: the receivers in the
+        transmitter's CSR column, the transmitter itself (its own
+        radiated power feeds the :data:`SELF_COUPLING_GAIN` term — the
+        Type 3 mechanism when a locked receiver later keys up), and the
+        destination (a freshly locked attempt needs its first sample
+        even if the wanted link was culled).  Everything else saw the
+        identical interference level and is skipped; per-entry
+        arithmetic for the touched subset matches the full pass.
+        """
+        if self.sparse is None:
+            self._update_attempts()
+            return
+        batch = self._trackers
+        if batch.count == 0:
+            return
+        rows, _ = self._column(tx.source)
+        touched = self._touched
+        assert touched is not None
+        touched[rows] = True
+        touched[tx.source] = True
+        touched[tx.destination] = True
+        receivers = batch.receivers
+        positions = np.nonzero(touched[receivers])[0]
+        touched[rows] = False
+        touched[tx.source] = False
+        touched[tx.destination] = False
+        if positions.size == 0:
+            return
+        targets = receivers[positions]
+        interference = self._interference[targets]
+        interference += self._powers[targets] * SELF_COUPLING_GAIN
+        interference -= batch.signals[positions]
+        np.maximum(interference, 0.0, out=interference)
+        for seq in batch.update_where(self.env.now, interference, positions):
+            attempt = self._attempts[seq]
+            attempt.failure_sources = self._significant_sources(
+                attempt.transmission.destination, seq
+            )
+
     def _notify_overhearers(self, tx: Transmission) -> None:
         """One vectorised eligibility pass over all registered overhearers.
 
@@ -501,7 +675,10 @@ class Medium:
         stations = self._overhear_stations
         if stations.size == 0:
             return
-        signals = tx.power_w * self._gains_columns[tx.source][stations]
+        if self.sparse is None:
+            signals = tx.power_w * self._gains_columns[tx.source][stations]
+        else:
+            signals = tx.power_w * self._gather_gains(tx.source, stations)
         interference = self._interference[stations]
         interference += self._powers[stations] * SELF_COUPLING_GAIN
         np.maximum(interference, 0.0, out=interference)
@@ -529,8 +706,7 @@ class Medium:
         self._powers[tx.source] -= tx.power_w
         if abs(self._powers[tx.source]) < 1e-18:
             self._powers[tx.source] = 0.0
-        np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
-        self._interference -= self._axpy
+        self._remove_axpy(tx.source, tx.power_w)
         self._field_changed()
         if self.instr.active:
             self.instr.emit(TxEnd(self.env.now, tx.source, tx.destination))
@@ -538,7 +714,7 @@ class Medium:
         record = self._trackers.remove(tx.seq) if attempt is not None else None
         # Interference at the remaining receivers drops; fold that in
         # after removing the ended transmission.
-        self._update_attempts()
+        self._update_attempts_for(tx)
         self._notify_overhearers(tx)
 
         if attempt is None or record is None:
@@ -671,8 +847,7 @@ class Medium:
             self._powers[tx.source] -= tx.power_w
             if abs(self._powers[tx.source]) < 1e-18:
                 self._powers[tx.source] = 0.0
-            np.multiply(self._gains_columns[tx.source], tx.power_w, out=self._axpy)
-            self._interference -= self._axpy
+            self._remove_axpy(tx.source, tx.power_w)
             self._field_changed()
             attempt = self._attempts.pop(tx.seq, None)
             if attempt is not None:
@@ -701,6 +876,27 @@ class Medium:
             raise ValueError("a link needs two distinct stations")
         if factor <= 0.0:
             raise ValueError("gain factor must be positive")
+        if self.sparse is not None:
+            rows, _ = self._column(source)
+            position = int(np.searchsorted(rows, receiver))
+            if position >= rows.size or int(rows[position]) != receiver:
+                raise ValueError(
+                    "cannot fade a link that was culled from the sparse "
+                    "gain field"
+                )
+            if self._nominal_svals is None:
+                self._nominal_svals = self._svals
+                self._svals = self._svals.copy()
+            index = int(self.sparse.indptr[source]) + position
+            new_gain = float(self._nominal_svals[index]) * factor
+            delta = new_gain - float(self._svals[index])
+            if delta == 0.0:
+                return
+            self._svals[index] = new_gain
+            self._interference[receiver] += self._powers[source] * delta
+            self._field_changed()
+            self._update_attempts()
+            return
         if self._nominal_gains is None:
             self._nominal_gains = self.gains
             self.gains = self.gains.copy()

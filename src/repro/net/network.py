@@ -47,6 +47,10 @@ from repro.net.traffic import TrafficSource
 from repro.obs.api import Instrumentation, ambient_instrumentation
 from repro.obs.sinks import MemorySink
 from repro.propagation.geometry import Placement
+from repro.propagation.horizon import (
+    DEFAULT_ANTENNA_HEIGHT_M,
+    mutual_radio_horizon_m,
+)
 from repro.propagation.matrix import PropagationMatrix
 from repro.propagation.models import FreeSpace, PropagationModel
 from repro.radio.spreadspectrum import DespreaderBank
@@ -134,6 +138,15 @@ class NetworkConfig:
             incremental interference field (exact recompute every this
             many transmission starts/ends; ``None`` disables periodic
             resync).
+        medium_sparse_cull: when set, hand the medium a horizon-culled
+            CSR gain field instead of the dense matrix, culling links
+            weaker than this fraction of the usable-link ``min_gain``.
+            ``0.0`` keeps every nonzero link (bit-identical to dense);
+            ``None`` (the default) keeps the dense medium.  Culled
+            interference stays provably bounded — see
+            :meth:`repro.net.medium.Medium.field_error_bound_w`.
+            Calibration and power control always use the dense matrix;
+            only the runtime field is sparse.
         seed: master seed for clocks and any stochastic pieces.
         instrumentation: the typed-event facade handed down to the
             medium, stations, MACs and fault injector
@@ -169,6 +182,7 @@ class NetworkConfig:
     rendezvous_refresh_slots: Optional[float] = None
     queue_capacity: Optional[int] = None
     medium_resync_events: Optional[int] = 4096
+    medium_sparse_cull: Optional[float] = None
     seed: int = 0
     instrumentation: Optional[Instrumentation] = field(
         default=None, compare=False, repr=False
@@ -212,6 +226,8 @@ class NetworkConfig:
             raise ValueError("queue capacity must be at least 1")
         if self.medium_resync_events is not None and self.medium_resync_events < 1:
             raise ValueError("medium resync cadence must be at least 1 event")
+        if self.medium_sparse_cull is not None and self.medium_sparse_cull < 0.0:
+            raise ValueError("sparse cull fraction must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -687,9 +703,19 @@ def build_network(
     stations: List[Station] = []
     count = placement.count
     thresholds = np.full(count, budget.sir_threshold)
+    if config.medium_sparse_cull is not None:
+        medium_gains = matrix.to_sparse(
+            cull_gain=config.medium_sparse_cull * min_gain,
+            horizon_m=mutual_radio_horizon_m(
+                DEFAULT_ANTENNA_HEIGHT_M, DEFAULT_ANTENNA_HEIGHT_M
+            ),
+            distances=placement.distances(),
+        )
+    else:
+        medium_gains = matrix.gains
     medium = Medium(
         env=env,
-        gains=matrix.gains,
+        gains=medium_gains,
         thermal_noise_w=budget.thermal_noise_w,
         sir_thresholds=thresholds,
         listen_query=lambda index, now: stations[index].mac.is_listening(now),

@@ -60,7 +60,7 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
         "station_count": 16,
         "duration_slots": 150,
     },
-    "T8": {},
+    "T8": {"simulate_stations": ()},
     "T9": {"station_count": 120, "reach_factors": (1.0, 2.0), "placements": 2},
     "T10": {"station_count": 24, "duration_slots": 150},
     "T11": {"trials": 20_000},

@@ -10,6 +10,7 @@ from repro.propagation.geometry import (
     uniform_square,
 )
 from repro.propagation.horizon import (
+    DEFAULT_ANTENNA_HEIGHT_M,
     EARTH_RADIUS_M,
     EFFECTIVE_EARTH_FACTOR,
     interference_circle_radius,
@@ -17,6 +18,7 @@ from repro.propagation.horizon import (
     radio_horizon_m,
 )
 from repro.propagation.matrix import PropagationMatrix
+from repro.propagation.sparse import DEFAULT_CHUNK_COLUMNS, SparseGainField
 from repro.propagation.models import (
     AttenuatedFreeSpace,
     FreeSpace,
@@ -28,6 +30,8 @@ from repro.propagation.models import (
 
 __all__ = [
     "AttenuatedFreeSpace",
+    "DEFAULT_ANTENNA_HEIGHT_M",
+    "DEFAULT_CHUNK_COLUMNS",
     "EARTH_RADIUS_M",
     "EFFECTIVE_EARTH_FACTOR",
     "FreeSpace",
@@ -36,6 +40,7 @@ __all__ = [
     "Placement",
     "PropagationMatrix",
     "PropagationModel",
+    "SparseGainField",
     "characteristic_length",
     "clustered",
     "interference_circle_radius",

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 
 __all__ = [
+    "DEFAULT_ANTENNA_HEIGHT_M",
     "EARTH_RADIUS_M",
     "EFFECTIVE_EARTH_FACTOR",
     "radio_horizon_m",
@@ -26,6 +27,11 @@ EARTH_RADIUS_M = 6_371_000.0
 
 EFFECTIVE_EARTH_FACTOR = 4.0 / 3.0
 """Standard-refraction effective-Earth-radius factor (Section 4)."""
+
+DEFAULT_ANTENNA_HEIGHT_M = 10.0
+"""Rooftop antenna height assumed throughout (the paper's thought
+experiment puts every station at a shared height; ~26 km mutual
+horizon at 10 m)."""
 
 
 def radio_horizon_m(

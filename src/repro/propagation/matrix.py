@@ -14,7 +14,7 @@ noisy, threshold-censored estimate such as real stations would have.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -38,6 +38,12 @@ class PropagationMatrix:
     #: pure cache, excluded from equality.
     _columns: Optional[np.ndarray] = field(
         default=None, init=False, repr=False, compare=False
+    )
+    #: Per-threshold cache of per-station neighbor arrays backing
+    #: :meth:`neighbors`/:meth:`neighbor_lists`; pure cache, excluded
+    #: from equality.
+    _neighbor_cache: Dict[float, List[np.ndarray]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -117,8 +123,60 @@ class PropagationMatrix:
         return usable
 
     def neighbors(self, station: int, min_gain: float) -> np.ndarray:
-        """Stations with a usable link to ``station``."""
-        return np.nonzero(self.usable_links(min_gain)[station])[0]
+        """Stations with a usable link to ``station``.
+
+        Reads one cached per-station array (built lazily per threshold
+        by :meth:`neighbor_lists`) instead of re-deriving the full
+        M x M adjacency on every call, which routing's repeated
+        column slicing used to pay for.
+        """
+        if not 0 <= station < self.count:
+            raise ValueError("station index out of range")
+        return self.neighbor_lists(min_gain)[station]
+
+    def neighbor_lists(self, min_gain: float) -> List[np.ndarray]:
+        """Per-station neighbor arrays at a usability threshold, cached.
+
+        One O(M^2) pass builds every station's sorted neighbor array;
+        subsequent queries at the same threshold are O(1) lookups.  The
+        returned arrays are shared cache state — treat them as
+        read-only.
+        """
+        if min_gain <= 0.0:
+            raise ValueError("minimum gain must be positive")
+        key = float(min_gain)
+        cached = self._neighbor_cache.get(key)
+        if cached is None:
+            cached = []
+            for station in range(self.count):
+                row = self.gains[station] >= key
+                row[station] = False
+                cached.append(np.nonzero(row)[0])
+            self._neighbor_cache[key] = cached
+        return cached
+
+    def to_sparse(
+        self,
+        cull_gain: float = 0.0,
+        horizon_m: Optional[float] = None,
+        distances: Optional[np.ndarray] = None,
+    ):
+        """CSR form of this matrix for the sparse medium.
+
+        Entries below ``cull_gain`` are dropped but accounted (the
+        bounded-error machinery of
+        :class:`repro.propagation.sparse.SparseGainField`); with the
+        default threshold of 0.0 the conversion is lossless and the
+        sparse medium is bit-identical to the dense one.
+        """
+        from repro.propagation.sparse import SparseGainField
+
+        return SparseGainField.from_dense(
+            self.gains,
+            cull_gain=cull_gain,
+            horizon_m=horizon_m,
+            distances=distances,
+        )
 
     def observed(
         self,

@@ -1,10 +1,17 @@
-"""Tests for the metro-scale projection."""
+"""Tests for the metro-scale projection and the simulated metro scene."""
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.analysis.metro import MetroProjection
+from repro.analysis.metro import (
+    LEGACY_SCENE_DENSITY,
+    MetroProjection,
+    build_metro_scene,
+    run_metro_scene,
+)
+from repro.sim.engine import Environment
 
 
 class TestAbstractClaim:
@@ -64,3 +71,84 @@ class TestInternals:
             MetroProjection(station_count=1.0)
         with pytest.raises(ValueError):
             MetroProjection(duty_cycle=0.0)
+
+
+STATIONS = 400
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return build_metro_scene(STATIONS, seed=11)
+
+
+class TestMetroScene:
+    def test_density_fixes_the_radius(self, scene):
+        expected = math.sqrt(STATIONS / (math.pi * LEGACY_SCENE_DENSITY))
+        assert scene.placement.region_radius == pytest.approx(expected)
+
+    def test_deterministic_rebuild(self, scene):
+        again = build_metro_scene(STATIONS, seed=11)
+        assert np.array_equal(scene.gain_field.vals, again.gain_field.vals)
+        assert np.array_equal(scene.powers, again.powers)
+        assert np.array_equal(scene.clock_offsets, again.clock_offsets)
+        assert scene.sir_threshold == again.sir_threshold
+
+    def test_nearest_is_strongest_stored_neighbour(self, scene):
+        for station in (0, 17, STATIONS - 1):
+            rows, vals = scene.gain_field.column(station)
+            assert scene.nearest[station] == rows[np.argmax(vals)]
+
+    def test_threshold_survives_worst_case_interference(self, scene):
+        # Calibration divides by the culling-inclusive bound, so even
+        # the all-on worst case leaves the wanted SIR above threshold.
+        bounds = scene.gain_field.interference_bound_w(scene.powers)
+        delivered = scene.powers * np.array(
+            [
+                scene.gain_field.gain(int(scene.nearest[s]), s)
+                for s in range(STATIONS)
+            ]
+        )
+        worst = float(bounds.max()) + scene.thermal_noise_w
+        assert float(delivered.min()) / worst >= scene.sir_threshold
+
+    def test_summary_keys(self, scene):
+        summary = scene.summary()
+        assert {"nnz", "csr_memory_mb", "dense_memory_mb", "slot_time_s"} <= set(
+            summary
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            build_metro_scene(1)
+        with pytest.raises(ValueError):
+            build_metro_scene(10, clock_offset_span_slots=1.0)
+
+
+class TestMetroRun:
+    def test_collision_free_and_accounted(self, scene):
+        result = run_metro_scene(scene, load=0.05, duration_slots=10.0)
+        assert result.transmitted > 0
+        assert result.deliveries == result.transmitted
+        assert result.collision_free
+        assert result.losses_total == 0
+        # Every arrival is either on the air or counted unschedulable.
+        assert result.transmitted + result.unscheduled == result.offered_packets
+        # The culling witness was live and stayed finite.
+        assert 0.0 < result.max_field_error_bound_w < math.inf
+
+    def test_same_seed_same_digest(self, scene):
+        first = run_metro_scene(
+            scene, duration_slots=5.0, env=Environment(sanitize=True)
+        )
+        second = run_metro_scene(
+            scene, duration_slots=5.0, env=Environment(sanitize=True)
+        )
+        assert first.digest is not None
+        assert first.digest == second.digest
+        assert first.deliveries == second.deliveries
+
+    def test_rejects_bad_parameters(self, scene):
+        with pytest.raises(ValueError):
+            run_metro_scene(scene, load=0.0)
+        with pytest.raises(ValueError):
+            run_metro_scene(scene, duration_slots=0.0)

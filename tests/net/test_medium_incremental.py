@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 
 from repro.net.medium import Medium, Transmission
 from repro.net.packet import Packet
+from repro.propagation.sparse import SparseGainField
 from repro.radio.spreadspectrum import DespreaderBank
 from repro.sim.engine import Environment
 from repro.sim.sanitizer import SanitizerError
@@ -33,11 +34,20 @@ class World:
         return self.banks[station]
 
 
-def build_medium(seed=0, resync_events=4096, sanitize=False):
+def make_gains(seed=0):
     rng = np.random.default_rng(seed)
     gains = rng.uniform(1e-8, 1e-3, (STATIONS, STATIONS))
     gains = (gains + gains.T) / 2.0
     np.fill_diagonal(gains, 0.0)
+    return gains
+
+
+def build_medium(seed=0, resync_events=4096, sanitize=False, cull_gain=None):
+    """A test medium; ``cull_gain=None`` is dense, a float selects the
+    sparse CSR representation at that significance threshold."""
+    gains = make_gains(seed)
+    if cull_gain is not None:
+        gains = SparseGainField.from_dense(gains, cull_gain=cull_gain)
     env = Environment(sanitize=sanitize)
     world = World(STATIONS)
     medium = Medium(
@@ -110,7 +120,7 @@ def assert_field_matches(medium, peak_scale=0.0):
     moment, and ending a dominant transmission shrinks the field but
     not the residual.  Returns the updated peak for chained checks.
     """
-    exact = medium.gains @ medium._powers
+    exact = medium._exact_field()
     scale = float(np.max(exact)) if exact.size else 0.0
     peak_scale = max(peak_scale, scale)
     assert np.allclose(
@@ -207,3 +217,99 @@ class TestIncrementalField:
     def test_rejects_bad_resync_cadence(self):
         with pytest.raises(ValueError):
             build_medium(resync_events=0)
+
+
+def drive_pair(dense, sparse, ops, check):
+    """Replay one begin/end interleaving through two mediums in
+    lockstep, invoking ``check(dense, sparse)`` after every step.
+
+    Both mediums keep the default 4096-change resync cadence and the
+    op sequences stay far below it, so the incremental paths — whose
+    equivalence these tests pin — are what is exercised (the resync
+    recompute intentionally uses a different summation order in each
+    mode, which would cloud a bit-identity comparison).
+    """
+    seq = 0
+    active = []
+    for station, power, end_index in ops:
+        if not dense.is_station_transmitting(station):
+            destination = (station + 1) % STATIONS
+            template = Transmission(
+                seq=seq,
+                source=station,
+                destination=destination,
+                packet=packet(station, destination),
+                power_w=power,
+                start=0.0,
+                duration=1.0,
+            )
+            seq += 1
+            dense._begin(template)
+            sparse._begin(template)
+            active.append(template)
+            check(dense, sparse)
+        if active and end_index >= 0:
+            template = active.pop(end_index % len(active))
+            dense._end(template)
+            sparse._end(template)
+            check(dense, sparse)
+    for template in active:
+        dense._end(template)
+        sparse._end(template)
+        check(dense, sparse)
+
+
+class TestSparseEquivalence:
+    """Dense vs CSR medium: bit-identical at cull 0, provably bounded
+    under-reporting with significance culling on."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=7))
+    def test_cull_nothing_is_bit_identical(self, ops, seed):
+        _, dense = build_medium(seed=seed)
+        _, sparse = build_medium(seed=seed, cull_gain=0.0)
+
+        def check(d, s):
+            assert np.array_equal(d._interference, s._interference)
+            assert np.array_equal(d._powers, s._powers)
+            assert s.field_error_bound_w() == 0.0
+
+        drive_pair(dense, sparse, ops, check)
+        assert np.all(sparse._interference == 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy, seed=st.integers(min_value=0, max_value=7))
+    def test_culled_error_stays_within_bound(self, ops, seed):
+        gains = make_gains(seed)
+        cull = float(np.median(gains[gains > 0]))
+        _, dense = build_medium(seed=seed)
+        _, sparse = build_medium(seed=seed, cull_gain=cull)
+
+        def check(d, s):
+            # The sparse field only ever under-reports, and never by
+            # more than the medium's own live witness claims.
+            shortfall = d._interference - s._interference
+            bound = s.field_error_bound_w()
+            scale = float(np.max(d._interference)) + 1e-30
+            assert np.all(shortfall >= -1e-9 * scale)
+            assert np.all(shortfall <= bound * (1.0 + 1e-9) + 1e-12 * scale)
+
+        drive_pair(dense, sparse, ops, check)
+        assert sparse.field_error_bound_w() == 0.0  # idle again
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=ops_strategy)
+    def test_sparse_sanitizer_resync_accepts_honest_field(self, ops):
+        env, medium = build_medium(resync_events=2, sanitize=True, cull_gain=0.0)
+        apply_ops(medium, ops)
+
+    def test_dense_mode_reports_zero_bound(self):
+        _, medium = build_medium()
+        assert medium.field_error_bound_w() == 0.0
+
+    def test_sparse_scale_link_rejects_culled_links(self):
+        gains = make_gains(3)
+        cull = float(gains.max()) * 2.0  # cull everything
+        _, medium = build_medium(seed=3, cull_gain=cull)
+        with pytest.raises(ValueError, match="culled"):
+            medium.scale_link(0, 1, 0.5)
