@@ -7,6 +7,12 @@ Usage::
     python -m repro run T4 --set station_counts='(100,)' --set duration_slots=200
     python -m repro run-all --jobs 4 --quick --output suite.json
     python -m repro sweep --experiment T7 --jobs 4 --replications 5
+    python -m repro sweep --experiment T7 --cache ~/.repro-cache
+    python -m repro cache stats ~/.repro-cache --json
+    python -m repro cache gc ~/.repro-cache --max-bytes 100000000
+    python -m repro cache verify ~/.repro-cache --recompute 3
+    python -m repro serve --cache ~/.repro-cache --socket /tmp/repro.sock
+    python -m repro submit --socket /tmp/repro.sock --experiment T7
     python -m repro bench --rounds 5
     python -m repro bench --suite --jobs 1,2,4 --output BENCH_suite.json
     python -m repro design --stations 1e9 --duty 0.5
@@ -280,6 +286,28 @@ def _cmd_bench_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_cache(path: Optional[str]):
+    if path is None:
+        return None
+    from repro.parallel.cache import ResultCache
+
+    return ResultCache(path)
+
+
+def _print_cache_traffic(cache) -> None:
+    if cache is None:
+        return
+    session = cache.stats()["session"]
+    total = session["hits"] + session["misses"]
+    rate = (100.0 * session["hits"] / total) if total else 0.0
+    print(
+        f"cache: {session['hits']}/{total} hits ({rate:.1f}%), "
+        f"{session['puts']} written, {session['corrupt']} quarantined "
+        f"[{cache.root}]",
+        file=sys.stderr,
+    )
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     import json
 
@@ -289,6 +317,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         status = "ok" if result.ok else "FAILED"
         print(f"[{done}/{total}] {result.task_id}: {status}", file=sys.stderr)
 
+    cache = _open_cache(args.cache)
     suite = run_suite(
         jobs=args.jobs,
         quick=args.quick,
@@ -297,11 +326,16 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         progress=progress if not args.no_progress else None,
         checkpoint=args.checkpoint,
         watchdog_s=args.watchdog_s,
+        cache=cache,
     )
     print(suite.format())
+    _print_cache_traffic(cache)
     if args.output:
+        # sort_keys: journal replay and cache hits rebuild payloads from
+        # canonical (sorted) JSON, so sorting here keeps the artifact
+        # byte-identical however each row was obtained.
         with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(suite.to_payload(), handle, indent=2, sort_keys=False)
+            json.dump(suite.to_payload(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
     return 1 if suite.errors else 0
@@ -340,23 +374,172 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         message = exc.args[0] if exc.args else str(exc)
         print(message, file=sys.stderr)
         return 2
+    cache = _open_cache(args.cache)
     try:
         outcome = run_sweep(
             plan,
             jobs=args.jobs,
             checkpoint=args.checkpoint,
             watchdog_s=args.watchdog_s,
+            cache=cache,
         )
     except ValueError as exc:
         print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
         return 2
     print(outcome.format())
+    _print_cache_traffic(cache)
     if args.output:
+        # sort_keys: see _cmd_run_all — byte-identical artifacts whether
+        # rows were computed, journal-replayed, or cache hits.
         with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(outcome.to_payload(), handle, indent=2, sort_keys=False)
+            json.dump(outcome.to_payload(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.output}")
     return 1 if outcome.errors else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.cache import CacheDivergenceError, ResultCache
+
+    try:
+        cache = ResultCache(args.dir)
+    except ValueError as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    if args.cache_command == "stats":
+        report = cache.stats()
+    elif args.cache_command == "gc":
+        if args.max_bytes is None and args.max_age_s is None:
+            print(
+                "cache gc needs --max-bytes and/or --max-age-s",
+                file=sys.stderr,
+            )
+            return 2
+        report = cache.gc(max_bytes=args.max_bytes, max_age_s=args.max_age_s)
+    else:  # verify
+        try:
+            report = cache.verify(recompute=args.recompute)
+        except CacheDivergenceError as exc:
+            print(f"DIVERGENCE: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key, value in report.items():
+            if key == "corrupt_keys" and not value:
+                continue
+            print(f"{key:>20s}: {value}")
+    if args.cache_command == "verify" and report["corrupt_quarantined"]:
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.parallel.service import serve
+
+    def ready(server) -> None:
+        print(
+            f"repro sweep service: cache {args.cache}, "
+            f"socket {server.socket_path}, jobs {args.jobs} "
+            "(ctrl-C to stop)",
+            file=sys.stderr,
+        )
+
+    try:
+        serve(
+            args.cache,
+            args.socket,
+            jobs=args.jobs,
+            watchdog_s=args.watchdog_s,
+            ready=ready,
+        )
+    except ValueError as exc:
+        print(exc.args[0] if exc.args else str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.parallel.service import submit_request
+
+    request: Dict[str, Any] = {"op": args.op}
+    if args.op == "sweep":
+        if not args.experiment:
+            print("submit --op sweep needs --experiment ID", file=sys.stderr)
+            return 2
+        try:
+            values = (
+                [ast.literal_eval(part) for part in args.values.split(",") if part]
+                if args.values
+                else None
+            )
+            base_params = parse_overrides(args.set or [])
+        except (ValueError, SyntaxError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        request.update(
+            {
+                "experiment": args.experiment,
+                "parameter": args.parameter,
+                "values": values,
+                "replications": args.replications,
+                "root_seed": args.root_seed,
+                "base_params": base_params,
+                "trace": args.trace,
+                "records": args.json,
+            }
+        )
+
+    failed = False
+
+    def on_event(event: Dict[str, Any]) -> None:
+        nonlocal failed
+        kind = event.get("event")
+        if args.json:
+            print(json.dumps(event, sort_keys=True))
+            failed = failed or kind == "error" or bool(event.get("errors"))
+            return
+        if kind == "plan":
+            print(f"submitted: {event['total']} tasks", file=sys.stderr)
+        elif kind == "task":
+            status = "ok" if event["ok"] else "FAILED"
+            print(
+                f"[{event['done']}/{event['total']}] {event['task_id']}: "
+                f"{status} ({event['source']})",
+                file=sys.stderr,
+            )
+        elif kind == "done":
+            for key in ("hits", "joined", "executed", "errors"):
+                if key in event and event[key]:
+                    print(f"{key}: {event[key]}", file=sys.stderr)
+            if "results_digest" in event:
+                print(f"results digest: {event['results_digest']}")
+            if "stats" in event:
+                print(json.dumps(event["stats"], indent=2, sort_keys=True))
+            failed = failed or bool(event.get("errors"))
+        elif kind == "error":
+            print(f"error: {event.get('message')}", file=sys.stderr)
+            failed = True
+
+    try:
+        events = submit_request(args.socket, request, on_event=on_event)
+    except (ConnectionRefusedError, FileNotFoundError):
+        print(
+            f"no sweep service listening on {args.socket} "
+            "(start one with: repro serve --cache DIR --socket PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    if not events:
+        print("the service closed the stream without answering",
+              file=sys.stderr)
+        return 1
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -579,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-progress", action="store_true",
         help="suppress the per-experiment progress lines on stderr",
     )
+    run_all_cmd.add_argument(
+        "--cache", metavar="DIR",
+        help=(
+            "content-addressed result cache: experiments already stored "
+            "return instantly, only misses run"
+        ),
+    )
     run_all_cmd.set_defaults(handler=_cmd_run_all)
 
     sweep_cmd = commands.add_parser(
@@ -647,7 +837,124 @@ def build_parser() -> argparse.ArgumentParser:
             "(converts a hung worker into a timeout)"
         ),
     )
+    sweep_cmd.add_argument(
+        "--cache", metavar="DIR",
+        help=(
+            "content-addressed result cache: points already stored "
+            "return instantly (bit-identical), only misses run"
+        ),
+    )
     sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    cache_cmd = commands.add_parser(
+        "cache",
+        help=(
+            "inspect or maintain a content-addressed result cache "
+            "(stats, gc, verify)"
+        ),
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for name, blurb in (
+        ("stats", "entry/byte totals plus session traffic counters"),
+        ("gc", "evict entries by age and/or total size"),
+        ("verify", "re-check every entry's digests (optionally re-run some)"),
+    ):
+        sub = cache_sub.add_parser(name, help=blurb)
+        sub.add_argument("dir", help="cache directory")
+        sub.add_argument(
+            "--json", action="store_true", help="emit the report as JSON"
+        )
+        if name == "gc":
+            sub.add_argument(
+                "--max-bytes", type=int, default=None, metavar="N",
+                help="evict oldest entries until the store fits N bytes",
+            )
+            sub.add_argument(
+                "--max-age-s", type=float, default=None, metavar="SECONDS",
+                help="evict entries not written in the last SECONDS",
+            )
+        if name == "verify":
+            sub.add_argument(
+                "--recompute", type=int, default=0, metavar="N",
+                help=(
+                    "re-execute up to N entries from their stored spec and "
+                    "hard-fail on any digest divergence"
+                ),
+            )
+        sub.set_defaults(handler=_cmd_cache)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help=(
+            "run the warm sweep service: a foreground daemon answering "
+            "sweep submissions from one shared result cache"
+        ),
+    )
+    serve_cmd.add_argument(
+        "--cache", required=True, metavar="DIR",
+        help="result cache directory backing the service",
+    )
+    serve_cmd.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket to listen on",
+    )
+    serve_cmd.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per submission's cache misses",
+    )
+    serve_cmd.add_argument(
+        "--watchdog-s", type=float, default=None, metavar="SECONDS",
+        help="fallback wall-clock limit per pooled task",
+    )
+    serve_cmd.set_defaults(handler=_cmd_serve)
+
+    submit_cmd = commands.add_parser(
+        "submit",
+        help="submit a sweep (or stats/ping) to a running sweep service",
+    )
+    submit_cmd.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket of the running service",
+    )
+    submit_cmd.add_argument(
+        "--op", choices=("sweep", "stats", "ping"), default="sweep",
+        help="request type (default sweep)",
+    )
+    submit_cmd.add_argument(
+        "--experiment", metavar="ID", help="experiment id, e.g. T7",
+    )
+    submit_cmd.add_argument(
+        "--parameter", metavar="NAME",
+        help="sweep parameter (defaults to the experiment's natural one)",
+    )
+    submit_cmd.add_argument(
+        "--values", metavar="V1,V2,...",
+        help="comma-separated Python literals (default: experiment's own)",
+    )
+    submit_cmd.add_argument(
+        "--replications", type=int, default=1, metavar="R",
+        help="independently seeded runs per sweep point",
+    )
+    submit_cmd.add_argument(
+        "--root-seed", type=int, default=0,
+        help="seed-tree root; per-task seeds derive from it",
+    )
+    submit_cmd.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="extra experiment parameter applied to every task",
+    )
+    submit_cmd.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "run this submission's misses under a JSONL event trace "
+            "(written into the cache's traces/ directory)"
+        ),
+    )
+    submit_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the raw event stream as JSON lines",
+    )
+    submit_cmd.set_defaults(handler=_cmd_submit)
 
     design_cmd = commands.add_parser(
         "design", help="print the Section 6 link budget for a scale"

@@ -18,14 +18,21 @@ The pieces, bottom-up:
   list (``repro run-all``).
 * :mod:`repro.parallel.bench` — full-suite scaling benchmark
   (``BENCH_suite.json``).
+* :mod:`repro.parallel.cache` — persistent content-addressed result
+  store keyed by spec digest (``repro sweep --cache``, ``repro cache``).
+* :mod:`repro.parallel.service` — the warm sweep daemon sharing one
+  cache across concurrent clients (``repro serve`` / ``repro submit``).
 
 The invariant everything here preserves: for a fixed root seed, report
-rows and replay digests are identical at any worker count.
+rows and replay digests are identical at any worker count — and, with
+a cache, identical whether a row was computed or recalled.
 """
 
 from repro.parallel.aggregate import MetricSummary, summarize, summarize_rows
 from repro.parallel.bench import bench_suite, write_suite_report
+from repro.parallel.cache import CacheDivergenceError, ResultCache
 from repro.parallel.pool import run_tasks
+from repro.parallel.service import SweepService, serve, submit_request
 from repro.parallel.seedtree import SeedTree, derive_seed
 from repro.parallel.suite import QUICK_PARAMS, SuiteResult, run_suite
 from repro.parallel.sweep import (
@@ -40,16 +47,20 @@ from repro.parallel.task import (
     execute_task,
     payload_digest,
     results_digest,
+    spec_digest,
 )
 
 __all__ = [
+    "CacheDivergenceError",
     "MetricSummary",
     "QUICK_PARAMS",
+    "ResultCache",
     "SWEEPABLE_PARAMS",
     "SeedTree",
     "SuiteResult",
     "SweepPlan",
     "SweepResult",
+    "SweepService",
     "TaskResult",
     "TaskSpec",
     "bench_suite",
@@ -60,6 +71,9 @@ __all__ = [
     "run_suite",
     "run_sweep",
     "run_tasks",
+    "serve",
+    "spec_digest",
+    "submit_request",
     "summarize",
     "summarize_rows",
     "write_suite_report",

@@ -30,9 +30,15 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.parallel.task import TaskResult, TaskSpec, canonicalize
+from repro.parallel.task import TaskResult, TaskSpec, canonicalize, spec_identity
 
-__all__ = ["ResultJournal", "plan_fingerprint"]
+__all__ = [
+    "ResultJournal",
+    "plan_fingerprint",
+    "record_digest",
+    "result_to_record",
+    "record_to_result",
+]
 
 _MAGIC = "repro-task-journal"
 _VERSION = 1
@@ -41,32 +47,30 @@ _VERSION = 1
 def plan_fingerprint(specs: Sequence[TaskSpec]) -> str:
     """Fingerprint of a task plan's identity (order-sensitive).
 
-    Covers everything that determines each task's outcome — id, kind,
-    target, canonical params, seed, sanitize — but *not* scheduling
-    knobs like ``timeout_s``/``retries``, so a resume may adjust those
-    without invalidating the journal.
+    Covers everything that determines each task's outcome — id plus
+    :func:`~repro.parallel.task.spec_identity` (kind, target, canonical
+    params, seed, sanitize) — but *not* scheduling knobs like
+    ``timeout_s``/``retries``, so a resume may adjust those without
+    invalidating the journal.
     """
     parts = []
     for spec in specs:
-        identity = {
-            "task_id": spec.task_id,
-            "kind": spec.kind,
-            "target": spec.target,
-            "params": canonicalize(dict(spec.params)),
-            "seed": spec.seed,
-            "sanitize": spec.sanitize,
-        }
+        identity = {"task_id": spec.task_id, **spec_identity(spec)}
         parts.append(json.dumps(identity, sort_keys=True))
     joined = "\n".join(parts)
     return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
 
 
-def _record_digest(record: Dict[str, Any]) -> str:
+def record_digest(record: Dict[str, Any]) -> str:
+    """BLAKE2b over a record's canonical JSON — the torn/bit-flip
+    witness shared by the journal and the result cache."""
     canonical = json.dumps(record, sort_keys=True)
     return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 
-def _result_to_record(result: TaskResult) -> Dict[str, Any]:
+def result_to_record(result: TaskResult) -> Dict[str, Any]:
+    """Serialise a result to the canonical JSON-safe record shape used
+    by both the checkpoint journal and the result cache."""
     return {
         "task_id": result.task_id,
         "ok": result.ok,
@@ -78,7 +82,8 @@ def _result_to_record(result: TaskResult) -> Dict[str, Any]:
     }
 
 
-def _record_to_result(record: Dict[str, Any]) -> TaskResult:
+def record_to_result(record: Dict[str, Any]) -> TaskResult:
+    """Rebuild a :class:`TaskResult` from :func:`result_to_record`."""
     return TaskResult(
         task_id=record["task_id"],
         ok=record["ok"],
@@ -156,16 +161,16 @@ class ResultJournal:
                 digest = entry["digest"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 break  # torn tail: the run died mid-write
-            if _record_digest(record) != digest:
+            if record_digest(record) != digest:
                 break  # corrupt tail
             if record["task_id"] not in self._valid_ids:
                 break  # defensive: fingerprint should prevent this
             records.append(record)
-            self.completed[record["task_id"]] = _record_to_result(record)
+            self.completed[record["task_id"]] = record_to_result(record)
         return records
 
     def _append(self, record: Dict[str, Any]) -> None:
-        entry = {"record": record, "digest": _record_digest(record)}
+        entry = {"record": record, "digest": record_digest(record)}
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def record(self, result: TaskResult) -> None:
@@ -174,11 +179,15 @@ class ResultJournal:
             raise ValueError(
                 f"result {result.task_id!r} does not belong to this plan"
             )
-        record = _result_to_record(result)
+        record = result_to_record(result)
         self._append(record)
         self._handle.flush()
         os.fsync(self._handle.fileno())
-        self.completed[result.task_id] = _record_to_result(record)
+        self.completed[result.task_id] = record_to_result(record)
+
+    def results(self) -> List[TaskResult]:
+        """The journaled results, in completion (append) order."""
+        return list(self.completed.values())
 
     def close(self) -> None:
         """Close the underlying file handle."""

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 from repro.parallel.task import TaskResult, TaskSpec, execute_task
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.cache import ResultCache
     from repro.parallel.checkpoint import ResultJournal
 
 __all__ = ["ProgressCallback", "run_tasks"]
@@ -144,6 +145,7 @@ def run_tasks(
     progress: Optional[ProgressCallback] = None,
     journal: Optional["ResultJournal"] = None,
     watchdog_s: Optional[float] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> List[TaskResult]:
     """Execute tasks, returning one result per spec in spec order.
 
@@ -161,6 +163,15 @@ def run_tasks(
             only) to tasks whose spec sets no ``timeout_s``, converting
             a hung worker into a structured timeout instead of stalling
             the run forever.
+        cache: persistent content-addressed result store.  Specs whose
+            work is already cached return instantly (bit-identical by
+            the key discipline); only misses are scheduled, and fresh
+            completions are written back.  Composes with ``journal``:
+            journal records win (and warm the cache), cache hits are
+            journaled so resumes stay complete, and a spec satisfied by
+            either source is never re-executed.  Disagreement between
+            journal and cache raises
+            :exc:`~repro.parallel.cache.CacheDivergenceError`.
 
     Pooled execution is bit-identical to inline execution: only wall
     clock and the ``attempts`` counter of crashed-and-retried tasks can
@@ -184,6 +195,19 @@ def run_tasks(
             cached = journal.completed.get(spec.task_id)
             if cached is not None:
                 reused[index] = cached
+                if cache is not None:
+                    # Backfill the cache from the journal; a conflicting
+                    # pre-existing entry is a hard divergence error.
+                    cache.ensure(spec, cached)
+    if cache is not None:
+        for index, spec in enumerate(specs):
+            if index in reused:
+                continue
+            hit = cache.get(spec)
+            if hit is not None:
+                reused[index] = hit
+                if journal is not None:
+                    journal.record(hit)
     done = 0
     if progress is not None:
         for index in sorted(reused):
@@ -195,10 +219,14 @@ def run_tasks(
     if not remaining:
         return [reused[index] for index in range(total)]
 
+    spec_by_id = {spec.task_id: spec for spec in specs}
+
     def on_fresh(result: TaskResult) -> None:
         nonlocal done
         if journal is not None:
             journal.record(result)
+        if cache is not None:
+            cache.ensure(spec_by_id[result.task_id], result)
         done += 1
         if progress is not None:
             progress(done, total, result)

@@ -1,0 +1,453 @@
+"""The warm sweep service: one cache, many clients, no repeated work.
+
+``repro serve --cache DIR`` runs a foreground daemon that accepts sweep
+submissions over a local Unix socket and answers them from a shared
+:class:`~repro.parallel.cache.ResultCache`.  Three layers:
+
+* :class:`SweepService` — the in-process scheduler.  Each submission is
+  partitioned into **cache hits** (streamed back instantly), **in-flight
+  joins** (an identical spec — same content key — is already executing
+  for another client; the submission waits for that one execution
+  instead of duplicating it), and **misses** (claimed, scheduled over
+  the worker pool, written back to the cache on completion).  The
+  in-flight registry is keyed by :func:`~repro.parallel.task.spec_digest`,
+  so deduplication follows the same key discipline as the cache itself.
+* :class:`SweepServer` / :func:`serve` — a threading Unix-socket server
+  speaking newline-delimited JSON: one request object in, a stream of
+  ``{"event": ...}`` objects out (``plan``, ``task`` progress lines,
+  then ``done`` or ``error``).
+* :func:`submit_request` — the matching client, used by ``repro
+  submit`` and the tests.
+
+Traced submissions (``"trace": true``) run their misses inline under an
+ambient :class:`~repro.obs.api.Instrumentation` whose sinks are the
+existing JSONL machinery (:class:`~repro.obs.sinks.JsonlSink` writing
+under ``DIR/traces/``) plus a :class:`~repro.obs.metrics.MetricTimelines`
+whose counters are streamed back in the ``done`` event.  Ambient
+instrumentation is process-global, so traced executions are serialised;
+untraced executions fan out through the spawn pool as usual.
+
+Wall-clock use in this module times *host* execution of completed
+submissions for reporting only (the same argument as the pool's
+timeout clock); no wall-clock value ever reaches simulation state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.cache import ResultCache, resolve_cache
+from repro.parallel.checkpoint import result_to_record
+from repro.parallel.pool import run_tasks
+from repro.parallel.sweep import (
+    SweepPlan,
+    build_sweep_tasks,
+    default_sweep_values,
+    sweep_parameter,
+)
+from repro.parallel.task import TaskResult, TaskSpec, results_digest
+
+__all__ = [
+    "ServiceProgress",
+    "SweepService",
+    "SweepServer",
+    "serve",
+    "submit_request",
+]
+
+#: ``progress(done, total, result, source)`` per completed task, where
+#: ``source`` is ``"cache"``, ``"joined"``, or ``"run"``.
+ServiceProgress = Callable[[int, int, TaskResult, str], None]
+
+
+class _Flight:
+    """One in-flight execution of a content key, awaited by joiners."""
+
+    __slots__ = ("done", "result")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[TaskResult] = None
+
+
+class SweepService:
+    """Shared scheduler: cache first, join in-flight work, run the rest.
+
+    Args:
+        cache: the persistent store (path or open
+            :class:`~repro.parallel.cache.ResultCache`).
+        jobs: worker processes per submission's miss batch; ``1`` runs
+            misses inline (serialised across concurrent submissions,
+            since inline execution shares this process).
+        watchdog_s: fallback per-task wall-clock limit for pooled
+            misses.
+    """
+
+    def __init__(
+        self,
+        cache: Any,
+        jobs: int = 1,
+        watchdog_s: Optional[float] = None,
+    ) -> None:
+        store = resolve_cache(cache)
+        if store is None:
+            raise ValueError("the sweep service needs a cache")
+        self.cache: ResultCache = store
+        self.jobs = max(1, int(jobs))
+        self.watchdog_s = watchdog_s
+        self._registry_lock = threading.Lock()
+        self._in_flight: Dict[str, _Flight] = {}
+        self._inline_lock = threading.Lock()
+        self._trace_serial = 0
+        self.submissions = 0
+        self.deduplicated = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def submit_specs(
+        self,
+        specs: List[TaskSpec],
+        progress: Optional[ServiceProgress] = None,
+        trace: bool = False,
+    ) -> Tuple[List[TaskResult], Dict[str, Any]]:
+        """Execute a task list against the shared cache.
+
+        Returns the results in spec order plus a summary mapping
+        (hit/joined/executed counts, results digest, and — for traced
+        submissions — the trace file path and timeline counters).
+        """
+        with self._registry_lock:
+            self.submissions += 1
+        total = len(specs)
+        results: Dict[int, TaskResult] = {}
+        done = 0
+
+        def report(index: int, result: TaskResult, source: str) -> None:
+            nonlocal done
+            done += 1
+            results[index] = result
+            if progress is not None:
+                progress(done, total, result, source)
+
+        to_run: List[Tuple[int, TaskSpec]] = []
+        joined: List[Tuple[int, TaskSpec, _Flight]] = []
+        claimed: Dict[str, _Flight] = {}
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec)
+            if hit is not None:
+                report(index, hit, "cache")
+                continue
+            key = self.cache.key_for(spec)
+            with self._registry_lock:
+                flight = self._in_flight.get(key)
+                if flight is None and key not in claimed:
+                    flight = _Flight()
+                    self._in_flight[key] = flight
+                    claimed[key] = flight
+                    to_run.append((index, spec))
+                    continue
+                if flight is None:
+                    flight = claimed[key]  # duplicate within this batch
+                self.deduplicated += 1
+            joined.append((index, spec, flight))
+
+        trace_summary: Optional[Dict[str, Any]] = None
+        try:
+            if to_run:
+                run_specs = [spec for _index, spec in to_run]
+                index_of = {spec.task_id: idx for idx, spec in to_run}
+                key_of = {
+                    spec.task_id: self.cache.key_for(spec)
+                    for spec in run_specs
+                }
+
+                def on_run(_done: int, _total: int, result: TaskResult) -> None:
+                    key = key_of[result.task_id]
+                    flight = claimed[key]
+                    flight.result = result
+                    flight.done.set()
+                    with self._registry_lock:
+                        if self._in_flight.get(key) is flight:
+                            del self._in_flight[key]
+                    report(index_of[result.task_id], result, "run")
+
+                if trace:
+                    trace_summary = self._run_traced(run_specs, on_run)
+                elif self.jobs <= 1:
+                    # Inline execution shares this process; serialise so
+                    # concurrent submissions cannot interleave sanitizer
+                    # or ambient-instrumentation state.
+                    with self._inline_lock:
+                        run_tasks(
+                            run_specs, jobs=1, progress=on_run,
+                            cache=self.cache,
+                        )
+                else:
+                    run_tasks(
+                        run_specs,
+                        jobs=self.jobs,
+                        progress=on_run,
+                        watchdog_s=self.watchdog_s,
+                        cache=self.cache,
+                    )
+        finally:
+            # Whatever happened, never strand a joiner: publish a
+            # structured failure for any claimed flight still open.
+            for key, flight in claimed.items():
+                if not flight.done.is_set():
+                    flight.result = None
+                    flight.done.set()
+                with self._registry_lock:
+                    if self._in_flight.get(key) is flight:
+                        del self._in_flight[key]
+
+        for index, spec, flight in joined:
+            flight.done.wait()
+            shared = flight.result
+            if shared is None:
+                shared = TaskResult(
+                    task_id=spec.task_id,
+                    ok=False,
+                    error="in-flight execution aborted before completing",
+                )
+            report(index, replace(shared, task_id=spec.task_id), "joined")
+
+        ordered = [results[index] for index in range(total)]
+        summary: Dict[str, Any] = {
+            "total": total,
+            "hits": total - len(to_run) - len(joined),
+            "joined": len(joined),
+            "executed": len(to_run),
+            "errors": sum(1 for result in ordered if not result.ok),
+            "results_digest": results_digest(ordered),
+        }
+        if trace_summary is not None:
+            summary["trace"] = trace_summary
+        return ordered, summary
+
+    def _run_traced(
+        self,
+        run_specs: List[TaskSpec],
+        on_run: Callable[[int, int, TaskResult], None],
+    ) -> Dict[str, Any]:
+        """Run misses inline under ambient JSONL + timeline sinks."""
+        from repro.obs import (
+            Instrumentation,
+            JsonlSink,
+            MetricTimelines,
+            use_instrumentation,
+        )
+
+        traces_dir = os.path.join(self.cache.root, "traces")
+        os.makedirs(traces_dir, exist_ok=True)
+        with self._inline_lock:
+            self._trace_serial += 1
+            trace_path = os.path.join(
+                traces_dir, f"trace-{os.getpid()}-{self._trace_serial}.jsonl"
+            )
+            timelines = MetricTimelines()
+            instrumentation = Instrumentation(
+                (timelines, JsonlSink(trace_path))
+            )
+            try:
+                with use_instrumentation(instrumentation):
+                    run_tasks(
+                        run_specs, jobs=1, progress=on_run, cache=self.cache
+                    )
+            finally:
+                instrumentation.close()
+        return {
+            "path": trace_path,
+            "events": sum(timelines.kinds().values()),
+            "hop_deliveries": timelines.hop_deliveries,
+            "losses_total": timelines.losses_total,
+        }
+
+    # -- request handling ---------------------------------------------
+
+    def handle_request(
+        self,
+        request: Dict[str, Any],
+        emit: Callable[[Dict[str, Any]], None],
+    ) -> None:
+        """Answer one decoded request by streaming event objects."""
+        op = request.get("op")
+        if op == "ping":
+            emit({"event": "done", "op": "ping"})
+            return
+        if op == "stats":
+            emit({"event": "done", "op": "stats", "stats": self.cache.stats()})
+            return
+        if op != "sweep":
+            emit({"event": "error", "message": f"unknown op {op!r}"})
+            return
+        try:
+            specs = self._plan_specs(request)
+        except (KeyError, TypeError, ValueError) as exc:
+            emit({"event": "error", "message": str(exc)})
+            return
+        include_records = bool(request.get("records"))
+        emit({"event": "plan", "total": len(specs)})
+        started = time.monotonic()  # reprolint: disable=REP002
+
+        def progress(
+            done: int, total: int, result: TaskResult, source: str
+        ) -> None:
+            line = {
+                "event": "task",
+                "done": done,
+                "total": total,
+                "task_id": result.task_id,
+                "source": source,
+                "ok": result.ok,
+                "payload_digest": result.payload_digest,
+            }
+            if include_records:
+                line["record"] = result_to_record(result)
+            emit(line)
+
+        try:
+            _results, summary = self.submit_specs(
+                specs, progress=progress, trace=bool(request.get("trace"))
+            )
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            emit({"event": "error", "message": f"{type(exc).__name__}: {exc}"})
+            return
+        summary["wall_s"] = round(
+            time.monotonic() - started, 6  # reprolint: disable=REP002
+        )
+        emit({"event": "done", "op": "sweep", **summary})
+
+    def _plan_specs(self, request: Dict[str, Any]) -> List[TaskSpec]:
+        experiment = request["experiment"]
+        parameter = sweep_parameter(experiment, request.get("parameter"))
+        raw_values = request.get("values")
+        if raw_values is None:
+            values = default_sweep_values(experiment, parameter)
+        else:
+            values = tuple(
+                tuple(value) if isinstance(value, list) else value
+                for value in raw_values
+            )
+        plan = SweepPlan(
+            experiment_id=experiment,
+            parameter=parameter,
+            values=values,
+            replications=int(request.get("replications", 1)),
+            root_seed=int(request.get("root_seed", 0)),
+            base_params=request.get("base_params") or {},
+            sanitize=bool(request.get("sanitize", False)),
+        )
+        return build_sweep_tasks(plan)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a request line in, JSONL events out."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        raw = self.rfile.readline()
+        if not raw:
+            return
+
+        def emit(event: Dict[str, Any]) -> None:
+            self.wfile.write(
+                (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+
+        try:
+            request = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError:
+            emit({"event": "error", "message": "request is not valid JSON"})
+            return
+        try:
+            self.server.service.handle_request(request, emit)  # type: ignore[attr-defined]
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # the client hung up mid-stream; nothing to salvage
+
+
+class SweepServer(socketserver.ThreadingUnixStreamServer):
+    """Threading Unix-socket server bound to one :class:`SweepService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: SweepService, socket_path: str) -> None:
+        self.service = service
+        self.socket_path = os.fspath(socket_path)
+        if os.path.exists(self.socket_path):
+            os.remove(self.socket_path)  # stale socket from a dead server
+        super().__init__(self.socket_path, _Handler)
+
+    def server_close(self) -> None:
+        super().server_close()
+        try:
+            os.remove(self.socket_path)
+        except FileNotFoundError:
+            pass
+
+
+def serve(
+    cache: Any,
+    socket_path: str,
+    jobs: int = 1,
+    watchdog_s: Optional[float] = None,
+    ready: Optional[Callable[[SweepServer], None]] = None,
+) -> None:
+    """Run the sweep service in the foreground until interrupted.
+
+    Args:
+        cache: cache directory (or open store) backing the service.
+        socket_path: Unix socket to listen on.
+        jobs: worker processes per submission's miss batch.
+        watchdog_s: fallback per-task limit for pooled misses.
+        ready: called with the bound server before serving (tests use
+            this to learn the server object; ``repro serve`` prints the
+            socket path).
+    """
+    service = SweepService(cache, jobs=jobs, watchdog_s=watchdog_s)
+    server = SweepServer(service, socket_path)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def submit_request(
+    socket_path: str,
+    request: Dict[str, Any],
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Send one request to a running server and collect its event stream.
+
+    Returns every streamed event (the last one is ``done`` or
+    ``error``); ``on_event`` sees each one as it arrives.
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(os.fspath(socket_path))
+        stream = sock.makefile("rw", encoding="utf-8")
+        stream.write(json.dumps(request, sort_keys=True) + "\n")
+        stream.flush()
+        events: List[Dict[str, Any]] = []
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            events.append(event)
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") in ("done", "error"):
+                break
+        return events

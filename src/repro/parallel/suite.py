@@ -222,13 +222,20 @@ def run_suite(
     progress: Optional[ProgressCallback] = None,
     checkpoint: Optional[str] = None,
     watchdog_s: Optional[float] = None,
+    cache: Optional[Any] = None,
 ) -> SuiteResult:
     """Run the whole experiment registry over ``jobs`` workers.
 
     With ``checkpoint``, completed results are journaled to that path
     so a killed run resumes where it stopped, with final digests
-    bit-identical to an uninterrupted run.
+    bit-identical to an uninterrupted run.  With ``cache`` (a directory
+    path or an open :class:`~repro.parallel.cache.ResultCache`),
+    experiments whose work is already stored return instantly and only
+    misses are scheduled.
     """
+    from repro.parallel.cache import resolve_cache
+
+    store = resolve_cache(cache)
     specs = build_suite_tasks(
         quick=quick, overrides=overrides, timeout_s=timeout_s, retries=retries
     )
@@ -242,9 +249,11 @@ def run_suite(
                 progress=progress,
                 journal=journal,
                 watchdog_s=watchdog_s,
+                cache=store,
             )
     else:
         results = run_tasks(
-            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s
+            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s,
+            cache=store,
         )
     return SuiteResult(specs=specs, results=results, jobs=jobs, quick=quick)

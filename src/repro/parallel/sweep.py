@@ -331,13 +331,20 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     checkpoint: Optional[str] = None,
     watchdog_s: Optional[float] = None,
+    cache: Optional[Any] = None,
 ) -> SweepResult:
     """Build the task list, execute it, and wrap the ordered results.
 
     With ``checkpoint``, completed results are journaled to that path
     so a killed sweep resumes where it stopped, with final digests
-    bit-identical to an uninterrupted run.
+    bit-identical to an uninterrupted run.  With ``cache`` (a directory
+    path or an open :class:`~repro.parallel.cache.ResultCache`), points
+    whose work is already stored return instantly and only misses are
+    scheduled — overlapping sweeps share one warm store.
     """
+    from repro.parallel.cache import resolve_cache
+
+    store = resolve_cache(cache)
     specs = build_sweep_tasks(plan)
     if checkpoint is not None:
         from repro.parallel.checkpoint import ResultJournal
@@ -349,9 +356,11 @@ def run_sweep(
                 progress=progress,
                 journal=journal,
                 watchdog_s=watchdog_s,
+                cache=store,
             )
     else:
         results = run_tasks(
-            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s
+            specs, jobs=jobs, progress=progress, watchdog_s=watchdog_s,
+            cache=store,
         )
     return SweepResult(plan=plan, specs=specs, results=results)

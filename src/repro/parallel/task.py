@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import math
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence
@@ -32,6 +33,8 @@ __all__ = [
     "report_to_payload",
     "payload_to_report",
     "resolve_function",
+    "spec_identity",
+    "spec_digest",
 ]
 
 #: Task kinds: an experiment id from the registry, a ``module:callable``
@@ -140,15 +143,30 @@ def resolve_function(dotted: str) -> Callable[..., Any]:
     return func
 
 
+#: Canonical spellings of the floats JSON cannot carry.  ``json.dumps``
+#: would otherwise emit the non-standard tokens ``NaN``/``Infinity``
+#: (which ``json.loads`` turns back into values that break ``==``
+#: comparisons, so journal/cache round-trips would silently diverge).
+_NONFINITE = {"nan": "nan", "inf": "inf", "-inf": "-inf"}
+
+
 def _plain(value: Any) -> Any:
     """Canonicalise a value for digesting: numpy scalars to Python
-    scalars, tuples to lists, mappings keyed by ``str``."""
-    if hasattr(value, "item") and type(value).__module__.startswith("numpy"):
-        return value.item()
+    scalars, arrays to nested lists, tuples to lists, mappings keyed by
+    ``str``, and non-finite floats to an explicit marker mapping."""
+    if type(value).__module__.partition(".")[0] == "numpy":
+        if getattr(value, "ndim", 0) > 0:
+            return _plain(value.tolist())
+        if hasattr(value, "item"):
+            return _plain(value.item())
     if isinstance(value, (list, tuple)):
         return [_plain(element) for element in value]
     if isinstance(value, Mapping):
         return {str(key): _plain(sub) for key, sub in value.items()}
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return {"__nonfinite__": _NONFINITE["nan"]}
+        return {"__nonfinite__": _NONFINITE["inf" if value > 0 else "-inf"]}
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     return repr(value)
@@ -165,8 +183,45 @@ def payload_digest(payload: Mapping[str, Any]) -> str:
 
     Two payloads digest equal iff their canonicalised values are
     identical — the currency of the jobs-invariance guarantee.
+    ``allow_nan=False`` is the backstop: canonicalisation rewrites every
+    non-finite float to a marker mapping, so a NaN reaching the encoder
+    means a value slipped past :func:`canonicalize` and must fail loudly
+    rather than digest inconsistently.
     """
-    canonical = json.dumps(_plain(dict(payload)), sort_keys=True)
+    try:
+        canonical = json.dumps(
+            _plain(dict(payload)), sort_keys=True, allow_nan=False
+        )
+    except ValueError as exc:
+        raise ValueError(
+            "payload contains a non-finite float that survived "
+            "canonicalisation; digests would be platform-dependent"
+        ) from exc
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def spec_identity(spec: "TaskSpec") -> Dict[str, Any]:
+    """The canonical identity of a spec's *work*: everything that
+    determines its outcome, nothing that doesn't.
+
+    Deliberately excludes ``task_id`` (two sweeps may label identical
+    work differently) and the scheduling knobs ``timeout_s``/``retries``
+    (they bound execution, never results).  This mapping is the only
+    legal cache key: result rows are a pure function of it.
+    """
+    return {
+        "kind": spec.kind,
+        "target": spec.target,
+        "params": canonicalize(dict(spec.params)),
+        "seed": spec.seed,
+        "sanitize": spec.sanitize,
+    }
+
+
+def spec_digest(spec: "TaskSpec") -> str:
+    """BLAKE2b fingerprint of :func:`spec_identity` — the
+    content-addressed store key of a task's result."""
+    canonical = json.dumps(spec_identity(spec), sort_keys=True, allow_nan=False)
     return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
 
 

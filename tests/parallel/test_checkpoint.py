@@ -9,7 +9,13 @@ import json
 
 import pytest
 
-from repro.parallel.checkpoint import ResultJournal, plan_fingerprint
+from repro.parallel.checkpoint import (
+    ResultJournal,
+    plan_fingerprint,
+    record_digest,
+    record_to_result,
+    result_to_record,
+)
 from repro.parallel.pool import run_tasks
 from repro.parallel.task import TaskSpec, results_digest
 
@@ -51,6 +57,46 @@ class TestPlanFingerprint:
             for spec in make_specs()
         ]
         assert plan_fingerprint(make_specs()) == plan_fingerprint(relaxed)
+
+
+class TestRecordHelpers:
+    """The shared (de)serialisers the journal and the result cache both
+    build on: lossless, canonical, digest-stable."""
+
+    def test_result_record_round_trip(self):
+        original = run_tasks([echo_spec("t", value=7, tag="x")], jobs=1)[0]
+        rebuilt = record_to_result(result_to_record(original))
+        assert rebuilt == original
+
+    def test_failed_result_round_trip(self):
+        failed = run_tasks(
+            [
+                TaskSpec(
+                    task_id="boom",
+                    kind="function",
+                    target=f"{WORKERS}:explode",
+                    params={},
+                )
+            ],
+            jobs=1,
+        )[0]
+        rebuilt = record_to_result(result_to_record(failed))
+        assert not rebuilt.ok
+        assert rebuilt.error == failed.error
+
+    def test_record_digest_is_order_insensitive(self):
+        assert record_digest({"b": 2, "a": 1}) == record_digest(
+            {"a": 1, "b": 2}
+        )
+        assert record_digest({"a": 1}) != record_digest({"a": 2})
+
+    def test_results_accessor_returns_recorded_order(self, tmp_path):
+        specs = make_specs(3)
+        with ResultJournal(tmp_path / "j.jsonl", specs) as journal:
+            run_tasks(specs, jobs=1, journal=journal)
+            recorded = journal.results()
+        assert [r.task_id for r in recorded] == [s.task_id for s in specs]
+        assert recorded == list(journal.completed.values())
 
 
 class TestJournalRoundtrip:

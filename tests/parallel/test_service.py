@@ -1,0 +1,282 @@
+"""The warm sweep service: shared cache, in-flight dedup, socket protocol.
+
+The pinned properties:
+
+* a submission partitions into cache hits / in-flight joins / misses,
+  and only misses execute — identical specs submitted concurrently by
+  different clients run exactly once;
+* joiners are never stranded, even when the executing submission dies;
+* the socket protocol streams plan/task/done events whose digests match
+  in-process execution bit-for-bit.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.service import (
+    SweepServer,
+    SweepService,
+    submit_request,
+)
+from repro.parallel.task import TaskSpec
+
+WORKERS = "tests.parallel.workers"
+
+
+def slow_spec(task_id, log_path, delay_s=0.0, **params):
+    return TaskSpec(
+        task_id=task_id,
+        kind="function",
+        target=f"{WORKERS}:slow_echo",
+        params={"log_path": str(log_path), "delay_s": delay_s, **params},
+    )
+
+
+def execution_count(log_path):
+    if not os.path.exists(log_path):
+        return 0
+    with open(log_path, "r", encoding="utf-8") as handle:
+        return len(handle.readlines())
+
+
+@pytest.fixture
+def service(tmp_path):
+    return SweepService(ResultCache(str(tmp_path / "cache")), jobs=1)
+
+
+class TestSubmitPartitioning:
+    def test_cold_then_warm(self, service, tmp_path):
+        log = tmp_path / "exec.log"
+        specs = [slow_spec(f"t{i}", log, value=i) for i in range(3)]
+        _results, cold = service.submit_specs(specs)
+        assert (cold["hits"], cold["joined"], cold["executed"]) == (0, 0, 3)
+        _results, warm = service.submit_specs(specs)
+        assert (warm["hits"], warm["joined"], warm["executed"]) == (3, 0, 0)
+        assert warm["results_digest"] == cold["results_digest"]
+        assert execution_count(log) == 3
+
+    def test_duplicate_specs_within_one_batch_run_once(
+        self, service, tmp_path
+    ):
+        log = tmp_path / "exec.log"
+        twins = [
+            slow_spec("left", log, value=7),
+            slow_spec("right", log, value=7),  # same work, new label
+        ]
+        results, summary = service.submit_specs(twins)
+        assert summary["executed"] == 1
+        assert summary["joined"] == 1
+        assert execution_count(log) == 1
+        assert [r.task_id for r in results] == ["left", "right"]
+        assert results[0].payload_digest == results[1].payload_digest
+
+    def test_progress_reports_sources(self, service, tmp_path):
+        log = tmp_path / "exec.log"
+        service.submit_specs([slow_spec("t0", log, value=0)])
+        sources = []
+        service.submit_specs(
+            [slow_spec("t0", log, value=0), slow_spec("t1", log, value=1)],
+            progress=lambda done, total, result, source: sources.append(
+                (result.task_id, source)
+            ),
+        )
+        assert ("t0", "cache") in sources
+        assert ("t1", "run") in sources
+
+    def test_failures_are_reported_not_cached(self, service):
+        boom = TaskSpec(
+            task_id="boom",
+            kind="function",
+            target=f"{WORKERS}:explode",
+            params={},
+        )
+        results, summary = service.submit_specs([boom])
+        assert summary["errors"] == 1
+        assert not results[0].ok
+        # Failures never enter the cache: resubmission executes again.
+        _results, again = service.submit_specs([boom])
+        assert again["executed"] == 1
+        assert again["hits"] == 0
+
+
+class TestInFlightDedup:
+    def test_concurrent_identical_submissions_execute_once(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        service = SweepService(cache, jobs=1)
+        log = tmp_path / "exec.log"
+        summaries = {}
+
+        def client(name, start_delay):
+            time.sleep(start_delay)
+            _results, summary = service.submit_specs(
+                [slow_spec("shared", log, delay_s=0.6, value=1)]
+            )
+            summaries[name] = summary
+
+        first = threading.Thread(target=client, args=("first", 0.0))
+        second = threading.Thread(target=client, args=("second", 0.2))
+        first.start()
+        second.start()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        assert execution_count(log) == 1  # the whole point
+        assert summaries["first"]["executed"] == 1
+        # The latecomer either joined the in-flight execution or (if the
+        # first finished before it arrived) hit the cache; both mean it
+        # executed nothing.
+        late = summaries["second"]
+        assert late["executed"] == 0
+        assert late["joined"] + late["hits"] == 1
+        assert (
+            summaries["first"]["results_digest"] == late["results_digest"]
+        )
+        assert service.deduplicated + cache.hits >= 1
+        assert service._in_flight == {}  # registry drained
+
+    def test_joiners_see_shared_failures(self, tmp_path):
+        service = SweepService(ResultCache(str(tmp_path / "cache")), jobs=1)
+        boom = TaskSpec(
+            task_id="boom",
+            kind="function",
+            target=f"{WORKERS}:explode",
+            params={"message": "shared failure"},
+        )
+        outcomes = {}
+
+        def client(name, start_delay):
+            time.sleep(start_delay)
+            results, _summary = service.submit_specs(
+                [
+                    TaskSpec(
+                        task_id="pre",
+                        kind="function",
+                        target=f"{WORKERS}:slow_echo",
+                        params={"delay_s": 0.5 if name == "first" else 0.0,
+                                "value": name},
+                    ),
+                    boom,
+                ]
+                if name == "first"
+                else [boom]
+            )
+            outcomes[name] = results
+
+        first = threading.Thread(target=client, args=("first", 0.0))
+        second = threading.Thread(target=client, args=("second", 0.2))
+        first.start()
+        second.start()
+        first.join(timeout=30)
+        second.join(timeout=30)
+        assert not outcomes["first"][-1].ok
+        assert not outcomes["second"][-1].ok
+        assert service._in_flight == {}
+
+
+class TestSocketProtocol:
+    @pytest.fixture
+    def server(self, tmp_path):
+        service = SweepService(ResultCache(str(tmp_path / "cache")), jobs=1)
+        server = SweepServer(service, str(tmp_path / "sweep.sock"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def test_ping(self, server):
+        events = submit_request(server.socket_path, {"op": "ping"})
+        assert events == [{"event": "done", "op": "ping"}]
+
+    def test_stats(self, server):
+        events = submit_request(server.socket_path, {"op": "stats"})
+        assert events[-1]["event"] == "done"
+        assert events[-1]["stats"]["entries"] == 0
+
+    def test_unknown_op_is_an_error_event(self, server):
+        events = submit_request(server.socket_path, {"op": "launch"})
+        assert events[-1]["event"] == "error"
+        assert "unknown op" in events[-1]["message"]
+
+    def test_bad_sweep_request_is_an_error_event(self, server):
+        events = submit_request(
+            server.socket_path, {"op": "sweep", "experiment": "nope"}
+        )
+        assert events[-1]["event"] == "error"
+
+    def test_sweep_cold_then_warm_identical_digests(self, server):
+        request = {
+            "op": "sweep",
+            "experiment": "T7",
+            "values": [0.05],
+            "replications": 1,
+            "base_params": {"station_count": 8, "duration_slots": 60},
+        }
+        cold = submit_request(server.socket_path, request)
+        assert cold[0] == {"event": "plan", "total": 1}
+        assert cold[-1]["event"] == "done"
+        assert cold[-1]["executed"] == 1
+        warm = submit_request(server.socket_path, request)
+        assert warm[-1]["hits"] == 1
+        assert warm[-1]["executed"] == 0
+        assert warm[-1]["results_digest"] == cold[-1]["results_digest"]
+        task_lines = [e for e in warm if e["event"] == "task"]
+        assert [line["source"] for line in task_lines] == ["cache"]
+
+    def test_sweep_streams_records_on_request(self, server):
+        request = {
+            "op": "sweep",
+            "experiment": "T7",
+            "values": [0.05],
+            "base_params": {"station_count": 8, "duration_slots": 60},
+            "records": True,
+        }
+        events = submit_request(server.socket_path, request)
+        task_lines = [e for e in events if e["event"] == "task"]
+        assert task_lines
+        record = task_lines[0]["record"]
+        assert record["ok"]
+        assert record["payload"]["experiment_id"] == "T7"
+
+    def test_stale_socket_file_is_replaced(self, tmp_path):
+        import socket as socket_module
+
+        sock_path = tmp_path / "stale.sock"
+        sock_path.write_text("")  # a dead server's leftover
+        service = SweepService(ResultCache(str(tmp_path / "cache")), jobs=1)
+        server = SweepServer(service, str(sock_path))  # binds despite litter
+        try:
+            with socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            ) as probe:
+                probe.connect(str(sock_path))  # no ConnectionRefused
+        finally:
+            server.server_close()
+        assert not os.path.exists(sock_path)  # close removes the socket
+
+
+class TestTracedSubmission:
+    def test_trace_writes_jsonl_and_counts(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        service = SweepService(cache, jobs=1)
+        spec = TaskSpec(
+            task_id="traced",
+            kind="scenario",
+            params={"stations": 6, "load": 0.05, "duration_slots": 80.0},
+            seed=11,
+        )
+        _results, summary = service.submit_specs([spec], trace=True)
+        trace = summary["trace"]
+        assert os.path.exists(trace["path"])
+        lines = [
+            json.loads(line)
+            for line in open(trace["path"], "r", encoding="utf-8")
+        ]
+        assert lines, "trace file must carry events"
+        assert trace["events"] == len(lines)
+        assert trace["hop_deliveries"] >= 0

@@ -180,6 +180,140 @@ class TestDigests:
         assert results_digest([ok, bad]) == with_error
 
 
+class TestCanonicalizeEdgeCases:
+    """Regressions for the values ``json.dumps`` cannot carry verbatim:
+    non-finite floats and numpy arrays must digest deterministically and
+    round-trip through strict (``allow_nan=False``) JSON."""
+
+    def test_nonfinite_floats_become_markers(self):
+        assert canonicalize(float("nan")) == {"__nonfinite__": "nan"}
+        assert canonicalize(float("inf")) == {"__nonfinite__": "inf"}
+        assert canonicalize(float("-inf")) == {"__nonfinite__": "-inf"}
+
+    def test_nonfinite_digests_are_stable_and_distinct(self):
+        nan_digest = payload_digest({"x": float("nan")})
+        assert nan_digest == payload_digest({"x": float("nan")})
+        digests = {
+            nan_digest,
+            payload_digest({"x": float("inf")}),
+            payload_digest({"x": float("-inf")}),
+            payload_digest({"x": "nan"}),  # the string is not the float
+            payload_digest({"x": 0.0}),
+        }
+        assert len(digests) == 5
+
+    def test_nonfinite_survive_strict_json_round_trip(self):
+        import json
+
+        canonical = canonicalize({"x": [float("nan"), float("inf"), 1.0]})
+        text = json.dumps(canonical, sort_keys=True, allow_nan=False)
+        assert json.loads(text) == canonical
+
+    def test_numpy_nonfinite_scalars_match_python_floats(self):
+        assert payload_digest({"x": np.float64("nan")}) == payload_digest(
+            {"x": float("nan")}
+        )
+        assert payload_digest({"x": np.float32("inf")}) == payload_digest(
+            {"x": float("inf")}
+        )
+
+    def test_numpy_arrays_become_nested_lists(self):
+        assert canonicalize(np.array([1, 2, 3])) == [1, 2, 3]
+        assert canonicalize(np.array([[1.5, 2.5], [3.5, 4.5]])) == [
+            [1.5, 2.5],
+            [3.5, 4.5],
+        ]
+
+    def test_numpy_array_digest_matches_plain_list(self):
+        assert payload_digest({"rows": np.arange(4)}) == payload_digest(
+            {"rows": [0, 1, 2, 3]}
+        )
+
+    def test_numpy_array_with_nan_elements(self):
+        value = canonicalize(np.array([1.0, float("nan")]))
+        assert value == [1.0, {"__nonfinite__": "nan"}]
+
+    def test_single_element_array_stays_a_list(self):
+        # Regression: size-1 ndarrays used to scalarise via ``.item()``,
+        # silently digesting ``[7]`` and ``7`` identically.
+        assert canonicalize(np.array([7])) == [7]
+        assert payload_digest({"x": np.array([7])}) != payload_digest(
+            {"x": 7}
+        )
+
+    def test_zero_d_array_is_a_scalar(self):
+        assert canonicalize(np.array(7)) == 7
+        assert canonicalize(np.float64(2.5)) == 2.5
+
+    def test_spec_digest_handles_numpy_params(self):
+        from repro.parallel.task import spec_digest
+
+        with_numpy = TaskSpec(
+            task_id="a",
+            kind="function",
+            target=f"{WORKERS}:echo",
+            params={"values": np.array([1, 2]), "scale": np.float64(0.5)},
+        )
+        plain = TaskSpec(
+            task_id="b",
+            kind="function",
+            target=f"{WORKERS}:echo",
+            params={"values": [1, 2], "scale": 0.5},
+        )
+        assert spec_digest(with_numpy) == spec_digest(plain)
+
+    def test_payload_digest_never_emits_nonstandard_json(self):
+        # Every non-finite spelling must go through the marker path; a
+        # raw NaN reaching the encoder is a loud failure, not a silent
+        # platform-dependent token.
+        digest = payload_digest({"deep": {"list": [float("nan")]}})
+        assert isinstance(digest, str) and len(digest) == 32
+
+
+class TestSpecDigest:
+    def test_excludes_task_id_and_scheduling(self):
+        from repro.parallel.task import spec_digest, spec_identity
+
+        base = TaskSpec(
+            task_id="one",
+            kind="function",
+            target=f"{WORKERS}:echo",
+            params={"v": 1},
+        )
+        relabelled = TaskSpec(
+            task_id="two",
+            kind="function",
+            target=f"{WORKERS}:echo",
+            params={"v": 1},
+            timeout_s=30.0,
+            retries=5,
+        )
+        assert spec_digest(base) == spec_digest(relabelled)
+        assert "task_id" not in spec_identity(base)
+
+    def test_sensitive_to_work(self):
+        from repro.parallel.task import spec_digest
+
+        def spec(**kwargs):
+            merged = {
+                "task_id": "t",
+                "kind": "function",
+                "target": f"{WORKERS}:echo",
+                "params": {"v": 1},
+            }
+            merged.update(kwargs)
+            return TaskSpec(**merged)
+
+        digests = {
+            spec_digest(spec()),
+            spec_digest(spec(params={"v": 2})),
+            spec_digest(spec(seed=3)),
+            spec_digest(spec(sanitize=True)),
+            spec_digest(spec(target=f"{WORKERS}:double", params={"value": 1})),
+        }
+        assert len(digests) == 5
+
+
 class TestReportRoundTrip:
     def test_round_trip_preserves_everything(self):
         report = ExperimentReport(

@@ -38,3 +38,32 @@ def sleep_forever():
     """Outlive any per-task timeout the tests set."""
     while True:
         time.sleep(0.1)
+
+
+def slow_echo(log_path=None, delay_s=0.3, **kwargs):
+    """Echo after a delay, appending one line per *execution* to
+    ``log_path`` — the witness the in-flight dedup tests count."""
+    if log_path is not None:
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(f"executed {sorted(kwargs.items())!r}\n")
+    time.sleep(delay_s)
+    return dict(kwargs)
+
+
+def cache_put_echo(cache_root, value):
+    """Open the shared cache and store an echo result — run in several
+    concurrent worker processes to race atomic same-key writes."""
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.task import TaskSpec, execute_task
+
+    cache = ResultCache(cache_root)
+    spec = TaskSpec(
+        task_id="raced",
+        kind="function",
+        target="tests.parallel.workers:echo",
+        params={"value": value},
+    )
+    result = execute_task(spec)
+    for _attempt in range(20):
+        cache.put(spec, result)
+    return {"stored": cache.key_for(spec)}

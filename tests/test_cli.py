@@ -188,6 +188,119 @@ class TestParallelCommands:
         assert args.output == "suite-report.json"
 
 
+class TestCacheCommands:
+    TINY_T7 = [
+        "--experiment", "T7",
+        "--values", "0.05",
+        "--set", "station_count=8",
+        "--set", "duration_slots=60",
+    ]
+
+    def populate(self, cache_dir, capsys):
+        assert main(["sweep", *self.TINY_T7, "--cache", str(cache_dir)]) == 0
+        return capsys.readouterr()
+
+    def test_sweep_cache_cold_then_warm(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = self.populate(cache_dir, capsys)
+        assert "0/1 hits (0.0%)" in cold.err
+        assert "1 written" in cold.err
+        warm = self.populate(cache_dir, capsys)
+        assert "1/1 hits (100.0%)" in warm.err
+        assert "0 written" in warm.err
+        assert warm.out == cold.out  # byte-identical report
+
+    def test_stats_command(self, capsys, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)
+        assert main(["cache", "stats", str(cache_dir), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["quarantined"] == 0
+
+    def test_verify_command(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)
+        assert main(["cache", "verify", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "checked" in out and "1" in out
+
+    def test_verify_flags_corruption(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)
+        objects = cache_dir / "objects"
+        entry = next(objects.glob("*/*.json"))
+        entry.write_text("{torn write")
+        assert main(["cache", "verify", str(cache_dir)]) == 1
+        assert "corrupt_quarantined: 1" in capsys.readouterr().out
+
+    def test_gc_command(self, capsys, tmp_path):
+        import json
+
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)
+        code = main(
+            ["cache", "gc", str(cache_dir), "--max-age-s", "0", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["evicted"] == 1
+        assert report["remaining_entries"] == 0
+
+    def test_gc_requires_a_limit(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)
+        assert main(["cache", "gc", str(cache_dir)]) == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_cache_refuses_foreign_directory(self, capsys, tmp_path):
+        (tmp_path / "precious.txt").write_text("data")
+        assert main(["cache", "stats", str(tmp_path)]) == 2
+        assert "no cache marker" in capsys.readouterr().err
+
+    def test_submit_without_service_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["submit", "--socket", str(tmp_path / "none.sock"), "--op", "ping"]
+        )
+        assert code == 2
+        assert "no sweep service listening" in capsys.readouterr().err
+
+    def test_submit_sweep_requires_experiment(self, capsys, tmp_path):
+        code = main(
+            ["submit", "--socket", str(tmp_path / "x.sock"), "--op", "sweep"]
+        )
+        assert code == 2
+        assert "--experiment" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_live_server(self, capsys, tmp_path):
+        import threading
+
+        from repro.parallel.cache import ResultCache
+        from repro.parallel.service import SweepServer, SweepService
+
+        cache_dir = tmp_path / "cache"
+        self.populate(cache_dir, capsys)  # warm the cache first
+        service = SweepService(ResultCache(str(cache_dir)), jobs=1)
+        server = SweepServer(service, str(tmp_path / "sweep.sock"))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            code = main(
+                ["submit", "--socket", server.socket_path, *self.TINY_T7]
+            )
+            captured = capsys.readouterr()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+        assert code == 0
+        assert "hits: 1" in captured.err  # served entirely from the cache
+        assert "results digest:" in captured.out
+
+
 class TestTraceCommand:
     T7_TINY = [
         "--experiment", "T7",

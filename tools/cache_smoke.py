@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Cold/warm cache smoke test for CI.
+
+Runs the same small T7 sweep twice through ``repro sweep --cache`` in
+separate processes and asserts the cache is invisible in the results
+and decisive in the work:
+
+1. cold — empty cache: every task executes and is written back;
+2. warm — same plan, same cache: **100% hits**, zero executions, and a
+   sweep artifact byte-identical to the cold run's;
+3. ``repro cache verify`` over the populated store reports zero
+   corruption (with one entry re-executed and digest-compared);
+4. ``repro cache stats --json`` is written to the path given by
+   ``--stats-output`` for CI to archive.
+
+Exit status is non-zero on any violation, so CI can gate on it.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SWEEP_ARGS = [
+    "--experiment", "T7",
+    "--values", "0.02,0.05,0.08",
+    "--set", "station_count=12",
+    "--set", "duration_slots=100",
+]
+
+
+def repro(args, env, capture=False):
+    command = [sys.executable, "-m", "repro", *args]
+    return subprocess.run(
+        command,
+        env=env,
+        check=True,
+        timeout=600.0,
+        stdout=subprocess.PIPE if capture else subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def traffic_line(completed):
+    """The ``cache: H/T hits ...`` line the sweep prints to stderr."""
+    for line in completed.stderr.splitlines():
+        if line.startswith("cache:"):
+            return line
+    raise SystemExit(f"no cache traffic line in stderr:\n{completed.stderr}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--stats-output", default="cache-stats.json", metavar="PATH",
+        help="where to write the final `repro cache stats --json` report",
+    )
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = os.path.join(scratch, "cache")
+        cold_out = os.path.join(scratch, "cold.json")
+        warm_out = os.path.join(scratch, "warm.json")
+
+        print("== cold sweep (empty cache) ==", flush=True)
+        cold = repro(
+            ["sweep", *SWEEP_ARGS, "--cache", cache_dir,
+             "--output", cold_out],
+            env,
+        )
+        print(traffic_line(cold))
+        if "0/3 hits" not in traffic_line(cold):
+            raise SystemExit("cold run unexpectedly hit the cache")
+
+        print("== warm sweep (same plan, same cache) ==", flush=True)
+        warm = repro(
+            ["sweep", *SWEEP_ARGS, "--cache", cache_dir,
+             "--output", warm_out],
+            env,
+        )
+        print(traffic_line(warm))
+        if "3/3 hits (100.0%)" not in traffic_line(warm):
+            raise SystemExit("warm run was not 100% cache hits")
+
+        with open(cold_out, "rb") as handle:
+            cold_bytes = handle.read()
+        with open(warm_out, "rb") as handle:
+            warm_bytes = handle.read()
+        if cold_bytes != warm_bytes:
+            raise SystemExit("warm sweep artifact is not byte-identical")
+        print(f"artifacts byte-identical ({len(cold_bytes)} bytes)")
+
+        print("== cache verify (with one recomputation) ==", flush=True)
+        verify = repro(
+            ["cache", "verify", cache_dir, "--recompute", "1", "--json"],
+            env,
+            capture=True,
+        )
+        report = json.loads(verify.stdout)
+        print(json.dumps(report, sort_keys=True))
+        if report["corrupt_quarantined"] or report["recomputed"] != 1:
+            raise SystemExit(f"verify found problems: {report}")
+
+        stats = repro(
+            ["cache", "stats", cache_dir, "--json"], env, capture=True
+        )
+        with open(args.stats_output, "w", encoding="utf-8") as handle:
+            handle.write(stats.stdout)
+        print(f"cache smoke OK; stats written to {args.stats_output}")
+
+
+if __name__ == "__main__":
+    main()

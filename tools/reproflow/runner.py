@@ -61,6 +61,9 @@ class ReproflowConfig:
         "repro.parallel.task:_run_function",
         "repro.parallel.task:_run_scenario",
         "repro.parallel.pool:_worker_main",
+        "repro.parallel.cache:ResultCache.verify",
+        "repro.parallel.service:SweepService.submit_specs",
+        "repro.parallel.service:SweepService.handle_request",
     )
     #: extra fork-safety roots (qualified names).
     extra_fork_roots: Tuple[str, ...] = (
