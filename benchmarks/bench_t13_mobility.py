@@ -1,0 +1,34 @@
+"""Bench T13: delivery recovery under mobility churn and fading."""
+
+import math
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t13_mobility(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T13")(
+            churn_rates=(1.0, 3.0),
+            station_count=24,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    # The re-acquiring scheme recovers to >= 90% of its pre-churn
+    # steady state at every churn rate ...
+    recovered = report.claims[
+        "scheme post-churn delivery vs pre-churn steady state"
+    ][1]
+    assert recovered >= 0.9
+    # ... while the stale baseline (no re-acquisition, no ARQ) does not.
+    stale = report.claims["stale (no re-acquisition, no ARQ) baseline recovery"][1]
+    assert stale < 0.9
+    # Mobility actually turned neighbour sets over for the scheme, and
+    # its rendezvous-recovery latency is reported at every churn rate.
+    shepard_rows = [r for r in report.rows if r[0] == "shepard"]
+    assert all(row[2] > 0 for row in shepard_rows)
+    assert all(not math.isnan(row[7]) for row in shepard_rows)
+    # ARQ is loud: the retrying variant reports its retry budget spend.
+    arq_rows = [r for r in report.rows if r[0] == "aloha_arq"]
+    assert all(row[10] > 0 for row in arq_rows)

@@ -30,6 +30,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     t10_routing_tradeoff,
     t11_clock_offsets,
     t12_resilience,
+    t13_mobility,
 )
 from repro.experiments.runner import (
     ExperimentParams,

@@ -149,6 +149,8 @@ def run_resilience_point(
                 timelines.fault_losses(),
                 timelines.sir_losses(),
                 timelines.fault_queue_drops,
+                timelines.arq_retries,
+                timelines.arq_giveups,
             )
         )
         recoveries[name] = (
@@ -194,6 +196,8 @@ def run(
             "fault losses",
             "sir losses",
             "fault drops",
+            "arq retries",
+            "arq giveups",
         ),
     )
     specs = [

@@ -97,6 +97,8 @@ def run_load_point(
                 else float("nan"),
                 timelines.unreachable_drops,
                 timelines.no_route_drops,
+                timelines.arq_retries,
+                timelines.arq_giveups,
             )
         )
         if name == "shepard":
@@ -138,6 +140,8 @@ def run(
             "mean delay (slots)",
             "unreachable drops",
             "no-route drops",
+            "arq retries",
+            "arq giveups",
         ),
     )
     specs = [

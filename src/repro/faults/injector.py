@@ -131,6 +131,12 @@ class FaultInjector:
             self.log,
             self.network.medium.loss_counts_by_reason(),
             fault_queue_drops,
+            arq_retries=sum(
+                station.stats.arq_retries for station in self.network.stations
+            ),
+            arq_giveups=sum(
+                station.stats.arq_giveups for station in self.network.stations
+            ),
         )
 
 

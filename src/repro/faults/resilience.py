@@ -32,6 +32,12 @@ class ResilienceLog:
         clock_steps: ``(time, station)`` per clock-step fault.
         refits: ``(time, station)`` per neighbour-model re-fit.
         fades: ``(time, receiver, source, factor)`` per fade change.
+        turnovers: ``(time, station)`` per mobility-induced
+            neighbour-set turnover detection (stale receive windows).
+        reacquired: ``(time, station)`` per station whose turnover was
+            resolved by a §7.1 re-convergence.
+        mobility_reroutes: times of re-convergences triggered by
+            mobility churn rather than discrete faults.
     """
 
     crashes: List[Tuple[float, int]] = field(default_factory=list)
@@ -40,6 +46,9 @@ class ResilienceLog:
     clock_steps: List[Tuple[float, int]] = field(default_factory=list)
     refits: List[Tuple[float, int]] = field(default_factory=list)
     fades: List[Tuple[float, int, int, float]] = field(default_factory=list)
+    turnovers: List[Tuple[float, int]] = field(default_factory=list)
+    reacquired: List[Tuple[float, int]] = field(default_factory=list)
+    mobility_reroutes: List[float] = field(default_factory=list)
 
     def reroute_latencies(self) -> List[float]:
         """Delay from each lifecycle event to the next reroute.
@@ -67,6 +76,30 @@ class ResilienceLog:
             return math.nan
         return sum(latencies) / len(latencies)
 
+    def rendezvous_recovery_latencies(self) -> List[float]:
+        """Per-station delay from a detected neighbour-set turnover to
+        the re-acquisition that resolved it.
+
+        Pairs each ``turnovers`` entry with the first ``reacquired``
+        entry for the same station at or after it; turnovers the run
+        ended before resolving are omitted (they never recovered).
+        """
+        latencies: List[float] = []
+        for turned_at, station in self.turnovers:
+            for fixed_at, fixed_station in self.reacquired:
+                if fixed_station == station and fixed_at >= turned_at:
+                    latencies.append(fixed_at - turned_at)
+                    break
+        return latencies
+
+    def mean_rendezvous_recovery(self) -> float:
+        """Mean turnover-to-reacquisition delay, or NaN when nothing
+        was paired."""
+        latencies = self.rendezvous_recovery_latencies()
+        if not latencies:
+            return math.nan
+        return sum(latencies) / len(latencies)
+
 
 #: Loss reasons attributable to injected faults rather than SIR physics.
 FAULT_LOSS_REASONS = frozenset(
@@ -89,6 +122,18 @@ class ResilienceReport:
         sir_losses: deliveries lost to ordinary channel physics.
         fault_queue_drops: packets discarded from queues by crashes
             or rejected while a station was down.
+        turnover_count: mobility-induced neighbour-set turnovers
+            detected (per station, per scan).
+        reacquire_count: stations whose turnover was resolved by a
+            §7.1 re-convergence.
+        mobility_reroute_count: re-convergences triggered by mobility
+            churn (disjoint from ``reroute_count``'s fault reroutes).
+        mean_rendezvous_recovery: mean turnover-to-reacquisition delay
+            in global seconds (NaN when nothing was paired).
+        arq_retries: bounded retransmissions the ARQ sublayer
+            scheduled across all stations.
+        arq_giveups: packets the ARQ sublayer abandoned — the loud
+            replacement for the MACs' silent drops.
     """
 
     crash_count: int
@@ -98,10 +143,21 @@ class ResilienceReport:
     fault_losses: int
     sir_losses: int
     fault_queue_drops: int
+    turnover_count: int = 0
+    reacquire_count: int = 0
+    mobility_reroute_count: int = 0
+    mean_rendezvous_recovery: float = math.nan
+    arq_retries: int = 0
+    arq_giveups: int = 0
 
     @classmethod
     def from_run(
-        cls, log: ResilienceLog, losses_by_reason: Dict[str, int], fault_queue_drops: int
+        cls,
+        log: ResilienceLog,
+        losses_by_reason: Dict[str, int],
+        fault_queue_drops: int,
+        arq_retries: int = 0,
+        arq_giveups: int = 0,
     ) -> "ResilienceReport":
         """Build the report from the injector log and medium loss counters.
 
@@ -109,6 +165,8 @@ class ResilienceReport:
             log: the injector's :class:`ResilienceLog`.
             losses_by_reason: the medium's per-reason loss counts.
             fault_queue_drops: summed ``StationStats.fault_drops``.
+            arq_retries: summed ``StationStats.arq_retries``.
+            arq_giveups: summed ``StationStats.arq_giveups``.
         """
         fault_losses = sum(
             count
@@ -128,6 +186,12 @@ class ResilienceReport:
             fault_losses=fault_losses,
             sir_losses=sir_losses,
             fault_queue_drops=fault_queue_drops,
+            turnover_count=len(log.turnovers),
+            reacquire_count=len(log.reacquired),
+            mobility_reroute_count=len(log.mobility_reroutes),
+            mean_rendezvous_recovery=log.mean_rendezvous_recovery(),
+            arq_retries=arq_retries,
+            arq_giveups=arq_giveups,
         )
 
     def to_payload(self) -> Dict[str, object]:
@@ -140,4 +204,10 @@ class ResilienceReport:
             "fault_losses": self.fault_losses,
             "sir_losses": self.sir_losses,
             "fault_queue_drops": self.fault_queue_drops,
+            "turnover_count": self.turnover_count,
+            "reacquire_count": self.reacquire_count,
+            "mobility_reroute_count": self.mobility_reroute_count,
+            "mean_rendezvous_recovery": self.mean_rendezvous_recovery,
+            "arq_retries": self.arq_retries,
+            "arq_giveups": self.arq_giveups,
         }

@@ -1,6 +1,7 @@
 """Channel access protocols: the paper's scheme and classic baselines."""
 
 from repro.mac.aloha import AlohaMac
+from repro.mac.arq import ArqConfig, ArqSublayer
 from repro.mac.base import MacProtocol
 from repro.mac.csma import CsmaMac
 from repro.mac.maca import MacaMac
@@ -9,6 +10,8 @@ from repro.mac.tdma import TdmaMac, TdmaPlan, build_tdma_plan, greedy_coloring
 
 __all__ = [
     "AlohaMac",
+    "ArqConfig",
+    "ArqSublayer",
     "CsmaMac",
     "MacProtocol",
     "MacaMac",

@@ -32,6 +32,14 @@ class MacProtocol(ABC):
     #: Human-readable protocol name, used in experiment report rows.
     name: str = "abstract"
 
+    #: Whether this MAC plans transmissions from neighbour schedule
+    #: state that a §7.1 re-convergence invalidates.  When True,
+    #: :meth:`repro.net.network.Network.reconverge` interrupts and
+    #: respawns the MAC process (unless mid-burst) so stale candidate
+    #: windows are re-derived; contention MACs hold no such state and
+    #: must not be kicked (an interrupt would orphan a popped packet).
+    replan_on_reconverge: bool = False
+
     def __init__(self) -> None:
         self._station: "Station | None" = None
 

@@ -44,6 +44,9 @@ class ShepardMac(MacProtocol):
     """
 
     name = "shepard"
+    # Candidate windows come from neighbour clock models; a §7.1
+    # re-convergence invalidates any pending plan.
+    replan_on_reconverge = True
 
     def __init__(self, guard: float = 0.0, search_slots: int = 10_000) -> None:
         super().__init__()

@@ -1,0 +1,32 @@
+"""Mobility churn and continuous time-varying channels.
+
+The paper's setting (Section 2) is a metropolitan network of *slowly
+moving* stations.  This package supplies the missing dynamics: seed-
+tree-deterministic trajectory models (:mod:`repro.mobility.models`)
+and a continuous channel process (:mod:`repro.mobility.channel`) that
+pushes incremental mobility/fading gain updates into the medium and
+drives Section 7.1 re-acquisition when neighbour sets turn over.
+
+An inert :class:`~repro.mobility.channel.ChannelSpec` installs nothing
+at all — replay digests of existing experiments are bit-identical
+with and without this package imported, mirroring the empty-fault-plan
+guarantee.
+"""
+
+from repro.mobility.channel import (
+    ChannelProcess,
+    ChannelSpec,
+    FadingSpec,
+    install_channel,
+)
+from repro.mobility.models import ClusterDrift, MobilityModel, RandomWaypoint
+
+__all__ = [
+    "ChannelProcess",
+    "ChannelSpec",
+    "ClusterDrift",
+    "FadingSpec",
+    "MobilityModel",
+    "RandomWaypoint",
+    "install_channel",
+]

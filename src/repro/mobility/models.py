@@ -1,0 +1,234 @@
+"""Mobility models: deterministic station trajectories over the disk.
+
+The paper (Section 2) targets *slowly moving* stations — slow enough
+that the §7.1 clock-model maintenance can track neighbours, fast
+enough that neighbour sets eventually turn over.  These models supply
+that motion as pure state machines: every random draw comes from the
+generator handed in by the channel process (which derives it from the
+seed tree), so trajectories are bit-reproducible and jobs-invariant
+like everything else in the repository.
+
+Two classic models are provided:
+
+* :class:`RandomWaypoint` — each station independently picks a target
+  uniform in the disk, walks to it at constant speed, pauses, and
+  repeats.  The standard churn workload: neighbour sets decay
+  station-by-station.
+* :class:`ClusterDrift` — stations are partitioned into clusters that
+  drift coherently with periodically redrawn headings, reflecting off
+  the region boundary.  Models convoys/platoons: whole neighbourhoods
+  move together, so intra-cluster links are stable while inter-cluster
+  links churn en masse.
+
+Speeds are expressed in metres per *slot* so that experiment churn
+rates stay meaningful across link-budget changes; the channel process
+advances models by its tick interval measured in slots.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MobilityModel", "RandomWaypoint", "ClusterDrift"]
+
+
+class MobilityModel(ABC):
+    """Base class: in-place position updates driven by an external RNG.
+
+    Lifecycle: :meth:`prepare` once with the initial positions, then
+    :meth:`step` per channel tick.  Models keep their state (targets,
+    headings, pause timers) internally; positions live in the caller's
+    array and are mutated in place.
+    """
+
+    #: Model name, for experiment payloads.
+    name: str = "static"
+
+    #: Speed in metres per slot; 0.0 means the model is inert.
+    speed: float = 0.0
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the model can never move a station.
+
+        A static model is *inert*: :func:`~repro.mobility.channel
+        .install_channel` installs nothing for it, preserving the
+        zero-cost guarantee.
+        """
+        return self.speed == 0.0
+
+    @abstractmethod
+    def prepare(
+        self,
+        positions: np.ndarray,
+        region_radius: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Initialise per-station state for the given starting layout."""
+
+    @abstractmethod
+    def step(
+        self,
+        positions: np.ndarray,
+        dt_slots: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Advance ``dt_slots`` of motion, mutating ``positions``.
+
+        Returns the indices of stations that actually moved, so the
+        caller can restrict gain recomputation to touched links — with
+        an empty return the channel tick writes back bitwise-identical
+        gains.
+        """
+
+
+def _uniform_in_disk(
+    count: int, radius: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` points uniform over the disk of ``radius`` (area-true)."""
+    r = radius * np.sqrt(rng.random(count))
+    theta = 2.0 * np.pi * rng.random(count)
+    return np.column_stack((r * np.cos(theta), r * np.sin(theta)))
+
+
+@dataclass
+class RandomWaypoint(MobilityModel):
+    """Independent waypoint walks: pick a target, walk, pause, repeat.
+
+    Attributes:
+        speed: walking speed in metres per slot.
+        pause_slots: dwell time at each reached waypoint, in slots.
+    """
+
+    speed: float = 0.0
+    pause_slots: float = 0.0
+    name: str = field(default="waypoint", init=False)
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise ValueError("speed must be non-negative")
+        if self.pause_slots < 0.0:
+            raise ValueError("pause must be non-negative")
+
+    def prepare(
+        self,
+        positions: np.ndarray,
+        region_radius: float,
+        rng: np.random.Generator,
+    ) -> None:
+        count = positions.shape[0]
+        self._radius = float(region_radius)
+        self._targets = _uniform_in_disk(count, self._radius, rng)
+        self._pause_left = np.zeros(count)
+
+    def step(
+        self,
+        positions: np.ndarray,
+        dt_slots: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self.speed == 0.0 or dt_slots <= 0.0:
+            return np.empty(0, dtype=np.intp)
+        paused = self._pause_left > 0.0
+        self._pause_left[paused] -= dt_slots
+        walking = np.nonzero(~paused)[0]
+        if walking.size == 0:
+            return np.empty(0, dtype=np.intp)
+        delta = self._targets[walking] - positions[walking]
+        dist = np.sqrt((delta**2).sum(axis=1))
+        step_len = self.speed * dt_slots
+        arrive = dist <= step_len
+        # Walkers that do not reach their target this tick move along
+        # the straight line; arrivals snap to the target, start their
+        # pause, and draw the next waypoint (consumed when it ends).
+        far = walking[~arrive]
+        if far.size:
+            unit = delta[~arrive] / dist[~arrive, None]
+            positions[far] += unit * step_len
+        near = walking[arrive]
+        if near.size:
+            positions[near] = self._targets[near]
+            self._pause_left[near] = self.pause_slots
+            self._targets[near] = _uniform_in_disk(
+                near.size, self._radius, rng
+            )
+        moved = walking[dist > 0.0]
+        return moved
+
+    def _state_summary(self) -> dict:
+        """Small introspection hook for tests."""
+        return {
+            "targets": self._targets.copy(),
+            "pause_left": self._pause_left.copy(),
+        }
+
+
+@dataclass
+class ClusterDrift(MobilityModel):
+    """Clusters of stations drifting coherently, reflecting at the rim.
+
+    Attributes:
+        speed: drift speed in metres per slot (shared by all clusters).
+        clusters: number of coherent groups stations are split into.
+        redirect_slots: interval between heading redraws, in slots.
+    """
+
+    speed: float = 0.0
+    clusters: int = 4
+    redirect_slots: float = 50.0
+    name: str = field(default="cluster", init=False)
+
+    def __post_init__(self) -> None:
+        if self.speed < 0.0:
+            raise ValueError("speed must be non-negative")
+        if self.clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.redirect_slots <= 0.0:
+            raise ValueError("redirect interval must be positive")
+
+    def prepare(
+        self,
+        positions: np.ndarray,
+        region_radius: float,
+        rng: np.random.Generator,
+    ) -> None:
+        count = positions.shape[0]
+        self._radius = float(region_radius)
+        self._assignment = rng.integers(0, self.clusters, size=count)
+        self._headings = self._draw_headings(rng)
+        self._until_redirect = self.redirect_slots
+
+    def _draw_headings(self, rng: np.random.Generator) -> np.ndarray:
+        theta = 2.0 * np.pi * rng.random(self.clusters)
+        return np.column_stack((np.cos(theta), np.sin(theta)))
+
+    def step(
+        self,
+        positions: np.ndarray,
+        dt_slots: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if self.speed == 0.0 or dt_slots <= 0.0:
+            return np.empty(0, dtype=np.intp)
+        self._until_redirect -= dt_slots
+        if self._until_redirect <= 0.0:
+            self._headings = self._draw_headings(rng)
+            self._until_redirect = self.redirect_slots
+        positions += self._headings[self._assignment] * (
+            self.speed * dt_slots
+        )
+        # Stations carried past the rim are mirrored back across it
+        # (position-only reflection; the cluster heading is redrawn on
+        # its own cadence, so escapees re-reflect until then).
+        r = np.sqrt((positions**2).sum(axis=1))
+        outside = r > self._radius
+        if outside.any():
+            factor = (2.0 * self._radius - r[outside]) / r[outside]
+            # A station carried beyond 2R would mirror through the
+            # origin; clamp the reflection to the rim instead.
+            factor = np.maximum(factor, 0.0)
+            positions[outside] *= factor[:, None]
+        return np.arange(positions.shape[0], dtype=np.intp)

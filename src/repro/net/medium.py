@@ -270,6 +270,10 @@ class Medium:
         self._down = np.zeros(stations, dtype=bool)
         self._nominal_gains: Optional[np.ndarray] = None
         self._corruption: Optional[Callable[[Transmission], bool]] = None
+        # Continuous-channel accounting: batch updates aimed at culled
+        # sparse entries are skipped but never silently — the channel
+        # process surfaces this count in its report.
+        self.culled_update_skips: int = 0
         self.losses: List[LossRecord] = []
         self.deliveries: int = 0
         self._delivery_callbacks: Dict[int, Callable[[Transmission], None]] = {}
@@ -909,6 +913,119 @@ class Medium:
         self._interference[receiver] += self._powers[source] * delta
         self._field_changed()
         self._update_attempts()
+
+    def link_indices(
+        self, receivers: np.ndarray, sources: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Sparse mode: flat CSR indices of ``(receiver, source)`` pairs.
+
+        Culled pairs resolve to ``-1``.  The CSR structure is immutable
+        for the lifetime of the medium, so a caller driving repeated
+        :meth:`update_links` batches over a fixed link set (the
+        continuous channel process) resolves once and caches the
+        result.  Dense mode needs no resolution: returns ``None``.
+        """
+        if self.sparse is None:
+            return None
+        indptr, rows = self.sparse.indptr, self.sparse.rows
+        receivers = np.asarray(receivers, dtype=np.intp)
+        sources = np.asarray(sources, dtype=np.intp)
+        indices = np.full(receivers.shape, -1, dtype=np.int64)
+        for k in range(receivers.size):
+            lo = int(indptr[sources[k]])
+            hi = int(indptr[sources[k] + 1])
+            position = lo + int(np.searchsorted(rows[lo:hi], receivers[k]))
+            if position < hi and int(rows[position]) == int(receivers[k]):
+                indices[k] = position
+        return indices
+
+    def update_links(
+        self,
+        receivers: np.ndarray,
+        sources: np.ndarray,
+        new_gains: np.ndarray,
+        indices: Optional[np.ndarray] = None,
+    ) -> int:
+        """Batch absolute-gain update: the continuous-channel entry point.
+
+        Where :meth:`scale_link` applies one *relative* factor against
+        the nominal matrix (the one-shot LinkFade discipline), this
+        sets many links to explicit new gains in a single pass — the
+        shape a mobility/fading process produces each tick.  Pairs must
+        be unique within one call.  The same copy-on-write
+        privatisation applies, so the builder's nominal matrix (and
+        therefore power control and the exact-restore witness) is never
+        disturbed, and the incremental interference field absorbs the
+        exact per-link deltas so in-progress receptions feel the change
+        immediately; the periodic ``_resync_field`` drift check bounds
+        the accumulated float error exactly as for transmission events.
+
+        Sparse mode skips pairs culled from the CSR structure (their
+        interference contribution is already covered by the build-time
+        bounded-error accounting) and accrues the skip count in
+        :attr:`culled_update_skips` — skipped, never silent.  Pass the
+        cached :meth:`link_indices` result as ``indices`` to avoid
+        re-resolving every tick.
+
+        Returns the number of link entries actually applied.
+        """
+        receivers = np.asarray(receivers, dtype=np.intp)
+        sources = np.asarray(sources, dtype=np.intp)
+        values = np.asarray(new_gains, dtype=float)
+        if not (receivers.shape == sources.shape == values.shape):
+            raise ValueError("receivers, sources and gains must align")
+        if receivers.size == 0:
+            return 0
+        if np.any(receivers == sources):
+            raise ValueError("a link needs two distinct stations")
+        if np.any(values <= 0.0):
+            raise ValueError("link gains must be positive")
+        if self.sparse is not None:
+            if indices is None:
+                indices = self.link_indices(receivers, sources)
+            assert indices is not None
+            if self._nominal_svals is None:
+                self._nominal_svals = self._svals
+                self._svals = self._svals.copy()
+            live = indices >= 0
+            self.culled_update_skips += int(indices.size) - int(
+                np.count_nonzero(live)
+            )
+            flat = indices[live]
+            receivers = receivers[live]
+            sources = sources[live]
+            values = values[live]
+            delta = values - self._svals[flat]
+            self._svals[flat] = values
+        else:
+            assert self.gains is not None and self._gains_columns is not None
+            if self._nominal_gains is None:
+                self._nominal_gains = self.gains
+                self.gains = self.gains.copy()
+            delta = values - self.gains[receivers, sources]
+            self.gains[receivers, sources] = values
+            self._gains_columns[sources, receivers] = values
+        if self._active:
+            # np.add.at: unbuffered, so repeated receivers (one station
+            # hearing several updated sources) each land exactly once.
+            np.add.at(
+                self._interference, receivers, self._powers[sources] * delta
+            )
+        self._field_changed()
+        self._update_attempts()
+        return int(values.size)
+
+    def channel_drift_from_nominal(self) -> float:
+        """Max abs difference between live and nominal gains — the
+        exact-restore witness (0.0 while the matrix is unprivatised)."""
+        if self.sparse is not None:
+            if self._nominal_svals is None or self._svals.size == 0:
+                return 0.0
+            return float(np.max(np.abs(self._svals - self._nominal_svals)))
+        if self._nominal_gains is None:
+            return 0.0
+        assert self.gains is not None
+        return float(np.max(np.abs(self.gains - self._nominal_gains)))
 
     def set_corruption(
         self, predicate: Optional[Callable[[Transmission], bool]]

@@ -38,6 +38,7 @@ from repro.clock.clock import Clock, random_clock
 from repro.clock.sync import NeighborClockModel, exchange_readings
 from repro.core.reception import required_sir, shannon_capacity
 from repro.core.schedule import Schedule
+from repro.mac.arq import ArqConfig, ArqSublayer
 from repro.mac.base import MacProtocol
 from repro.mac.shepard import ShepardMac
 from repro.net.medium import Medium
@@ -147,6 +148,13 @@ class NetworkConfig:
             :meth:`repro.net.medium.Medium.field_error_bound_w`.
             Calibration and power control always use the dense matrix;
             only the runtime field is sparse.
+        arq_max_retries: when set, install a stop-and-wait ARQ
+            sublayer (:mod:`repro.mac.arq`) on every station with this
+            retry budget; ``None`` (the default) keeps transmit
+            outcomes untouched — bit-identical to pre-ARQ behaviour.
+        arq_timeout_slots: ARQ acknowledgement timeout, in slots.
+        arq_backoff_slots: base of the ARQ exponential backoff, in
+            slots (attempt k adds ``arq_backoff_slots * 2**(k-1)``).
         seed: master seed for clocks and any stochastic pieces.
         instrumentation: the typed-event facade handed down to the
             medium, stations, MACs and fault injector
@@ -183,6 +191,9 @@ class NetworkConfig:
     queue_capacity: Optional[int] = None
     medium_resync_events: Optional[int] = 4096
     medium_sparse_cull: Optional[float] = None
+    arq_max_retries: Optional[int] = None
+    arq_timeout_slots: float = 4.0
+    arq_backoff_slots: float = 2.0
     seed: int = 0
     instrumentation: Optional[Instrumentation] = field(
         default=None, compare=False, repr=False
@@ -228,6 +239,12 @@ class NetworkConfig:
             raise ValueError("medium resync cadence must be at least 1 event")
         if self.medium_sparse_cull is not None and self.medium_sparse_cull < 0.0:
             raise ValueError("sparse cull fraction must be non-negative")
+        if self.arq_max_retries is not None and self.arq_max_retries < 1:
+            raise ValueError("ARQ needs at least one retry when enabled")
+        if self.arq_timeout_slots <= 0.0:
+            raise ValueError("ARQ timeout must be positive")
+        if self.arq_backoff_slots < 0.0:
+            raise ValueError("ARQ backoff must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -283,6 +300,8 @@ class NetworkResult:
     no_route_drops: int
     fault_drops: int = 0
     overflow_drops: int = 0
+    arq_retries: int = 0
+    arq_giveups: int = 0
 
     @property
     def collision_free(self) -> bool:
@@ -334,6 +353,13 @@ class Network:
         self.clocks: Optional[List[Clock]] = None
         self.clock_models: Optional[Dict] = None
         self.resilience = None
+        # The propagation model the builder derived gains from; the
+        # continuous channel process needs it to re-evaluate link gains
+        # as stations move (standalone-constructed networks cannot host
+        # mobility, mirroring the clock-state restriction above).
+        self.propagation_model = None
+        # The installed continuous channel process, if any.
+        self.channel = None
 
     @property
     def station_count(self) -> int:
@@ -397,6 +423,7 @@ class Network:
         originated = forwarded = delivered = 0
         unreachable = no_route = 0
         fault_drops = overflow_drops = 0
+        arq_retries = arq_giveups = 0
         peak_busy = 0
         rejections = 0
         for station in self.stations:
@@ -408,6 +435,8 @@ class Network:
             no_route += stats.no_route_drops
             fault_drops += stats.fault_drops
             overflow_drops += stats.overflow_drops
+            arq_retries += stats.arq_retries
+            arq_giveups += stats.arq_giveups
             delays.extend(stats.delivery_delays)
             duty.add(station.duty_cycle(elapsed) if elapsed > 0 else 0.0)
             peak_busy = max(peak_busy, station.bank.peak_busy)
@@ -439,6 +468,8 @@ class Network:
             no_route_drops=no_route,
             fault_drops=fault_drops,
             overflow_drops=overflow_drops,
+            arq_retries=arq_retries,
+            arq_giveups=arq_giveups,
         )
 
     def routing_neighbor_counts(self) -> List[int]:
@@ -546,6 +577,92 @@ class Network:
         ):
             process.interrupt("clock_step")
             self._spawn_mac(index)
+
+    def reconverge(self, matrix: PropagationMatrix, rng) -> Dict[str, int]:
+        """Re-converge the network's §7.1 state onto the live channel.
+
+        The mobility counterpart of the discrete fault recoveries:
+        after neighbour sets turn over, stations (1) rendezvous with
+        newly hearable neighbours and fit clock models for them, (2)
+        re-derive routing tables from the live geometry, (3) re-aim
+        power control at the measured gains (the build-time lookups
+        closed over the nominal matrix, so without this step a
+        stretched link is persistently under-powered), (4) rebuild the
+        Section 7.3 courtesy sets, and (5) kick schedule-driven MACs
+        (``replan_on_reconverge``) so stale candidate windows are
+        re-derived.  ``matrix`` becomes the network's routing/power
+        geometry; the medium's own live gains are the channel process's
+        responsibility and are not touched here.
+
+        Returns counters: ``{"new_pairs": ..., "kicked": ...}``.
+        """
+        if self.clocks is None or self.clock_models is None:
+            raise RuntimeError(
+                "this network was constructed without clock state; "
+                "re-acquisition needs a build_network-assembled network"
+            )
+        self.matrix = matrix
+        censored = matrix.observed(min_gain=self.budget.min_gain)
+        # 1. Fresh rendezvous: fit models for pairs hearing each other
+        # for the first time (existing pairs keep their rolling fits).
+        sample_times = [
+            self.env.now - k * 0.5 * self.budget.slot_time
+            for k in range(self.config.rendezvous_count)
+        ]
+        new_pairs = 0
+        hearable_a, hearable_b = np.nonzero(censored.gains > 0.0)
+        for a, b in zip(hearable_a.tolist(), hearable_b.tolist()):
+            if (a, b) in self.clock_models:
+                continue
+            model = NeighborClockModel()
+            for when in sample_times:
+                model.add_sample(
+                    exchange_readings(
+                        self.clocks[a],
+                        self.clocks[b],
+                        when,
+                        jitter=self.config.rendezvous_jitter,
+                        rng=rng,
+                    )
+                )
+            self.stations[a].learn_neighbor_clock(b, self.schedule, model)
+            self.clock_models[(a, b)] = model
+            new_pairs += 1
+        # 2. Routes around the live geometry (and any dead stations).
+        self.reroute()
+        # 3. Power control re-aimed at observed gains.
+        max_power = 2.0 * self.config.target_delivered_w / self.budget.min_gain
+        for station in self.stations:
+            station.replace_power_lookup(
+                _make_power_lookup(
+                    matrix.gains,
+                    station.index,
+                    self.config.target_delivered_w,
+                    max_power,
+                )
+            )
+        # 4. Courtesy sets against the live geometry (needs step 1:
+        # protected neighbours must have clock models).
+        if self.config.respect_neighbors:
+            _install_avoid_views(
+                self.stations, matrix, censored, self.budget, self.config
+            )
+        # 5. Kick schedule-driven MACs, same rules as apply_clock_step:
+        # never mid-burst (the interrupt would orphan the transmitter).
+        kicked = 0
+        for station in self.stations:
+            if not station.mac.replan_on_reconverge:
+                continue
+            process = self._mac_processes.get(station.index)
+            if (
+                process is not None
+                and process.is_alive
+                and not self.medium.is_station_transmitting(station.index)
+            ):
+                process.interrupt("reconverge")
+                self._spawn_mac(station.index)
+                kicked += 1
+        return {"new_pairs": new_pairs, "kicked": kicked}
 
     def refit_clock_models(self, index: int, rng) -> None:
         """Re-fit every neighbour clock model involving ``index``.
@@ -777,6 +894,17 @@ def build_network(
     if config.respect_neighbors:
         _install_avoid_views(stations, matrix, censored, budget, config)
 
+    if config.arq_max_retries is not None:
+        arq_policy = ArqConfig(
+            max_retries=config.arq_max_retries,
+            timeout_slots=config.arq_timeout_slots,
+            backoff_slots=config.arq_backoff_slots,
+        )
+        for station in stations:
+            station.install_arq(
+                ArqSublayer(station, arq_policy, budget.slot_time)
+            )
+
     network = Network(
         env=env,
         placement=placement,
@@ -793,6 +921,7 @@ def build_network(
     network.schedule = schedule
     network.clocks = clocks
     network.clock_models = models
+    network.propagation_model = model
     if config.rendezvous_refresh_slots is not None:
         interval = config.rendezvous_refresh_slots * budget.slot_time
         jitter_rng = streams.stream("rendezvous-online")

@@ -62,6 +62,8 @@ class StationStats:
     no_route_drops: int = 0
     fault_drops: int = 0
     overflow_drops: int = 0
+    arq_retries: int = 0
+    arq_giveups: int = 0
 
 
 class Station:
@@ -131,6 +133,9 @@ class Station:
         self._avoid_cache: Dict[int, Tuple[ScheduleView, ...]] = {}
         self._arrival_event: Optional[Event] = None
         self._control_handlers: Dict[str, Callable[[Transmission], None]] = {}
+        # Optional stop-and-wait ARQ sublayer (repro.mac.arq); None —
+        # the default — leaves transmit_packet's behaviour untouched.
+        self.arq = None
         medium.on_delivery(index, self._on_delivery)
         mac.bind(self)
 
@@ -196,6 +201,16 @@ class Station:
         """Transmit power toward a neighbour (policy applied to the link)."""
         return self._power_lookup(next_hop)
 
+    def replace_power_lookup(self, lookup: Callable[[int], float]) -> None:
+        """Re-aim power control (a §7.1 re-convergence measured the
+        live channel; the old lookup closed over stale gains)."""
+        self._power_lookup = lookup
+
+    def install_arq(self, arq) -> None:
+        """Attach a stop-and-wait ARQ sublayer (:mod:`repro.mac.arq`)
+        consulted by :meth:`transmit_packet` on every data outcome."""
+        self.arq = arq
+
     def delay_for(self, next_hop: int) -> float:
         """Observed propagation delay toward a neighbour (Section 3.3).
 
@@ -230,11 +245,7 @@ class Station:
         try:
             next_hop = self.table.next_hop(packet.destination)
         except RouteError:
-            self.stats.no_route_drops += 1
-            if self.instr.active:
-                self.instr.emit(
-                    DropNoRoute(self.env.now, self.index, packet.destination)
-                )
+            self.record_no_route(packet.destination)
             return
         if not self.queue.enqueue(next_hop, packet):
             self.stats.overflow_drops += 1
@@ -261,6 +272,56 @@ class Station:
                 )
             )
         self._wake()
+
+    def requeue(self, packet: Packet, next_hop: int) -> bool:
+        """Re-enqueue a packet the ARQ sublayer is retrying.
+
+        Unlike :meth:`submit` this counts neither an origination nor a
+        forward — the packet was counted when it first entered the
+        backlog — and the ``queue_enter`` event carries the v2
+        ``retry`` flag so downstream counters stay exact.  Returns
+        False (with the overflow counted) when the bounded queue
+        refuses the packet.
+        """
+        if not self.alive:
+            self.stats.fault_drops += 1
+            if self.instr.active:
+                self.instr.emit(
+                    DropStationDown(
+                        self.env.now, self.index, packet.destination
+                    )
+                )
+            return False
+        if not self.queue.enqueue(next_hop, packet):
+            self.stats.overflow_drops += 1
+            if self.instr.active:
+                self.instr.emit(
+                    DropOverflow(self.env.now, self.index, next_hop)
+                )
+            return False
+        if self.instr.active:
+            self.instr.emit(
+                QueueEnter(
+                    self.env.now,
+                    self.index,
+                    next_hop,
+                    packet.packet_id,
+                    False,
+                    False,
+                    len(self.queue),
+                    retry=True,
+                )
+            )
+        self._wake()
+        return True
+
+    def record_no_route(self, destination: int) -> None:
+        """Count a packet dropped for lack of a route to ``destination``."""
+        self.stats.no_route_drops += 1
+        if self.instr.active:
+            self.instr.emit(
+                DropNoRoute(self.env.now, self.index, destination)
+            )
 
     def _wake(self) -> None:
         if self._arrival_event is not None and not self._arrival_event.triggered:
@@ -300,6 +361,13 @@ class Station:
         Returns (via StopIteration value) the medium's oracle outcome.
         Updates the transmitter's duty-cycle/energy accounting either
         way.
+
+        With an ARQ sublayer installed (:meth:`install_arq`), a failed
+        data burst is handed to the sublayer — which schedules a
+        bounded retransmission or records a loud give-up — and the MAC
+        above sees ``True`` (attempt handled), so contention MACs'
+        private retry loops stay dormant.  Control frames and the
+        sublayer-free default keep the raw oracle outcome.
         """
         power = self.power_for(next_hop)
         power = self.transmitter.clamp_power(power)
@@ -315,6 +383,11 @@ class Station:
             self.instr.emit(
                 TxOutcome(self.env.now, self.index, next_hop, bool(success))
             )
+        if self.arq is not None and not packet.is_control:
+            if success:
+                self.arq.on_success(packet)
+            else:
+                return self.arq.on_failure(packet, next_hop)
         return bool(success)
 
     # -- reception ----------------------------------------------------------

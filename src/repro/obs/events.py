@@ -46,6 +46,11 @@ __all__ = [
     "StationUp",
     "FaultInject",
     "FaultRecover",
+    "ChannelUpdate",
+    "NeighborTurnover",
+    "RendezvousReacquire",
+    "ArqRetry",
+    "ArqGiveUp",
     "EVENT_TYPES",
     "event_from_payload",
 ]
@@ -206,9 +211,13 @@ class QueueEnter(TraceEvent):
         origin: True when the packet originated here (first hop).
         control: True for MAC/network control frames.
         depth: total backlog depth after the enqueue.
+        retry: True when the ARQ sublayer re-enqueued the packet after
+            a failed attempt (v2; such enqueues are neither origins nor
+            forwards, so counters must not double-count them).
     """
 
     KIND = "queue_enter"
+    SCHEMA = 2
 
     station: int
     next_hop: int
@@ -216,6 +225,7 @@ class QueueEnter(TraceEvent):
     origin: bool
     control: bool
     depth: int
+    retry: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -377,6 +387,89 @@ class FaultRecover(TraceEvent):
     station: int = -1
 
 
+@dataclass(frozen=True, slots=True)
+class ChannelUpdate(TraceEvent):
+    """The continuous channel process applied one tick of dynamics.
+
+    Attributes:
+        moved: stations whose positions changed this tick.
+        links: link gains re-written into the medium this tick.
+    """
+
+    KIND = "channel_update"
+
+    moved: int
+    links: int
+
+
+@dataclass(frozen=True, slots=True)
+class NeighborTurnover(TraceEvent):
+    """A station's hearable-neighbour set changed under mobility.
+
+    Attributes:
+        station: the station whose neighbourhood turned over.
+        gained: neighbours that drifted into reach since the last scan.
+        lost: neighbours that drifted out of reach.
+    """
+
+    KIND = "neighbor_turnover"
+
+    station: int
+    gained: int
+    lost: int
+
+
+@dataclass(frozen=True, slots=True)
+class RendezvousReacquire(TraceEvent):
+    """The network re-converged its §7.1 state onto the live channel.
+
+    Attributes:
+        stations: stations whose turnover triggered this re-acquisition.
+        new_pairs: hearable pairs that fitted a clock model for the
+            first time.
+        kicked: MACs interrupted so stale candidate windows are
+            re-derived.
+    """
+
+    KIND = "rendezvous_reacquire"
+
+    stations: int
+    new_pairs: int
+    kicked: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArqRetry(TraceEvent):
+    """The ARQ sublayer scheduled a bounded retransmission.
+
+    Attributes:
+        attempt: 1-based count of failed attempts so far.
+    """
+
+    KIND = "arq_retry"
+
+    station: int
+    next_hop: int
+    packet: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArqGiveUp(TraceEvent):
+    """The ARQ sublayer exhausted its retry budget for a packet.
+
+    Attributes:
+        attempts: total failed attempts when the packet was abandoned.
+    """
+
+    KIND = "arq_give_up"
+
+    station: int
+    next_hop: int
+    packet: int
+    attempts: int
+
+
 #: Registry of every event type, keyed by its ``KIND`` tag.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.KIND: cls
@@ -403,6 +496,11 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         StationUp,
         FaultInject,
         FaultRecover,
+        ChannelUpdate,
+        NeighborTurnover,
+        RendezvousReacquire,
+        ArqRetry,
+        ArqGiveUp,
     )
 }
 

@@ -131,9 +131,11 @@ class MetricTimelines(Sink):
         self._delays.setdefault(event.station, []).append(event.delay)
 
     def _on_queue_enter(self, event: TraceEvent) -> None:
+        # ARQ re-enqueues (v2 retry flag) are neither origins nor
+        # forwards: the packet was already counted on first enqueue.
         if event.origin:
             self._originated += 1
-        elif not event.control:
+        elif not event.control and not event.retry:
             self._forwarded += 1
         self._set_queue_depth(event.station, event.depth, event.time)
 
@@ -195,6 +197,16 @@ class MetricTimelines(Sink):
     def fault_queue_drops(self) -> int:
         """Packets discarded by crashes (sum of ``fault_drops``)."""
         return self._counts["drop_station_down"] + self._flush_station_down
+
+    @property
+    def arq_retries(self) -> int:
+        """Bounded retransmissions the ARQ sublayer scheduled."""
+        return self._counts["arq_retry"]
+
+    @property
+    def arq_giveups(self) -> int:
+        """Packets the ARQ sublayer abandoned after its retry budget."""
+        return self._counts["arq_give_up"]
 
     @property
     def total_originated(self) -> int:

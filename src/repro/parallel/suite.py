@@ -72,6 +72,12 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
         "recovery_slots": 200,
         "macs": ("shepard", "aloha"),
     },
+    # T13's claims are self-normalised against each variant's pre-churn
+    # steady state, which needs the full warmup to settle — quick mode
+    # trims the sweep to one churn rate instead of shortening phases.
+    "T13": {
+        "churn_rates": (3.0,),
+    },
     "A1": {
         "rendezvous_counts": (2, 8),
         "guard_fractions": (0.0, 0.1),

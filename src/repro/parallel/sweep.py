@@ -50,6 +50,7 @@ SWEEPABLE_PARAMS: Dict[str, str] = {
     "T7": "loads_packets_per_slot",
     "T8": "station_counts",
     "T12": "churn_rates",
+    "T13": "churn_rates",
     "T9": "reach_factors",
     "A1": "rendezvous_counts",
     "A2": "channel_counts",
@@ -151,12 +152,20 @@ def build_sweep_tasks(plan: SweepPlan) -> List[TaskSpec]:
             f"experiment {plan.experiment_id} takes no seed parameter; "
             "replications would repeat the identical run"
         )
+    # Sequence-valued parameters (the usual sweep axis) receive each
+    # point as a one-element tuple; scalar knobs (fade coherence, ARQ
+    # retry budget, ...) are passed through as-is, so any numeric
+    # run() parameter is sweepable by naming it with explicit values.
+    default = _run_signature(plan.experiment_id).parameters[
+        plan.parameter
+    ].default
+    wrap = isinstance(default, (tuple, list))
     tree = SeedTree(plan.root_seed)
     specs: List[TaskSpec] = []
     for value_index, value in enumerate(plan.values):
         for replication in range(plan.replications):
             params = dict(plan.base_params)
-            params[plan.parameter] = (value,)
+            params[plan.parameter] = (value,) if wrap else value
             specs.append(
                 TaskSpec(
                     task_id=(

@@ -1,0 +1,87 @@
+"""T13 structure: rows, variants, rendezvous accounting, sweepability."""
+
+import math
+
+from repro.experiments.t13_mobility import run_mobility_point
+from repro.parallel.sweep import (
+    SWEEPABLE_PARAMS,
+    SweepPlan,
+    build_sweep_tasks,
+    sweep_parameter,
+)
+
+
+def quick_point(**overrides):
+    params = dict(
+        churn_rate=3.0,
+        station_count=12,
+        warmup_slots=100.0,
+        churn_slots=60.0,
+        recovery_slots=100.0,
+        window_slots=50.0,
+        seed=11,
+    )
+    params.update(overrides)
+    return run_mobility_point(**params)
+
+
+class TestMobilityPoint:
+    def test_rows_cover_requested_variants(self):
+        out = quick_point(variants=("shepard", "aloha_arq"))
+        names = [row[0] for row in out["rows"]]
+        assert names == ["shepard", "aloha_arq"]
+        assert set(out["recoveries"]) == {"shepard", "aloha_arq"}
+
+    def test_shepard_reacquires_and_baselines_do_not(self):
+        out = quick_point()
+        by_name = {row[0]: row for row in out["rows"]}
+        # The scheme detects turnover and re-converges; its rendezvous
+        # latency is a number.
+        assert by_name["shepard"][2] > 0
+        assert by_name["shepard"][8] > 0
+        assert not math.isnan(by_name["shepard"][7])
+        # The stale variants never scan, so they log nothing.
+        for name in ("aloha", "aloha_arq"):
+            assert by_name[name][2] == 0
+            assert by_name[name][8] == 0
+            assert math.isnan(by_name[name][7])
+        # Only the ARQ variant spends retries, and it is loud about it.
+        assert by_name["aloha_arq"][10] > 0
+        assert by_name["aloha"][10] == 0
+        assert by_name["shepard"][10] == 0
+
+    def test_rejects_unknown_variant_and_bad_rate(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            quick_point(variants=("verizon",))
+        with pytest.raises(ValueError):
+            quick_point(churn_rate=0.0)
+
+
+class TestSweepWiring:
+    def test_t13_sweeps_churn_rates_by_default(self):
+        assert SWEEPABLE_PARAMS["T13"] == "churn_rates"
+        assert sweep_parameter("T13") == "churn_rates"
+        plan = SweepPlan(
+            experiment_id="T13", parameter="churn_rates", values=(1.0, 2.0)
+        )
+        specs = build_sweep_tasks(plan)
+        assert [spec.params["churn_rates"] for spec in specs] == [
+            (1.0,),
+            (2.0,),
+        ]
+
+    def test_scalar_knobs_sweep_without_tuple_wrapping(self):
+        # Any scalar run() knob is sweepable by name: the builder must
+        # not wrap values for parameters with non-sequence defaults.
+        for knob, values in (
+            ("fade_coherence_slots", (4.0, 16.0)),
+            ("arq_max_retries", (1, 5)),
+            ("arq_backoff_slots", (1.0, 8.0)),
+        ):
+            plan = SweepPlan(
+                experiment_id="T13", parameter=knob, values=values
+            )
+            specs = build_sweep_tasks(plan)
+            assert [spec.params[knob] for spec in specs] == list(values)

@@ -1,0 +1,112 @@
+"""Mobility model mechanics: confinement, determinism, moved sets."""
+
+import numpy as np
+import pytest
+
+from repro.mobility import ClusterDrift, RandomWaypoint
+
+RADIUS = 100.0
+
+
+def _positions(count, seed=3):
+    rng = np.random.default_rng(seed)
+    r = RADIUS * np.sqrt(rng.random(count))
+    theta = 2.0 * np.pi * rng.random(count)
+    return np.column_stack((r * np.cos(theta), r * np.sin(theta)))
+
+
+class TestRandomWaypoint:
+    def test_static_never_moves(self):
+        model = RandomWaypoint(speed=0.0)
+        assert model.is_static
+        positions = _positions(8)
+        model.prepare(positions, RADIUS, np.random.default_rng(0))
+        before = positions.copy()
+        moved = model.step(positions, 5.0, np.random.default_rng(0))
+        assert moved.size == 0
+        np.testing.assert_array_equal(positions, before)
+
+    def test_stays_inside_disk(self):
+        model = RandomWaypoint(speed=2.0)
+        positions = _positions(10)
+        rng = np.random.default_rng(1)
+        model.prepare(positions, RADIUS, rng)
+        for _ in range(200):
+            model.step(positions, 1.0, rng)
+            radii = np.sqrt((positions**2).sum(axis=1))
+            assert (radii <= RADIUS + 1e-9).all()
+
+    def test_pause_holds_station_after_arrival(self):
+        model = RandomWaypoint(speed=5.0, pause_slots=10.0)
+        positions = np.zeros((1, 2))
+        rng = np.random.default_rng(2)
+        model.prepare(positions, RADIUS, rng)
+        # Walk long enough to certainly arrive somewhere and pause.
+        for _ in range(200):
+            model.step(positions, 1.0, rng)
+            if (model._pause_left > 0).any():
+                break
+        assert (model._pause_left > 0).any()
+        held = positions.copy()
+        model.step(positions, 1.0, rng)
+        np.testing.assert_array_equal(positions, held)
+
+    def test_same_rng_same_trajectory(self):
+        a = _positions(6)
+        b = a.copy()
+        model_a = RandomWaypoint(speed=1.5)
+        model_b = RandomWaypoint(speed=1.5)
+        model_a.prepare(a, RADIUS, np.random.default_rng(9))
+        model_b.prepare(b, RADIUS, np.random.default_rng(9))
+        for _ in range(50):
+            model_a.step(a, 2.0, np.random.default_rng(7))
+            model_b.step(b, 2.0, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            RandomWaypoint(speed=-1.0)
+
+
+class TestClusterDrift:
+    def test_stays_inside_disk_via_reflection(self):
+        model = ClusterDrift(speed=3.0, clusters=3, redirect_slots=20.0)
+        positions = _positions(12)
+        rng = np.random.default_rng(4)
+        model.prepare(positions, RADIUS, rng)
+        for _ in range(300):
+            model.step(positions, 1.0, rng)
+            radii = np.sqrt((positions**2).sum(axis=1))
+            assert (radii <= RADIUS + 1e-9).all()
+
+    def test_moves_whole_clusters_coherently(self):
+        model = ClusterDrift(speed=1.0, clusters=2, redirect_slots=1e9)
+        positions = _positions(10)
+        rng = np.random.default_rng(5)
+        model.prepare(positions, RADIUS, rng)
+        before = positions.copy()
+        moved = model.step(positions, 1.0, rng)
+        assert moved.size == 10
+        displacement = positions - before
+        for cluster in range(2):
+            members = model._assignment == cluster
+            if members.sum() < 2:
+                continue
+            deltas = displacement[members]
+            # Interior members share the cluster heading exactly.
+            interior = (
+                np.sqrt((positions[members] ** 2).sum(axis=1)) < RADIUS
+            )
+            if interior.sum() >= 2:
+                first = deltas[interior][0]
+                np.testing.assert_allclose(
+                    deltas[interior],
+                    np.broadcast_to(first, deltas[interior].shape),
+                    atol=1e-12,
+                )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ClusterDrift(speed=1.0, clusters=0)
+        with pytest.raises(ValueError):
+            ClusterDrift(speed=1.0, redirect_slots=0.0)

@@ -1,0 +1,165 @@
+"""Property tests for incremental channel updates against the field.
+
+`Medium.update_links` is the channel process's write path: an
+absolute-valued bulk gain update that patches the incremental
+interference field by delta.  These tests pin the invariants that make
+continuous channels safe: after any interleaving of gain updates and
+transmission begins/ends, the incremental field matches the exact
+recompute (dense and sparse alike), writing the original values back
+restores the medium to nominal *bit-exactly*, and updates aimed at
+sparse-culled links are counted, never silently widened.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.net.test_medium_incremental import (
+    STATIONS,
+    apply_ops,
+    assert_field_matches,
+    build_medium,
+)
+
+links_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=STATIONS - 1),
+        st.integers(min_value=0, max_value=STATIONS - 1),
+        st.floats(min_value=1e-9, max_value=1e-2),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=STATIONS - 1),
+        st.floats(min_value=1e-3, max_value=100.0),
+        st.integers(min_value=-1, max_value=8),
+    ),
+    max_size=12,
+)
+
+
+def _update(medium, links):
+    receivers = np.array([r for r, s, _ in links if r != s], dtype=np.intp)
+    sources = np.array([s for r, s, _ in links if r != s], dtype=np.intp)
+    values = np.array([v for r, s, v in links if r != s], dtype=float)
+    if receivers.size:
+        medium.update_links(receivers, sources, values)
+
+
+class TestIncrementalMatchesExact:
+    @pytest.mark.parametrize("cull_gain", [None, 1e-6])
+    @settings(max_examples=40, deadline=None)
+    @given(links=links_strategy, ops=ops_strategy)
+    def test_updates_between_bursts(self, cull_gain, links, ops):
+        _env, medium = build_medium(cull_gain=cull_gain)
+        _update(medium, links)
+        assert_field_matches(medium)
+        apply_ops(medium, ops)
+        _update(medium, links)
+        assert_field_matches(medium)
+
+    @pytest.mark.parametrize("cull_gain", [None, 1e-6])
+    @settings(max_examples=40, deadline=None)
+    @given(
+        links=links_strategy,
+        before=ops_strategy,
+        after=ops_strategy,
+    )
+    def test_updates_under_active_transmissions(
+        self, cull_gain, links, before, after
+    ):
+        """Gain updates while bursts are on the air patch the live
+        field by delta; begins/ends before and after stay consistent."""
+        _env, medium = build_medium(cull_gain=cull_gain)
+        # Leave transmissions active: begin without ending.
+        for station, power, _end in before:
+            if not medium.is_station_transmitting(station):
+                apply_ops(medium, [(station, power, -1)])
+        _update(medium, links)
+        assert_field_matches(medium)
+        apply_ops(medium, after)
+        assert_field_matches(medium)
+
+
+class TestExactRestore:
+    @pytest.mark.parametrize("cull_gain", [None, 1e-6])
+    @settings(max_examples=25, deadline=None)
+    @given(links=links_strategy)
+    def test_writing_nominal_back_restores_bit_exactly(
+        self, cull_gain, links
+    ):
+        _env, medium = build_medium(cull_gain=cull_gain)
+        receivers = np.array(
+            [r for r, s, _ in links if r != s], dtype=np.intp
+        )
+        sources = np.array([s for r, s, _ in links if r != s], dtype=np.intp)
+        if not receivers.size:
+            return
+        if medium.sparse is not None:
+            nominal = np.array(
+                [medium.sparse.gain(r, s) for r, s in zip(receivers, sources)]
+            )
+            live = nominal > 0.0
+            receivers, sources, nominal = (
+                receivers[live],
+                sources[live],
+                nominal[live],
+            )
+            if not receivers.size:
+                return
+        else:
+            nominal = medium.gains[receivers, sources].copy()
+        perturbed = np.array([v for r, s, v in links if r != s], dtype=float)
+        perturbed = perturbed[: receivers.size]
+        receivers = receivers[: perturbed.size]
+        sources = sources[: perturbed.size]
+        medium.update_links(receivers, sources, perturbed)
+        assert medium.channel_drift_from_nominal() >= 0.0
+        medium.update_links(receivers, sources, nominal)
+        assert medium.channel_drift_from_nominal() == 0.0
+
+
+class TestCulledLinksAreCounted:
+    def test_culled_updates_skip_loudly(self):
+        _env, medium = build_medium(cull_gain=2e-4)
+        dense_env, dense = build_medium(cull_gain=None)
+        # Find a pair the cull dropped.
+        culled = None
+        for r in range(STATIONS):
+            for s in range(STATIONS):
+                if r != s and dense.gains[r, s] > 0.0:
+                    if medium.sparse.gain(r, s) == 0.0:
+                        culled = (r, s)
+                        break
+            if culled:
+                break
+        assert culled is not None, "cull threshold dropped nothing"
+        r, s = culled
+        applied = medium.update_links(
+            np.array([r], dtype=np.intp),
+            np.array([s], dtype=np.intp),
+            np.array([5e-4]),
+        )
+        assert applied == 0
+        assert medium.culled_update_skips == 1
+
+    def test_link_indices_resolves_and_caches(self):
+        _env, medium = build_medium(cull_gain=1e-6)
+        receivers = []
+        sources = []
+        for s in range(STATIONS):
+            rows, _vals = medium.sparse.column(s)
+            for r in rows.tolist():
+                receivers.append(r)
+                sources.append(s)
+        receivers = np.array(receivers, dtype=np.intp)
+        sources = np.array(sources, dtype=np.intp)
+        indices = medium.link_indices(receivers, sources)
+        assert indices is not None and (indices >= 0).all()
+        # A dense medium has no flat indices to resolve.
+        _denv, dense = build_medium(cull_gain=None)
+        assert dense.link_indices(receivers, sources) is None

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Mobility/ARQ smoke test for CI.
+
+Runs the quick T13 point (mobility churn + continuous fading + ARQ)
+twice under ``REPRO_SANITIZE=1`` — once with ``jobs=1``, once with
+``jobs=2`` — and asserts the worker fan-out is invisible: the printed
+report (rows, claims, rendezvous latencies) must be byte-identical
+between the two runs.  The sanitizer turns any incremental-field drift
+or exact-restore violation inside the channel process into a hard
+failure, so this doubles as the continuous-channel correctness gate.
+
+The jobs=1 report is written to ``--report-output`` for CI to archive.
+Exit status is non-zero on any mismatch.
+"""
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+
+T13_ARGS = [
+    "run",
+    "T13",
+    "--set",
+    "churn_rates=(3.0,)",
+]
+
+
+def run_t13(jobs, env):
+    command = [sys.executable, "-m", "repro", *T13_ARGS,
+               "--set", f"jobs={jobs}"]
+    completed = subprocess.run(
+        command,
+        env=env,
+        check=True,
+        timeout=900.0,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return completed.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--report-output", default="mobility-report.txt", metavar="PATH",
+        help="where to write the T13 resilience report",
+    )
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_SANITIZE"] = "1"
+
+    reports = {}
+    for jobs in (1, 2):
+        print(f"== T13 quick, jobs={jobs}, sanitizer on ==", flush=True)
+        reports[jobs] = run_t13(jobs, env)
+        digest = hashlib.sha256(reports[jobs].encode()).hexdigest()[:16]
+        print(f"report digest: {digest}")
+
+    if reports[1] != reports[2]:
+        print("MISMATCH between jobs=1 and jobs=2 reports:")
+        for one, two in zip(
+            reports[1].splitlines(), reports[2].splitlines()
+        ):
+            marker = "  " if one == two else "!!"
+            print(f"{marker} {one}")
+            if one != two:
+                print(f"!! {two}")
+        raise SystemExit(1)
+
+    with open(args.report_output, "w", encoding="utf-8") as handle:
+        handle.write(reports[1])
+    print(reports[1])
+    print(
+        "mobility smoke OK: jobs=1 and jobs=2 reports byte-identical; "
+        f"report written to {args.report_output}"
+    )
+
+
+if __name__ == "__main__":
+    main()

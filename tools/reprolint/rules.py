@@ -706,10 +706,12 @@ class ParallelSeedRule(Rule):
 
 
 class FaultSeedRule(Rule):
-    """REP009: fault modules must draw randomness from the seed tree.
+    """REP009: fault/mobility modules must draw randomness from the
+    seed tree.
 
-    Everything under ``src/repro/faults`` exists to make failure
-    scenarios bit-reproducible and jobs-invariant: fault schedules are
+    Everything under ``src/repro/faults`` and ``src/repro/mobility``
+    exists to make failure and churn scenarios bit-reproducible and
+    jobs-invariant: fault schedules and channel trajectories are
     compiled ahead of execution from seeds derived via
     :func:`repro.parallel.seedtree.derive_seed`.  A fault module that
     reaches for ambient entropy (``random``, ``secrets``,
@@ -721,15 +723,19 @@ class FaultSeedRule(Rule):
 
     CODE = "REP009"
     SUMMARY = (
-        "fault modules (src/repro/faults) must derive all randomness "
-        "from the seed tree (repro.parallel.seedtree)"
+        "fault/mobility modules (src/repro/faults, src/repro/mobility) "
+        "must derive all randomness from the seed tree "
+        "(repro.parallel.seedtree)"
     )
 
     FORBIDDEN_MODULES = ("random", "secrets")
 
     def applies_to(self, path: str) -> bool:
-        normalized = path.replace("\\", "/")
-        return _under_src(path) and "/repro/faults/" in "/" + normalized
+        normalized = "/" + path.replace("\\", "/")
+        return _under_src(path) and (
+            "/repro/faults/" in normalized
+            or "/repro/mobility/" in normalized
+        )
 
     def _forbidden_module(self, name: Optional[str]) -> bool:
         if not name:
