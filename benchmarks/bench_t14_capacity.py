@@ -1,0 +1,24 @@
+"""Bench T14: capacity-law fit across the MAC frontier."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_t14_capacity(benchmark, show_report):
+    report = benchmark.pedantic(
+        lambda: get_experiment("T14")(
+            station_counts=(20, 40, 80),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show_report(report)
+    # Enough contenders survive saturating load to fit a power law.
+    assert report.claims["MACs with a fitted scaling exponent"][1] >= 4
+    # The scheme delivers the most per node in the densest network ...
+    ratio = report.claims[
+        "scheme per-node throughput vs best contender at densest N"
+    ][1]
+    assert ratio >= 1.0
+    # ... and its throughput declines most slowly with density.
+    gap = report.claims["scheme exponent minus best contender exponent"][1]
+    assert gap > 0.0

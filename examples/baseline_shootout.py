@@ -9,7 +9,12 @@ offered loads, and prints the comparison the paper's Section 2 implies:
   produced),
 * CSMA (carrier sensing against the spread-spectrum din),
 * MACA (RTS/CTS control traffic per packet),
+* the MAC-frontier contenders (SIC-ALOHA, multi-level power,
+  SINR-adaptive persistence),
 * the paper's schedule-based collision-free scheme.
+
+The contender list is the MAC registry — register a new scheme with
+:func:`repro.mac.register_mac` and it appears here by name.
 
 Each run streams its typed events into a
 :class:`~repro.obs.MetricTimelines` sink, which is where every printed
@@ -21,7 +26,7 @@ Run::
 """
 
 import repro
-from repro.experiments.t7_baselines import mac_suite
+from repro.mac import mac_names
 from repro.net import NetworkConfig
 from repro.obs import Instrumentation, MetricTimelines
 
@@ -40,18 +45,22 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    scenario_by_load = {
+        load: repro.Scenario(
+            station_count=station_count,
+            load_packets_per_slot=load,
+            duration_slots=duration_slots,
+            config=NetworkConfig(seed=seed),
+        )
+        for load in loads
+    }
     for load in loads:
-        for name, factory in mac_suite(seed).items():
+        for name in mac_names():
             timelines = MetricTimelines(station_count=station_count)
             outcome = repro.simulate(
-                repro.Scenario(
-                    station_count=station_count,
-                    load_packets_per_slot=load,
-                    duration_slots=duration_slots,
-                    config=NetworkConfig(seed=seed),
-                    mac_factory=factory,
-                ),
+                scenario_by_load[load],
                 seed=seed,
+                mac=name,
                 instrumentation=Instrumentation((timelines,)),
             )
             loss_pct = (

@@ -79,6 +79,25 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_macs(_args: argparse.Namespace) -> int:
+    from repro.mac.registry import get_mac, mac_names
+
+    for name in mac_names():
+        descriptor = get_mac(name)
+        flags = []
+        if descriptor.builder_default:
+            flags.append("default")
+        if descriptor.slotted:
+            flags.append("slotted")
+        if descriptor.needs_bank:
+            flags.append("needs-bank")
+        if descriptor.receiver_model is not None:
+            flags.append(f"rx={descriptor.receiver_model}")
+        tag = f" [{', '.join(flags)}]" if flags else ""
+        print(f"{name:>18s}{tag}  {descriptor.description}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         run = get_experiment(args.experiment_id)
@@ -706,6 +725,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_cmd = commands.add_parser("list", help="list available experiments")
     list_cmd.set_defaults(handler=_cmd_list)
+
+    macs_cmd = commands.add_parser(
+        "macs",
+        help="list the registered channel access schemes (MAC registry)",
+    )
+    macs_cmd.set_defaults(handler=_cmd_macs)
 
     run_cmd = commands.add_parser("run", help="run one experiment by id")
     run_cmd.add_argument("experiment_id", help="experiment id, e.g. T4 or F1")

@@ -370,6 +370,16 @@ class TrackerBatch:
         self._failed_at[failed_positions] = now
         return tuple(self._tags[int(i)] for i in failed_positions)
 
+    def position(self, tag: int) -> int:
+        """Current dense storage position of ``tag``.
+
+        Valid only until the next :meth:`remove` (removal swaps the last
+        entry into the vacated slot).  The medium's receiver-model hook
+        uses this to adjust the interference entry of specific
+        receptions before an :meth:`update` call.
+        """
+        return self._position[tag]
+
     def ok(self, tag: int) -> bool:
         """Whether the criterion has held so far for ``tag``."""
         return bool(np.isnan(self._failed_at[self._position[tag]]))

@@ -31,6 +31,7 @@ from repro.experiments import (  # noqa: F401 - imported for registration
     t11_clock_offsets,
     t12_resilience,
     t13_mobility,
+    t14_capacity,
 )
 from repro.experiments.runner import (
     ExperimentParams,

@@ -22,8 +22,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentReport, register, run_many
 from repro.experiments.simsetup import add_uniform_poisson, standard_network
-from repro.experiments.t7_baselines import mac_suite
 from repro.faults import StationChurn, compile_plan, install_faults
+from repro.mac.registry import get_mac, mac_names
 from repro.net.network import NetworkConfig
 from repro.obs import Instrumentation, MetricTimelines
 from repro.parallel.seedtree import derive_seed
@@ -74,12 +74,12 @@ def run_resilience_point(
         raise ValueError("churn_rate must be positive")
     if warmup_slots <= window_slots:
         raise ValueError("warmup must be longer than one measurement window")
-    suite = mac_suite(seed)
-    if macs is not None:
-        unknown = set(macs) - set(suite)
-        if unknown:
-            raise ValueError(f"unknown MACs: {sorted(unknown)}")
-        suite = {name: suite[name] for name in macs}
+    if macs is None:
+        names = mac_names()
+    else:
+        names = tuple(macs)
+        for name in names:
+            get_mac(name)  # fail fast on unknown names
     churn = StationChurn(
         rate_per_slot=churn_rate,
         start_slot=warmup_slots,
@@ -93,13 +93,13 @@ def run_resilience_point(
     )
     rows: List[Tuple[Any, ...]] = []
     recoveries: Dict[str, float] = {}
-    for name, factory in suite.items():
+    for name in names:
         timelines = MetricTimelines(station_count=station_count)
         network = standard_network(
             station_count,
             placement_seed=seed,
             config=NetworkConfig(seed=seed),
-            mac_factory=factory,
+            mac=name,
             trace=False,
             instrumentation=Instrumentation((timelines,)),
         )

@@ -36,7 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentReport, register, run_many
 from repro.experiments.simsetup import add_uniform_poisson, standard_network
-from repro.mac.aloha import AlohaMac
+from repro.mac.registry import get_mac
 from repro.mobility import (
     ChannelSpec,
     FadingSpec,
@@ -45,9 +45,23 @@ from repro.mobility import (
 )
 from repro.net.network import NetworkConfig
 from repro.obs import Instrumentation, MetricTimelines
-from repro.sim.streams import RandomStreams
 
 __all__ = ["RECOVERY_FRACTION", "run", "run_mobility_point"]
+
+
+def _resolve_variant(name: str) -> Tuple[str, bool]:
+    """Split a T13 variant name into (registered MAC name, arq?).
+
+    A trailing ``_arq`` wraps any registered MAC in the stop-and-wait
+    ARQ sublayer — ``"aloha_arq"``, ``"sic_aloha_arq"``, ... — so the
+    variant vocabulary grows with the MAC registry instead of a
+    hand-maintained tuple.  Raises ``ValueError`` for names whose base
+    is not registered.
+    """
+    arq_on = name.endswith("_arq")
+    base = name[: -len("_arq")] if arq_on else name
+    get_mac(base)  # fail fast on unknown base MACs
+    return base, arq_on
 
 #: Recovery criterion: the scheme's post-churn delivery ratio must
 #: reach this fraction of its own pre-churn steady state.
@@ -102,33 +116,23 @@ def run_mobility_point(
         raise ValueError("warmup must be longer than one measurement window")
     suite = ("shepard", "aloha", "aloha_arq")
     if variants is not None:
-        unknown = set(variants) - set(suite)
-        if unknown:
-            raise ValueError(f"unknown variants: {sorted(unknown)}")
-        suite = tuple(name for name in suite if name in variants)
+        suite = tuple(variants)
     rows: List[Tuple[Any, ...]] = []
     recoveries: Dict[str, float] = {}
     rendezvous: Dict[str, float] = {}
     for name in suite:
-        arq_on = name == "aloha_arq"
+        base_mac, arq_on = _resolve_variant(name)
         config = NetworkConfig(
             seed=seed,
             arq_max_retries=arq_max_retries if arq_on else None,
             arq_backoff_slots=arq_backoff_slots,
         )
-        if name == "shepard":
-            mac_factory = None
-        else:
-            streams = RandomStreams(seed)
-            mac_factory = lambda i, b: AlohaMac(  # noqa: E731
-                streams.stream(f"a{i}")
-            )
         timelines = MetricTimelines(station_count=station_count)
         network = standard_network(
             station_count,
             placement_seed=seed,
             config=config,
-            mac_factory=mac_factory,
+            mac=base_mac,
             trace=False,
             instrumentation=Instrumentation((timelines,)),
         )
@@ -147,7 +151,7 @@ def run_mobility_point(
             start_slot=warmup_slots,
             end_slot=warmup_slots + churn_slots,
             reacquire_every_slots=(
-                reacquire_every_slots if name == "shepard" else None
+                reacquire_every_slots if base_mac == "shepard" else None
             ),
             reacquire_delay_slots=reacquire_delay_slots,
         )

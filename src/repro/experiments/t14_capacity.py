@@ -1,0 +1,233 @@
+"""Experiment T14: per-node throughput versus density — capacity laws.
+
+The paper's central claim is qualitative: scheduled access keeps
+working as the network densifies, while random access decays.  The
+related work makes the decay quantitative — for slotted ALOHA-family
+random access in a dense network the sustainable per-node throughput
+falls as ``Theta(1 / sqrt(N log N))`` (Mhatre & Rosenberg; Malik &
+Jacquet's point-process analysis reaches the same shape), i.e. a
+log-log slope near ``-0.5``, while a collision-free schedule carrying
+a feasible per-node load holds a slope near ``0``.
+
+This experiment measures exactly that: every contender in the MAC
+registry (or a requested subset) carries the same per-node Poisson
+load at a ladder of station counts, the per-node delivered throughput
+is read over a post-fill measurement window, and a least-squares
+log-log fit reports each MAC's scaling exponent.  The summary claims
+check the capacity-law shape — a fitted exponent for at least four
+contenders, the scheme's exponent above the random-access pack, and
+the scheme delivering the most per node at the densest point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentReport, register, run_many
+from repro.experiments.simsetup import add_uniform_poisson, standard_network
+from repro.mac.registry import get_mac
+from repro.net.network import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
+
+__all__ = ["DEFAULT_MACS", "run", "run_capacity_point", "fit_exponent"]
+
+#: The default contender panel: the scheme against the random-access
+#: frontier (plain slotted ALOHA plus the three schemes the related
+#: work proposes to beat it).
+DEFAULT_MACS: Tuple[str, ...] = (
+    "shepard",
+    "slotted_aloha",
+    "sic_aloha",
+    "multilevel_power",
+    "sinr_adaptive",
+)
+
+
+def run_capacity_point(
+    station_count: int,
+    load_packets_per_slot: float = 0.25,
+    duration_slots: float = 400.0,
+    fill_slots: float = 100.0,
+    seed: int = 47,
+    macs: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """One density point: every requested MAC at ``station_count``.
+
+    The importable unit of work the parallel task layer fans out
+    (``kind="function"``, target ``repro.experiments.t14_capacity:
+    run_capacity_point``).  The fill window lets queues and schedules
+    reach steady state before the measurement window opens; per-node
+    throughput is end-to-end deliveries inside the measurement window
+    per station per slot.
+
+    Returns the report rows plus the per-MAC throughput the summary's
+    capacity-law fit consumes.
+    """
+    if station_count < 2:
+        raise ValueError("need at least two stations")
+    if duration_slots <= 0.0:
+        raise ValueError("measurement window must be positive")
+    if fill_slots < 0.0:
+        raise ValueError("fill window must be non-negative")
+    names = DEFAULT_MACS if macs is None else tuple(macs)
+    for name in names:
+        get_mac(name)  # fail fast on unknown names
+    rows: List[Tuple[Any, ...]] = []
+    per_node: Dict[str, float] = {}
+    for name in names:
+        timelines = MetricTimelines(station_count=station_count)
+        network = standard_network(
+            station_count,
+            placement_seed=seed,
+            config=NetworkConfig(seed=seed),
+            mac=name,
+            trace=False,
+            instrumentation=Instrumentation((timelines,)),
+        )
+        add_uniform_poisson(network, load_packets_per_slot, seed + 1)
+        slot = network.budget.slot_time
+        if fill_slots > 0.0:
+            network.run(fill_slots * slot)
+        before = timelines.delivery_snapshot()
+        network.run(duration_slots * slot)
+        after = timelines.delivery_snapshot()
+        delivered = after[1] - before[1]
+        throughput = delivered / (duration_slots * station_count)
+        loss_ratio = (
+            timelines.losses_total / timelines.transmissions
+            if timelines.transmissions
+            else 0.0
+        )
+        per_node[name] = throughput
+        rows.append(
+            (
+                name,
+                station_count,
+                load_packets_per_slot,
+                delivered,
+                throughput,
+                loss_ratio,
+            )
+        )
+    return {"rows": rows, "per_node": per_node}
+
+
+def fit_exponent(
+    points: Sequence[Tuple[int, float]],
+) -> float:
+    """Least-squares slope of ``log(throughput)`` against ``log(N)``.
+
+    ``NaN`` when fewer than two points carry positive throughput (a
+    dead MAC has no capacity law to fit).
+    """
+    usable = [(n, t) for n, t in points if t > 0.0]
+    if len(usable) < 2:
+        return float("nan")
+    logs_n = np.log([n for n, _ in usable])
+    logs_t = np.log([t for _, t in usable])
+    slope = float(np.polyfit(logs_n, logs_t, 1)[0])
+    return slope
+
+
+@register("T14")
+def run(
+    station_counts: Sequence[int] = (20, 40, 80),
+    load_packets_per_slot: float = 0.25,
+    duration_slots: float = 400.0,
+    fill_slots: float = 100.0,
+    seed: int = 47,
+    macs: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> ExperimentReport:
+    """Per-node throughput and fitted scaling exponent versus density.
+
+    Each station count is an independent task
+    (:func:`run_capacity_point`) fanned over ``jobs`` workers; results
+    merge in density order, so the report is identical at any worker
+    count.  One exponent row per MAC follows the measurement rows.
+    """
+    from repro.parallel.task import TaskSpec
+
+    names = DEFAULT_MACS if macs is None else tuple(macs)
+    report = ExperimentReport(
+        experiment_id="T14",
+        title="Capacity laws: per-node throughput versus station count",
+        columns=(
+            "mac",
+            "stations",
+            "load/slot",
+            "e2e delivered",
+            "per-node throughput",
+            "hop loss ratio",
+        ),
+    )
+    specs = [
+        TaskSpec(
+            task_id=f"T14[n={count}]",
+            kind="function",
+            target="repro.experiments.t14_capacity:run_capacity_point",
+            params={
+                "station_count": count,
+                "load_packets_per_slot": load_packets_per_slot,
+                "duration_slots": duration_slots,
+                "fill_slots": fill_slots,
+                "seed": seed,
+                "macs": tuple(names),
+            },
+        )
+        for count in station_counts
+    ]
+    curves: Dict[str, List[Tuple[int, float]]] = {name: [] for name in names}
+    for count, outcome in zip(station_counts, run_many(specs, jobs=jobs)):
+        if not outcome.ok or outcome.payload is None:
+            raise RuntimeError(
+                f"density point {outcome.task_id} failed: {outcome.error}"
+            )
+        for row in outcome.payload["rows"]:
+            report.add_row(*row)
+        for name, throughput in outcome.payload["per_node"].items():
+            curves[name].append((count, throughput))
+
+    exponents = {name: fit_exponent(points) for name, points in curves.items()}
+    for name in names:
+        report.add_row(name, "fit", "", "", exponents[name], "")
+    fitted = [name for name in names if not math.isnan(exponents[name])]
+    report.claim("MACs with a fitted scaling exponent", ">= 4", len(fitted))
+
+    contenders = [name for name in names if name != "shepard"]
+    if "shepard" in names and contenders:
+        densest = max(station_counts)
+        scheme_dense = dict(curves["shepard"]).get(densest, 0.0)
+        best_contender = max(
+            dict(curves[name]).get(densest, 0.0) for name in contenders
+        )
+        report.claim(
+            "scheme per-node throughput vs best contender at densest N",
+            ">= 1",
+            scheme_dense / best_contender
+            if best_contender > 0
+            else float("inf"),
+        )
+        fitted_contenders = [
+            exponents[name]
+            for name in contenders
+            if not math.isnan(exponents[name])
+        ]
+        if not math.isnan(exponents["shepard"]) and fitted_contenders:
+            report.claim(
+                "scheme exponent minus best contender exponent",
+                "> 0",
+                exponents["shepard"] - max(fitted_contenders),
+            )
+    report.notes.append(
+        "Random access in a dense network sustains per-node throughput "
+        "Theta(1/sqrt(N log N)) (Mhatre & Rosenberg; Malik & Jacquet). "
+        "At a saturating offered load the scheme's curve declines too — "
+        "relaying multiplies per-packet work with N — so the "
+        "discriminating quantities are the gap in level at the densest "
+        "point and the gap in fitted slope, both favouring the scheme."
+    )
+    return report

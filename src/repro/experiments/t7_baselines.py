@@ -10,41 +10,40 @@ and mean delivery delay.
 Expected shape: the scheme delivers losslessly at all loads with
 moderate delay; ALOHA variants lose increasingly with load (Type 3
 dominates under the physical model); CSMA recovers most losses at the
-cost of deferrals; MACA pays two control bursts per data packet.
+cost of deferrals; MACA pays two control bursts per data packet; the
+frontier contenders (SIC-ALOHA, multi-level power, SINR-adaptive)
+recover part of the random-access loss without closing the gap.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentReport, register, run_many
 from repro.experiments.simsetup import run_loaded_network
-from repro.mac.aloha import AlohaMac
-from repro.mac.csma import CsmaMac
-from repro.mac.maca import MacaMac
+from repro.mac.registry import mac_names
+from repro.mac.registry import mac_suite as registry_mac_suite
 from repro.net.network import NetworkConfig
 from repro.obs import Instrumentation, MetricTimelines
-from repro.sim.streams import RandomStreams
 
 __all__ = ["run", "mac_suite", "run_load_point"]
 
 
 def mac_suite(seed: int) -> Dict[str, Optional[Callable]]:
-    """The five contenders as mac factories (None = the paper's scheme)."""
-    streams = RandomStreams(seed)
-    return {
-        "shepard": None,
-        "aloha": lambda i, b: AlohaMac(streams.stream(f"a{i}")),
-        "slotted_aloha": lambda i, b: AlohaMac(streams.stream(f"s{i}"), slotted=True),
-        "csma": lambda i, b: CsmaMac(
-            streams.stream(f"c{i}"),
-            # Sense threshold: half the delivered-power target — hears
-            # any sender roughly as close as its own addressee, while
-            # staying above the distant aggregate din.
-            sense_threshold_w=0.5 * b.target_delivered_w,
-        ),
-        "maca": lambda i, b: MacaMac(streams.stream(f"m{i}")),
-    }
+    """Deprecated: use :func:`repro.mac.mac_suite` (the registry).
+
+    The hand-written five-contender dict this module used to own now
+    falls out of the MAC registry; this wrapper survives one release
+    for importers and returns the *full* registered suite.
+    """
+    warnings.warn(
+        "repro.experiments.t7_baselines.mac_suite is deprecated; use "
+        "repro.mac.mac_suite (the MAC registry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return registry_mac_suite(seed)
 
 
 def run_load_point(
@@ -52,19 +51,21 @@ def run_load_point(
     station_count: int = 40,
     duration_slots: float = 500.0,
     seed: int = 47,
+    macs: Optional[Sequence[str]] = None,
 ) -> Dict[str, Any]:
-    """One offered-load point of the shootout: all five MACs at ``load``.
+    """One offered-load point of the shootout: every MAC at ``load``.
 
     The importable unit of work the parallel task layer fans out
     (``kind="function"``, target ``repro.experiments.t7_baselines:
     run_load_point``); ``run`` merges the returned row groups in load
-    order.  Returns the report rows plus the loss tallies the summary
-    claims accumulate.
+    order.  ``macs`` selects registered MAC names (``None`` = the whole
+    registry, the paper's scheme first).  Returns the report rows plus
+    the loss tallies the summary claims accumulate.
     """
     rows: List[Tuple[Any, ...]] = []
     shepard_losses = 0
     baseline_losses = 0
-    for name, factory in mac_suite(seed).items():
+    for name in mac_names() if macs is None else tuple(macs):
         timelines = MetricTimelines(station_count=station_count)
         network, _result = run_loaded_network(
             station_count,
@@ -73,7 +74,7 @@ def run_load_point(
             placement_seed=seed,
             traffic_seed=seed + 1,
             config=NetworkConfig(seed=seed),
-            mac_factory=factory,
+            mac=name,
             trace=False,
             instrumentation=Instrumentation((timelines,)),
         )
@@ -119,12 +120,14 @@ def run(
     duration_slots: float = 500.0,
     seed: int = 47,
     jobs: int = 1,
+    macs: Optional[Sequence[str]] = None,
 ) -> ExperimentReport:
     """Throughput/loss/overhead versus offered load, per MAC.
 
     Each offered load is an independent task (:func:`run_load_point`)
     fanned over ``jobs`` workers; results merge in load order, so the
-    report is identical at any worker count.
+    report is identical at any worker count.  ``macs`` restricts the
+    contender list to the named registry entries.
     """
     from repro.parallel.task import TaskSpec
 
@@ -154,6 +157,7 @@ def run(
                 "station_count": station_count,
                 "duration_slots": duration_slots,
                 "seed": seed,
+                "macs": tuple(macs) if macs is not None else None,
             },
         )
         for load in loads_packets_per_slot

@@ -27,8 +27,9 @@ experiment layer's do.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.net.network import (
     MacFactory,
@@ -61,8 +62,11 @@ class Scenario:
         config: network configuration; ``None`` derives
             ``NetworkConfig(seed=seed)`` from the simulate seed.
         model: propagation model (free space when ``None``).
-        mac_factory: per-station MAC constructor (the paper's scheme
-            when ``None``).
+        mac: which channel access scheme to run — a registered MAC
+            name (see :func:`repro.mac.mac_names`) or an explicit
+            per-station factory (the paper's scheme when ``None``).
+        mac_factory: deprecated alias for passing a factory as
+            ``mac``.
         placement: explicit station positions overriding the uniform
             disk.
         traffic: custom traffic installer called as
@@ -76,11 +80,25 @@ class Scenario:
     duration_slots: float = 500.0
     config: Optional[NetworkConfig] = None
     model: Optional[PropagationModel] = None
-    mac_factory: Optional[MacFactory] = None
+    mac: Union[str, MacFactory, None] = None
     placement: Optional[Placement] = None
     traffic: Optional[Callable[[Network, int], None]] = None
+    mac_factory: Optional[MacFactory] = None
 
     def __post_init__(self) -> None:
+        if self.mac_factory is not None:
+            if self.mac is not None:
+                raise ValueError(
+                    "pass either mac= or the deprecated mac_factory=, "
+                    "not both"
+                )
+            warnings.warn(
+                "Scenario(mac_factory=...) is deprecated; pass the "
+                "factory (or a registered MAC name) as mac=",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "mac", self.mac_factory)
         if self.placement is None and self.station_count < 2:
             raise ValueError("need at least two stations")
         if self.radius_m <= 0.0:
@@ -118,6 +136,7 @@ def simulate(
     faults: Optional[Sequence[object]] = None,
     instrumentation: Optional[Instrumentation] = None,
     trace: bool = False,
+    mac: Union[str, MacFactory, None] = None,
 ) -> SimulationOutcome:
     """Build, load, (optionally) fault, and run one scenario.
 
@@ -125,6 +144,11 @@ def simulate(
         scenario: the deployment to simulate.
         seed: master seed; placement, configuration, traffic and fault
             expansion all derive from it deterministically.
+        mac: override the scenario's channel access scheme for this run
+            — a registered MAC name (see :func:`repro.mac.mac_names`)
+            or an explicit per-station factory; ``None`` keeps
+            ``scenario.mac``.  Lets one frozen scenario fan out across
+            the whole MAC registry.
         faults: declarative fault specs (e.g.
             :class:`repro.faults.StationChurn`), compiled through the
             seed tree and installed before the run; ``None`` installs
@@ -150,7 +174,7 @@ def simulate(
         placement,
         config,
         model=scenario.model,
-        mac_factory=scenario.mac_factory,
+        mac=mac if mac is not None else scenario.mac,
         trace=trace,
         instrumentation=instrumentation,
     )

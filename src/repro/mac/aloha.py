@@ -76,6 +76,14 @@ class AlohaMac(MacProtocol):
             boundary = (slot + 1) * airtime
         return max(boundary - now, 0.0)
 
+    def _transmit(self, packet, next_hop: int) -> ProcessGenerator:
+        """One burst attempt — the seam subclasses shape.
+
+        The multi-level power MAC overrides this to draw a random power
+        level per attempt; the retry loop in :meth:`run` stays shared.
+        """
+        return (yield from self.station.transmit_packet(packet, next_hop))
+
     def run(self) -> ProcessGenerator:
         station = self.station
         env = station.env
@@ -93,7 +101,7 @@ class AlohaMac(MacProtocol):
                     delay = self._next_slot_delay(airtime)
                     if delay > 0.0:
                         yield env.timeout(delay)
-                success = yield from station.transmit_packet(packet, next_hop)
+                success = yield from self._transmit(packet, next_hop)
                 if success:
                     delivered = True
                     break

@@ -59,10 +59,11 @@ from repro.core.collisions import CollisionType, InterferenceSource, classify_lo
 from repro.core.reception import TrackerBatch
 from repro.net.packet import Packet
 from repro.propagation.sparse import SparseGainField
+from repro.radio.receiver_model import ReceiverModel
 from repro.sim.engine import Environment
 from repro.sim.events import Event
 from repro.obs.api import Instrumentation
-from repro.obs.events import RxFail, RxLock, RxOk, TxAbort, TxEnd, TxStart
+from repro.obs.events import RxFail, RxLock, RxOk, SicCancel, TxAbort, TxEnd, TxStart
 from repro.sim.sanitizer import SanitizerError
 
 __all__ = [
@@ -129,11 +130,15 @@ class ReceptionAttempt:
         channel: despreader channel index in use.
         failure_sources: the interferers significant at the moment the
             criterion first failed, if it did.
+        sic_max_cancelled: peak interferers the receiver model
+            cancelled at any one interference change (0 when the
+            receiver runs the default model).
     """
 
     transmission: Transmission
     channel: int
     failure_sources: Optional[Tuple[InterferenceSource, ...]] = None
+    sic_max_cancelled: int = 0
 
 
 @dataclass(frozen=True)
@@ -261,6 +266,10 @@ class Medium:
         )
         self._attempts: Dict[int, ReceptionAttempt] = {}
         self._trackers = TrackerBatch()
+        # Receptions whose despreader bank carries a cancelling
+        # ReceiverModel, keyed by seq.  Empty unless a bank opts in, so
+        # the default path pays one falsy dict check per update.
+        self._sic_models: Dict[int, ReceiverModel] = {}
         self._lock_failures: Dict[int, str] = {}
         # Fault support: stations currently down (never lock receptions),
         # the nominal gains to restore faded links to, and an optional
@@ -428,6 +437,42 @@ class Medium:
             if power >= SIGNIFICANT_FRACTION * total
         )
 
+    def _cancel_for(
+        self,
+        seq: int,
+        model: ReceiverModel,
+        wanted_signal_w: float,
+        interference_w: float,
+    ) -> float:
+        """Apply one reception's receiver model to its interference level.
+
+        Strictly receiver-local: the reduced level feeds only this
+        reception's tracker entry; the shared incremental field — and
+        therefore every other receiver — is untouched.  The cancellable
+        contributions exclude the wanted transmission (it is not
+        interference) and the receiver's own transmitter (the Type 3
+        self-jam is unconditional).
+        """
+        attempt = self._attempts[seq]
+        receiver = attempt.transmission.destination
+        contributions: List[Tuple[float, int]] = []
+        for other_seq, other in self._active.items():
+            if other_seq == seq or other.source == receiver:
+                continue
+            power = other.power_w * self._pair_gain(receiver, other.source)
+            if power > 0.0:
+                contributions.append((power, other_seq))
+        reduced, cancelled = model.resolve_interference(
+            wanted_signal_w,
+            interference_w,
+            self.thermal_noise_w,
+            float(self.sir_thresholds[receiver]),
+            contributions,
+        )
+        if cancelled > attempt.sic_max_cancelled:
+            attempt.sic_max_cancelled = cancelled
+        return reduced
+
     # -- transmission lifecycle ----------------------------------------
 
     def transmit(
@@ -593,6 +638,9 @@ class Medium:
             noise_power_w=self.thermal_noise_w,
         )
         self._attempts[tx.seq] = ReceptionAttempt(tx, channel)
+        model = getattr(bank, "model", None)
+        if model is not None and model.cancels:
+            self._sic_models[tx.seq] = model
         if self.instr.active:
             self.instr.emit(
                 RxLock(self.env.now, receiver, tx.source, channel)
@@ -620,6 +668,15 @@ class Medium:
         interference += own
         interference -= batch.signals
         np.maximum(interference, 0.0, out=interference)
+        if self._sic_models:
+            for seq, model in self._sic_models.items():
+                position = batch.position(seq)
+                interference[position] = self._cancel_for(
+                    seq,
+                    model,
+                    float(batch.signals[position]),
+                    float(interference[position]),
+                )
         for seq in batch.update(self.env.now, interference):
             attempt = self._attempts[seq]
             attempt.failure_sources = self._significant_sources(
@@ -663,6 +720,20 @@ class Medium:
         interference += self._powers[targets] * SELF_COUPLING_GAIN
         interference -= batch.signals[positions]
         np.maximum(interference, 0.0, out=interference)
+        if self._sic_models:
+            # Untouched SIC receptions saw no field change, so their
+            # cancelled level is unchanged too — only the touched
+            # subset needs the model re-applied.
+            local = {int(p): k for k, p in enumerate(positions)}
+            for seq, model in self._sic_models.items():
+                k = local.get(batch.position(seq))
+                if k is not None:
+                    interference[k] = self._cancel_for(
+                        seq,
+                        model,
+                        float(batch.signals[positions[k]]),
+                        float(interference[k]),
+                    )
         for seq in batch.update_where(self.env.now, interference, positions):
             attempt = self._attempts[seq]
             attempt.failure_sources = self._significant_sources(
@@ -715,6 +786,7 @@ class Medium:
         if self.instr.active:
             self.instr.emit(TxEnd(self.env.now, tx.source, tx.destination))
         attempt = self._attempts.pop(tx.seq, None)
+        self._sic_models.pop(tx.seq, None)
         record = self._trackers.remove(tx.seq) if attempt is not None else None
         # Interference at the remaining receivers drops; fold that in
         # after removing the ended transmission.
@@ -727,6 +799,16 @@ class Medium:
 
         bank = self._channel_query(tx.destination)
         bank.release(tx.seq)
+        if attempt.sic_max_cancelled > 0 and self.instr.active:
+            self.instr.emit(
+                SicCancel(
+                    self.env.now,
+                    tx.destination,
+                    tx.source,
+                    attempt.sic_max_cancelled,
+                    record.ok,
+                )
+            )
         if record.ok and self._corruption is not None and self._corruption(tx):
             self._record_loss(tx, "corrupted", frozenset(), record.min_sir)
             return False
@@ -830,6 +912,7 @@ class Medium:
             if attempt.transmission.destination != station:
                 continue
             del self._attempts[seq]
+            self._sic_models.pop(seq, None)
             self._trackers.remove(seq)
             self._channel_query(station).release(seq)
             self._lock_failures[seq] = reason
@@ -854,6 +937,7 @@ class Medium:
             self._remove_axpy(tx.source, tx.power_w)
             self._field_changed()
             attempt = self._attempts.pop(tx.seq, None)
+            self._sic_models.pop(tx.seq, None)
             if attempt is not None:
                 self._trackers.remove(tx.seq)
                 self._channel_query(tx.destination).release(tx.seq)

@@ -29,8 +29,9 @@ explicit *link-budget calibration*:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -54,6 +55,7 @@ from repro.propagation.horizon import (
 )
 from repro.propagation.matrix import PropagationMatrix
 from repro.propagation.models import FreeSpace, PropagationModel
+from repro.radio.receiver_model import build_receiver_model, receiver_model_names
 from repro.radio.spreadspectrum import DespreaderBank
 from repro.radio.transmitter import Transmitter
 from repro.routing.min_hop import min_hop_tables
@@ -155,6 +157,13 @@ class NetworkConfig:
         arq_timeout_slots: ARQ acknowledgement timeout, in slots.
         arq_backoff_slots: base of the ARQ exponential backoff, in
             slots (attempt k adds ``arq_backoff_slots * 2**(k-1)``).
+        receiver_model: receiver model installed on every station's
+            despreader bank, by registered name (see
+            :func:`repro.radio.receiver_model_names`).  ``None`` (the
+            default) defers to the selected MAC's registry descriptor —
+            e.g. ``mac="sic_aloha"`` installs the ``"sic"`` model — and
+            otherwise keeps the plain default receiver, bit-identical
+            to pre-model behaviour.
         seed: master seed for clocks and any stochastic pieces.
         instrumentation: the typed-event facade handed down to the
             medium, stations, MACs and fault injector
@@ -194,6 +203,7 @@ class NetworkConfig:
     arq_max_retries: Optional[int] = None
     arq_timeout_slots: float = 4.0
     arq_backoff_slots: float = 2.0
+    receiver_model: Optional[str] = None
     seed: int = 0
     instrumentation: Optional[Instrumentation] = field(
         default=None, compare=False, repr=False
@@ -245,6 +255,15 @@ class NetworkConfig:
             raise ValueError("ARQ timeout must be positive")
         if self.arq_backoff_slots < 0.0:
             raise ValueError("ARQ backoff must be non-negative")
+        if (
+            self.receiver_model is not None
+            and self.receiver_model not in receiver_model_names()
+        ):
+            known = ", ".join(receiver_model_names())
+            raise ValueError(
+                f"unknown receiver model {self.receiver_model!r}; "
+                f"known models: {known}"
+            )
 
 
 @dataclass(frozen=True)
@@ -764,9 +783,10 @@ def build_network(
     placement: Placement,
     config: Optional[NetworkConfig] = None,
     model: Optional[PropagationModel] = None,
-    mac_factory: Optional[MacFactory] = None,
+    mac: Union[str, MacFactory, None] = None,
     trace: bool = False,
     instrumentation: Optional[Instrumentation] = None,
+    mac_factory: Optional[MacFactory] = None,
 ) -> Network:
     """Assemble a ready-to-run network.
 
@@ -774,8 +794,14 @@ def build_network(
         placement: station positions.
         config: network configuration (defaults throughout).
         model: propagation model (free space by default, per the paper).
-        mac_factory: per-station MAC constructor; defaults to the
-            paper's scheme with a guard derived from the slot time.
+        mac: which channel access scheme to run — a registered MAC name
+            (see :func:`repro.mac.mac_names`) or an explicit
+            ``(index, budget) -> MacProtocol`` factory for schemes that
+            need whole-network context (e.g. TDMA's global slot plan).
+            Defaults to the paper's scheme with a guard derived from
+            the slot time.  Selecting a registered name also installs
+            the descriptor's receiver model on every despreader bank
+            unless ``config.receiver_model`` overrides it.
         trace: keep an in-memory event trace queryable via
             ``network.trace`` (adds a memory sink if none is present).
         instrumentation: explicit typed-event facade.  Sinks from this
@@ -784,8 +810,21 @@ def build_network(
             all folded into the network's facade; with none of the
             three (and ``trace=False``) instrumentation is disabled and
             zero-cost.
+        mac_factory: deprecated alias for passing a factory as ``mac``.
     """
     config = config or NetworkConfig()
+    if mac_factory is not None:
+        if mac is not None:
+            raise ValueError(
+                "pass either mac= or the deprecated mac_factory=, not both"
+            )
+        warnings.warn(
+            "mac_factory= is deprecated; pass the factory (or a "
+            "registered MAC name) as mac=",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        mac = mac_factory
     instr = _resolve_instrumentation(instrumentation, config, trace)
     model = model or FreeSpace(near_field_clamp=1e-6)
     streams = RandomStreams(config.seed)
@@ -847,7 +886,25 @@ def build_network(
     def default_factory(_index: int, _budget: LinkBudget) -> MacProtocol:
         return ShepardMac(guard=guard)
 
-    factory = mac_factory or default_factory
+    descriptor = None
+    if isinstance(mac, str):
+        from repro.mac.registry import get_mac
+        from repro.mac.registry import mac_factory as registry_factory
+
+        descriptor = get_mac(mac)
+        factory = registry_factory(mac, streams) or default_factory
+    else:
+        factory = mac or default_factory
+
+    receiver_model_name = config.receiver_model
+    if receiver_model_name is None and descriptor is not None:
+        receiver_model_name = descriptor.receiver_model
+    # One shared frozen model instance serves every bank (stateless).
+    bank_model = (
+        build_receiver_model(receiver_model_name)
+        if receiver_model_name is not None
+        else None
+    )
 
     delays = None
     if config.model_propagation_delay:
@@ -880,7 +937,9 @@ def build_network(
                 table=tables[index],
                 mac=factory(index, budget),
                 transmitter=Transmitter(max_power_w=max_power),
-                bank=DespreaderBank(capacity=config.despreader_channels),
+                bank=DespreaderBank(
+                    capacity=config.despreader_channels, model=bank_model
+                ),
                 data_rate_bps=budget.data_rate_bps,
                 power_lookup=power_lookup,
                 instrumentation=instr,

@@ -355,12 +355,19 @@ class Station:
             )
         return packet
 
-    def transmit_packet(self, packet: Packet, next_hop: int) -> ProcessGenerator:
+    def transmit_packet(
+        self, packet: Packet, next_hop: int, power_scale: float = 1.0
+    ) -> ProcessGenerator:
         """Radiate one packet to ``next_hop``; yields until burst end.
 
         Returns (via StopIteration value) the medium's oracle outcome.
         Updates the transmitter's duty-cycle/energy accounting either
         way.
+
+        ``power_scale`` multiplies the power-controlled level for this
+        one burst — the hook multi-level power MACs use to draw a
+        random ladder rung without re-aiming power control.  The
+        default of exactly 1.0 leaves the power arithmetic untouched.
 
         With an ARQ sublayer installed (:meth:`install_arq`), a failed
         data burst is handed to the sublayer — which schedules a
@@ -369,7 +376,11 @@ class Station:
         private retry loops stay dormant.  Control frames and the
         sublayer-free default keep the raw oracle outcome.
         """
+        if power_scale <= 0.0:
+            raise ValueError("power scale must be positive")
         power = self.power_for(next_hop)
+        if power_scale != 1.0:
+            power *= power_scale
         power = self.transmitter.clamp_power(power)
         duration = packet.airtime(self.data_rate_bps)
         self.transmitter.begin(self.env.now, power)

@@ -51,6 +51,8 @@ __all__ = [
     "RendezvousReacquire",
     "ArqRetry",
     "ArqGiveUp",
+    "TxPowerLevel",
+    "SicCancel",
     "EVENT_TYPES",
     "event_from_payload",
 ]
@@ -470,6 +472,46 @@ class ArqGiveUp(TraceEvent):
     attempts: int
 
 
+@dataclass(frozen=True, slots=True)
+class TxPowerLevel(TraceEvent):
+    """A multi-level power MAC drew a transmit power level.
+
+    Attributes:
+        level: 0-based ladder index (0 = full calibrated power).
+        scale: linear factor applied to the power-controlled level.
+    """
+
+    KIND = "tx_power_level"
+
+    station: int
+    next_hop: int
+    level: int
+    scale: float
+
+
+@dataclass(frozen=True, slots=True)
+class SicCancel(TraceEvent):
+    """An SIC receiver cancelled interferers during one reception.
+
+    Emitted once per tracked reception when it ends, carrying the peak
+    cancellation the successive-cancellation pipeline achieved over the
+    reception's lifetime.
+
+    Attributes:
+        cancelled: maximum interferers subtracted at any one
+            interference change.
+        ok: whether the reception ultimately satisfied the SIR
+            criterion.
+    """
+
+    KIND = "sic_cancel"
+
+    receiver: int
+    source: int
+    cancelled: int
+    ok: bool
+
+
 #: Registry of every event type, keyed by its ``KIND`` tag.
 EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
     cls.KIND: cls
@@ -501,6 +543,8 @@ EVENT_TYPES: Dict[str, Type[TraceEvent]] = {
         RendezvousReacquire,
         ArqRetry,
         ArqGiveUp,
+        TxPowerLevel,
+        SicCancel,
     )
 }
 

@@ -64,6 +64,7 @@ class MetricTimelines(Sink):
         self._faults: Counter = Counter()
         self._flush_station_down = 0
         self._queue_depth: Dict[int, int] = {}
+        self._sic_cancelled = 0
         self._last_time = 0.0
         # Windowed series state, all keyed by (station, window index).
         self._duty_w: Dict[Tuple[int, int], float] = {}
@@ -161,6 +162,9 @@ class MetricTimelines(Sink):
     def _on_fault_inject(self, event: TraceEvent) -> None:
         self._faults[event.fault] += 1
 
+    def _on_sic_cancel(self, event: TraceEvent) -> None:
+        self._sic_cancelled += event.cancelled
+
     # -- cumulative accessors (bit-exact legacy ports) -----------------
 
     @property
@@ -207,6 +211,21 @@ class MetricTimelines(Sink):
     def arq_giveups(self) -> int:
         """Packets the ARQ sublayer abandoned after its retry budget."""
         return self._counts["arq_give_up"]
+
+    @property
+    def sic_receptions(self) -> int:
+        """Receptions during which SIC cancelled at least one interferer."""
+        return self._counts["sic_cancel"]
+
+    @property
+    def sic_cancellations(self) -> int:
+        """Total peak interferers cancelled across all SIC receptions."""
+        return self._sic_cancelled
+
+    @property
+    def power_level_draws(self) -> int:
+        """Transmit power levels drawn by multi-level power MACs."""
+        return self._counts["tx_power_level"]
 
     @property
     def total_originated(self) -> int:
@@ -409,4 +428,5 @@ _HANDLERS = {
     "queue_flush": MetricTimelines._on_queue_flush,
     "control_sent": MetricTimelines._on_control_sent,
     "fault_inject": MetricTimelines._on_fault_inject,
+    "sic_cancel": MetricTimelines._on_sic_cancel,
 }

@@ -78,6 +78,11 @@ QUICK_PARAMS: Dict[str, Dict[str, Any]] = {
     "T13": {
         "churn_rates": (3.0,),
     },
+    "T14": {
+        "station_counts": (12, 24),
+        "duration_slots": 150,
+        "fill_slots": 50,
+    },
     "A1": {
         "rendezvous_counts": (2, 8),
         "guard_fractions": (0.0, 0.1),

@@ -51,6 +51,7 @@ SWEEPABLE_PARAMS: Dict[str, str] = {
     "T8": "station_counts",
     "T12": "churn_rates",
     "T13": "churn_rates",
+    "T14": "station_counts",
     "T9": "reach_factors",
     "A1": "rendezvous_counts",
     "A2": "channel_counts",

@@ -2,6 +2,13 @@
 
 from repro.radio.antenna import Antenna, friis_constant, friis_power_gain, wavelength
 from repro.radio.receiver import Receiver
+from repro.radio.receiver_model import (
+    DefaultReceiver,
+    ReceiverModel,
+    SicReceiver,
+    build_receiver_model,
+    receiver_model_names,
+)
 from repro.radio.signal import (
     Signal,
     add_powers_db,
@@ -23,15 +30,19 @@ from repro.radio.transmitter import Transmitter, TransmitterBusyError
 __all__ = [
     "Antenna",
     "BOLTZMANN",
+    "DefaultReceiver",
     "DespreaderBank",
     "DespreaderBusyError",
     "ProcessingGain",
     "Receiver",
+    "ReceiverModel",
     "STANDARD_TEMPERATURE_K",
+    "SicReceiver",
     "Signal",
     "Transmitter",
     "TransmitterBusyError",
     "add_powers_db",
+    "build_receiver_model",
     "combine_powers",
     "db_to_linear",
     "dbm_to_watts",
@@ -39,6 +50,7 @@ __all__ = [
     "friis_power_gain",
     "linear_to_db",
     "power_rise_db",
+    "receiver_model_names",
     "thermal_noise_power",
     "watts_to_dbm",
     "wavelength",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Optional
 
+from repro.radio.receiver_model import ReceiverModel
 from repro.radio.signal import db_to_linear, linear_to_db
 
 __all__ = ["ProcessingGain", "DespreaderBank", "DespreaderBusyError"]
@@ -90,9 +91,14 @@ class DespreaderBank:
 
     Attributes:
         capacity: number of despreading channels.
+        model: optional :class:`~repro.radio.receiver_model.ReceiverModel`
+            governing what the demodulator does with interference while
+            tracking (``None`` means the plain default receiver — the
+            medium skips its cancellation hook entirely).
     """
 
     capacity: int = 8
+    model: Optional[ReceiverModel] = None
     _busy: Dict[Hashable, int] = field(default_factory=dict, repr=False)
     _peak_busy: int = field(default=0, repr=False)
     _rejections: int = field(default=0, repr=False)

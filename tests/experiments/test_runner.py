@@ -9,7 +9,7 @@ from repro.experiments.runner import ExperimentReport
 EXPECTED_IDS = {
     "F1", "F2", "F3", "F4",
     "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12",
-    "T13",
+    "T13", "T14",
     "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8",
 }
 

@@ -72,9 +72,12 @@ class TestT7Baselines:
             duration_slots=250,
         )
 
-    def test_all_five_macs_ran(self, report):
+    def test_whole_registry_ran(self, report):
+        from repro.mac import mac_names
+
         macs = {row[0] for row in report.rows}
-        assert macs == {"shepard", "aloha", "slotted_aloha", "csma", "maca"}
+        assert macs == set(mac_names())
+        assert {"shepard", "aloha", "slotted_aloha", "csma", "maca"} <= macs
 
     def test_scheme_lossless_baselines_not(self, report):
         assert report.claims["scheme losses across all loads"][1] == 0

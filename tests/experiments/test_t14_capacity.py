@@ -1,0 +1,53 @@
+"""Integration test: T14 reproduces the capacity-law shape quickly."""
+
+import math
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.t14_capacity import DEFAULT_MACS, fit_exponent
+
+
+class TestFitExponent:
+    def test_pure_power_law_recovered(self):
+        points = [(10, 1.0), (100, 0.1), (1000, 0.01)]
+        assert fit_exponent(points) == pytest.approx(-1.0)
+
+    def test_dead_mac_has_no_law(self):
+        assert math.isnan(fit_exponent([(10, 0.0), (100, 0.0)]))
+        assert math.isnan(fit_exponent([(10, 1.0)]))
+
+
+class TestT14Capacity:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return get_experiment("T14")(
+            station_counts=(12, 24),
+            duration_slots=150.0,
+            fill_slots=50.0,
+        )
+
+    def test_measurement_and_fit_rows(self, report):
+        measurement = [r for r in report.rows if r[1] != "fit"]
+        fits = [r for r in report.rows if r[1] == "fit"]
+        assert len(measurement) == 2 * len(DEFAULT_MACS)
+        assert len(fits) == len(DEFAULT_MACS)
+
+    def test_at_least_four_fitted_exponents(self, report):
+        assert report.claims["MACs with a fitted scaling exponent"][1] >= 4
+
+    def test_scheme_dominates_at_densest_point(self, report):
+        ratio = report.claims[
+            "scheme per-node throughput vs best contender at densest N"
+        ][1]
+        assert ratio >= 1.0
+
+    def test_scheme_exponent_above_the_pack(self, report):
+        gap = report.claims["scheme exponent minus best contender exponent"][1]
+        assert gap > 0.0
+
+    def test_every_contender_delivers_something(self, report):
+        for row in report.rows:
+            if row[1] == "fit":
+                continue
+            assert row[4] > 0.0  # per-node throughput

@@ -1,0 +1,86 @@
+"""Tests for the multi-level random transmit power MAC."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.simsetup import add_uniform_poisson, standard_network
+from repro.mac.multilevel_power import MultilevelPowerMac
+from repro.net.network import NetworkConfig
+from repro.obs import Instrumentation, MemorySink, MetricTimelines
+from repro.sim.sanitizer import sanitized
+
+
+def mlp_run(seed=29, count=12, load=0.2, duration_slots=60.0):
+    timelines = MetricTimelines(station_count=count)
+    sink = MemorySink()
+    with sanitized(True):
+        network = standard_network(
+            count,
+            seed,
+            NetworkConfig(seed=seed),
+            mac="multilevel_power",
+            trace=False,
+            instrumentation=Instrumentation((sink, timelines)),
+        )
+        add_uniform_poisson(network, load, seed + 1)
+        network.run(duration_slots * network.budget.slot_time)
+        digest = network.env.replay_digest()
+    return network, timelines, sink, digest
+
+
+class TestValidation:
+    def test_needs_a_real_ladder(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            MultilevelPowerMac(rng, levels=0)
+        with pytest.raises(ValueError):
+            MultilevelPowerMac(rng, level_spread=1.0)
+
+    def test_name_not_shadowed_by_slotted_aloha(self):
+        mac = MultilevelPowerMac(np.random.default_rng(1))
+        assert mac.name == "multilevel_power"
+        assert mac.slotted
+
+
+class TestBehaviour:
+    def test_every_attempt_draws_a_level(self):
+        _network, timelines, sink, _digest = mlp_run()
+        draws = [r for r in sink.events() if r.KIND == "tx_power_level"]
+        assert draws
+        assert timelines.power_level_draws == len(draws)
+        # Drawn levels live on the configured ladder with the expected
+        # downward-geometric scales.
+        for record in draws:
+            assert 0 <= record.level < 3
+            assert record.scale == pytest.approx(4.0 ** (-record.level))
+        # All rungs get exercised over a run of this length.
+        assert {record.level for record in draws} == {0, 1, 2}
+
+    def test_scaled_bursts_stay_under_power_budget(self):
+        network, _timelines, _sink, _digest = mlp_run(duration_slots=30.0)
+        max_power = network.stations[0].transmitter.max_power_w
+        for station in network.stations:
+            assert station.transmitter.max_power_w == max_power
+
+    def test_still_delivers(self):
+        _network, timelines, _sink, _digest = mlp_run()
+        assert timelines.end_to_end_deliveries > 0
+
+
+class TestDeterminism:
+    def test_replay_digest_bit_identical(self):
+        _n1, t1, _s1, d1 = mlp_run()
+        _n2, t2, _s2, d2 = mlp_run()
+        assert d1 == d2
+        assert t1.power_level_draws == t2.power_level_draws
+
+    def test_t7_rows_identical_jobs_1_vs_2(self):
+        from repro.experiments.t7_baselines import run
+
+        kwargs = dict(
+            loads_packets_per_slot=(0.05, 0.1),
+            station_count=12,
+            duration_slots=80.0,
+            macs=("multilevel_power",),
+        )
+        assert run(jobs=1, **kwargs).rows == run(jobs=2, **kwargs).rows

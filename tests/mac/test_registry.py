@@ -1,0 +1,157 @@
+"""Tests for the declarative MAC registry."""
+
+import numpy as np
+import pytest
+
+from repro.mac import registry
+from repro.mac.aloha import AlohaMac
+from repro.mac.registry import (
+    MacDescriptor,
+    build_mac,
+    get_mac,
+    mac_factory,
+    mac_names,
+    mac_suite,
+    register_mac,
+)
+from repro.net.network import LinkBudget
+from repro.sim.streams import RandomStreams
+
+LEGACY = ("shepard", "aloha", "slotted_aloha", "csma", "maca")
+FRONTIER = ("sic_aloha", "multilevel_power", "sinr_adaptive")
+
+
+def budget() -> LinkBudget:
+    return LinkBudget(
+        sir_threshold=0.05,
+        data_rate_bps=1e4,
+        slot_time=0.4,
+        packet_airtime=0.1,
+        min_gain=1e-9,
+        interference_bounds=np.ones(4),
+        thermal_noise_w=1e-9,
+        processing_gain_db=20.0,
+        target_delivered_w=1.0,
+    )
+
+
+class TestEnumeration:
+    def test_names_scheme_first_then_lineage(self):
+        names = mac_names()
+        assert names[: len(LEGACY)] == LEGACY
+        assert set(FRONTIER) <= set(names)
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="sic_aloha"):
+            get_mac("token_ring")
+
+    def test_descriptors_carry_capabilities(self):
+        assert get_mac("shepard").builder_default
+        assert get_mac("sic_aloha").slotted
+        assert get_mac("sic_aloha").needs_bank
+        assert get_mac("sic_aloha").receiver_model == "sic"
+        assert get_mac("aloha").receiver_model is None
+        assert not get_mac("aloha").slotted
+
+    def test_stream_prefixes_unique(self):
+        prefixes = [get_mac(name).stream_prefix for name in mac_names()]
+        assert len(prefixes) == len(set(prefixes))
+
+    def test_legacy_prefixes_grandfathered(self):
+        # Digest stability: the historical single-letter stream labels
+        # survive the registry redesign for the legacy contenders.
+        assert get_mac("aloha").stream_prefix == "a"
+        assert get_mac("slotted_aloha").stream_prefix == "s"
+        assert get_mac("csma").stream_prefix == "c"
+        assert get_mac("maca").stream_prefix == "m"
+        # New contenders derive the prefix from the registered name, so
+        # suite growth can never collide on a single letter again.
+        for name in FRONTIER:
+            assert get_mac(name).stream_prefix == f"{name}:"
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_mac("aloha")
+            def duplicate(context):
+                raise AssertionError
+
+    def test_stream_prefix_collision_rejected(self):
+        with pytest.raises(ValueError, match="collides"):
+
+            @register_mac("aloha_two", stream_prefix="a")
+            def collider(context):
+                raise AssertionError
+
+        assert "aloha_two" not in mac_names()
+
+    def test_unknown_receiver_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown receiver model"):
+            register_mac("mystery", receiver_model="quantum")
+
+    def test_registration_round_trip(self):
+        @register_mac("test_only_mac", slotted=True, description="temp")
+        def builder(context):
+            return AlohaMac(context.stream(), slotted=True)
+
+        try:
+            descriptor = get_mac("test_only_mac")
+            assert isinstance(descriptor, MacDescriptor)
+            assert descriptor.stream_prefix == "test_only_mac:"
+            mac = build_mac("test_only_mac", 0, budget(), RandomStreams(5))
+            assert mac.slotted
+        finally:
+            del registry._REGISTRY["test_only_mac"]
+
+
+class TestBuilding:
+    def test_build_every_non_default_mac(self):
+        streams = RandomStreams(11)
+        for name in mac_names():
+            if get_mac(name).builder_default:
+                continue
+            mac = build_mac(name, 3, budget(), streams)
+            assert mac.name == name
+
+    def test_shepard_needs_build_network(self):
+        with pytest.raises(ValueError, match="build_network"):
+            build_mac("shepard", 0, budget(), RandomStreams(5))
+
+    def test_mac_factory_none_for_scheme(self):
+        assert mac_factory("shepard", RandomStreams(5)) is None
+
+    def test_legacy_stream_identity_preserved(self):
+        # The registry draws station i's RNG from the same seed-tree
+        # stream the old hand-written suite did.
+        seed, index = 23, 4
+        built = build_mac("aloha", index, budget(), RandomStreams(seed))
+        legacy = AlohaMac(RandomStreams(seed).stream(f"a{index}"))
+        assert built.rng.random() == legacy.rng.random()
+
+    def test_suite_selection_and_order(self):
+        suite = mac_suite(7, names=("csma", "shepard"))
+        assert list(suite) == ["csma", "shepard"]
+        assert suite["shepard"] is None
+        assert callable(suite["csma"])
+
+    def test_suite_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown MAC"):
+            mac_suite(7, names=("csma", "nope"))
+
+    def test_suite_factories_build(self):
+        suite = mac_suite(7)
+        for name, factory in suite.items():
+            if factory is None:
+                continue
+            assert factory(0, budget()).name == name
+
+
+class TestDeprecatedT7Wrapper:
+    def test_t7_mac_suite_warns_and_delegates(self):
+        from repro.experiments.t7_baselines import mac_suite as t7_suite
+
+        with pytest.warns(DeprecationWarning, match="repro.mac.mac_suite"):
+            suite = t7_suite(7)
+        assert tuple(suite) == mac_names()

@@ -1,0 +1,101 @@
+"""Tests for SIC-ALOHA and the medium's receiver-model hook."""
+
+import pytest
+
+from repro.experiments.simsetup import add_uniform_poisson, standard_network
+from repro.net.network import NetworkConfig
+from repro.obs import Instrumentation, MetricTimelines
+from repro.radio.receiver_model import DefaultReceiver, SicReceiver
+from repro.sim.sanitizer import sanitized
+
+
+def sic_run(seed=31, count=12, load=0.25, duration_slots=80.0, **config_kw):
+    timelines = MetricTimelines(station_count=count)
+    with sanitized(True):
+        network = standard_network(
+            count,
+            seed,
+            NetworkConfig(seed=seed, **config_kw),
+            mac="sic_aloha",
+            trace=False,
+            instrumentation=Instrumentation((timelines,)),
+        )
+        add_uniform_poisson(network, load, seed + 1)
+        network.run(duration_slots * network.budget.slot_time)
+        digest = network.env.replay_digest()
+    return network, timelines, digest
+
+
+class TestWiring:
+    def test_registry_installs_sic_model_on_banks(self):
+        network, _timelines, _digest = sic_run(duration_slots=5.0)
+        for station in network.stations:
+            assert isinstance(station.bank.model, SicReceiver)
+
+    def test_config_receiver_model_overrides_descriptor(self):
+        network, _t, _d = sic_run(duration_slots=5.0, receiver_model="default")
+        for station in network.stations:
+            assert isinstance(station.bank.model, DefaultReceiver)
+
+    def test_default_macs_get_no_model(self):
+        network = standard_network(8, 3, NetworkConfig(seed=3), mac="aloha")
+        for station in network.stations:
+            assert station.bank.model is None
+
+    def test_unknown_receiver_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown receiver model"):
+            NetworkConfig(receiver_model="quantum")
+
+
+class TestBehaviour:
+    def test_cancellations_happen_under_contention(self):
+        _network, timelines, _digest = sic_run()
+        assert timelines.sic_receptions > 0
+        assert timelines.sic_cancellations >= timelines.sic_receptions
+
+    def test_sic_models_track_only_live_attempts(self):
+        # Every cancelled-model entry must be popped by the end/fail/
+        # abort lifecycle: a leak would cancel against stale attempts.
+        # Transmissions still in flight when the run stops legitimately
+        # keep their entry, so the invariant is subset-of-attempts.
+        network, _timelines, _digest = sic_run()
+        assert set(network.medium._sic_models) <= set(
+            network.medium._attempts
+        )
+
+    def test_sic_recovers_deliveries_vs_plain_slotted_aloha(self):
+        seed, count, load, duration = 31, 12, 0.25, 80.0
+        _n, sic_timelines, _d = sic_run(seed, count, load, duration)
+        plain = MetricTimelines(station_count=count)
+        with sanitized(True):
+            network = standard_network(
+                count,
+                seed,
+                NetworkConfig(seed=seed),
+                mac="slotted_aloha",
+                trace=False,
+                instrumentation=Instrumentation((plain,)),
+            )
+            add_uniform_poisson(network, load, seed + 1)
+            network.run(duration * network.budget.slot_time)
+        assert sic_timelines.hop_deliveries >= plain.hop_deliveries
+
+
+class TestDeterminism:
+    def test_replay_digest_bit_identical(self):
+        _n1, t1, d1 = sic_run()
+        _n2, t2, d2 = sic_run()
+        assert d1 == d2
+        assert t1.sic_cancellations == t2.sic_cancellations
+        assert t1.hop_deliveries == t2.hop_deliveries
+
+    def test_t7_rows_identical_jobs_1_vs_2(self):
+        from repro.experiments.t7_baselines import run
+
+        kwargs = dict(
+            loads_packets_per_slot=(0.05, 0.1),
+            station_count=12,
+            duration_slots=80.0,
+            macs=("sic_aloha",),
+        )
+        assert run(jobs=1, **kwargs).rows == run(jobs=2, **kwargs).rows

@@ -19,7 +19,8 @@ class TestSuiteTasks:
         assert order.index("T1") == order.index("F4") + 1
         assert order.index("T12") == order.index("T11") + 1
         assert order.index("T13") == order.index("T12") + 1
-        assert order.index("A1") == order.index("T13") + 1
+        assert order.index("T14") == order.index("T13") + 1
+        assert order.index("A1") == order.index("T14") + 1
         # Numeric, not lexicographic: T2 before T10.
         assert order.index("T2") < order.index("T10")
 
